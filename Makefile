@@ -1,0 +1,27 @@
+# Convenience targets for the Fireworks reproduction.
+
+.PHONY: install test bench report examples all clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro report
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex =="; \
+		python $$ex > /dev/null && echo ok || exit 1; \
+	done
+
+all: test bench
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,14 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every file under ``benchmarks/`` regenerates one table or figure from the
+paper's evaluation (§5) and prints the regenerated rows/series, so running
+``pytest benchmarks/ --benchmark-only`` reproduces the whole evaluation.
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated figure/table block (shown with -s or on the
+    captured report)."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")

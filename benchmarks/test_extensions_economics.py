@@ -1,0 +1,48 @@
+"""Extensions: provider economics (§1) and invoker scheduling (Figure 1).
+
+* **Billing analysis** — the user pays for execution only; start-up time is
+  resource-time the provider eats.  Fireworks' billable efficiency
+  approaches 1 because there are no cold starts to eat.
+* **Scheduling policies** — warm containers live on specific invokers;
+  OpenWhisk's home-invoker hashing keeps hitting them where round-robin
+  keeps missing.
+"""
+
+from repro.billing import run_billing_analysis
+from repro.bench.scheduling import run_scheduling_comparison
+from repro.platforms.scheduler import POLICY_HASH, POLICY_ROUND_ROBIN
+
+from conftest import emit
+
+
+def test_billing_analysis(benchmark):
+    reports = benchmark.pedantic(
+        lambda: run_billing_analysis(invocations=20, cold_every=5),
+        rounds=1, iterations=1)
+    emit("Extension — provider economics (§1: start-up is not charged)",
+         "\n".join(report.as_line() for report in reports.values()))
+
+    fireworks = reports["fireworks"]
+    openwhisk = reports["openwhisk"]
+    # Fireworks bills nearly all of its resource-time.
+    assert fireworks.billable_efficiency > 0.85
+    # The cold-sprinkled baseline gives a chunk of resource-time away.
+    assert openwhisk.billable_efficiency < \
+        fireworks.billable_efficiency - 0.1
+    # Same user revenue (same executions billed)...
+    assert abs(fireworks.revenue_usd - openwhisk.revenue_usd) / \
+        openwhisk.revenue_usd < 0.35
+    # ...from strictly less hardware time.
+    assert fireworks.resource_ms < openwhisk.resource_ms
+
+
+def test_scheduling_policies(benchmark):
+    results = benchmark.pedantic(run_scheduling_comparison, rounds=1,
+                                 iterations=1)
+    emit("Extension — invoker scheduling policies (warm affinity)",
+         "\n".join(result.as_line() for result in results.values()))
+
+    assert results[POLICY_HASH].warm_hit_rate > \
+        results[POLICY_ROUND_ROBIN].warm_hit_rate + 0.1
+    assert results[POLICY_HASH].latency.mean_ms < \
+        results[POLICY_ROUND_ROBIN].latency.mean_ms

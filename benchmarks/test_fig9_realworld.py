@@ -1,0 +1,50 @@
+"""Figure 9: the real-world ServerlessBench applications vs OpenWhisk."""
+
+from repro.bench import run_fig9
+
+from conftest import emit
+
+
+def _check_alexa(fig9):
+    """Paper: 12.5x faster start-up, 2.4x faster execution.
+
+    Our OpenWhisk pays a cold start per chain function on first use, so the
+    start-up ratio lands higher than the paper's mixed-warmth measurement;
+    the execution ratio lands in band.
+    """
+    alexa = fig9["alexa"]
+    ow = alexa.row("openwhisk", "chain")
+    fw = alexa.row("fireworks", "chain")
+    assert ow.startup_ms / fw.startup_ms >= 12
+    assert 1.5 <= ow.exec_ms / fw.exec_ms <= 4.0
+
+
+def _check_data_analysis(fig9):
+    analysis = fig9["data-analysis"]
+    # Paper: insertion 25.6x faster start-up, 11.8x faster execution.
+    ow = analysis.row("openwhisk", "insert")
+    fw = analysis.row("fireworks", "insert")
+    assert ow.startup_ms / fw.startup_ms >= 25
+    assert ow.exec_ms / fw.exec_ms >= 2
+    # Paper: analysis 27x faster start-up, 4.9x faster execution.
+    ow = analysis.row("openwhisk", "analysis")
+    fw = analysis.row("fireworks", "analysis")
+    assert ow.startup_ms / fw.startup_ms >= 25
+    assert ow.exec_ms / fw.exec_ms >= 2
+
+
+def _check_fireworks_always_wins(fig9):
+    for figure in fig9.values():
+        fw_rows = [r for r in figure.rows if r.platform == "fireworks"]
+        ow_rows = [r for r in figure.rows if r.platform == "openwhisk"]
+        for fw_row, ow_row in zip(fw_rows, ow_rows):
+            assert fw_row.total_ms < ow_row.total_ms
+
+
+def test_fig9_realworld_applications(benchmark):
+    fig9 = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    emit("Figure 9(a) — Alexa Skills", fig9["alexa"].as_table())
+    emit("Figure 9(b) — Data analysis", fig9["data-analysis"].as_table())
+    _check_alexa(fig9)
+    _check_data_analysis(fig9)
+    _check_fireworks_always_wins(fig9)

@@ -1,0 +1,65 @@
+"""Extension: sustained-load sweep — where each platform saturates.
+
+Open-loop Poisson arrivals of faas-netlatency at increasing rates on the
+64-core host.  Plain Firecracker saturates once 64 cores cannot absorb
+~2.3 s of boot work per request (~27 rps); OpenWhisk keeps up through
+container reuse but with cold-start tails; Fireworks stays flat — the
+throughput corollary of the paper's consolidation argument (§2.2).
+"""
+
+import pytest
+
+from repro.bench.concurrency import run_load_sweep
+from repro.core.fireworks import FireworksPlatform
+from repro.platforms.firecracker import FirecrackerPlatform
+from repro.platforms.openwhisk import OpenWhiskPlatform
+
+from conftest import emit
+
+RATES = (25.0, 100.0, 400.0)
+
+
+def test_load_sweep(benchmark):
+    def sweep_all():
+        return {
+            cls.name: run_load_sweep(cls, rates_rps=RATES,
+                                     duration_ms=8000.0)
+            for cls in (FireworksPlatform, OpenWhiskPlatform,
+                        FirecrackerPlatform)
+        }
+
+    results = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+
+    lines = []
+    for platform, points in results.items():
+        for rate, point in points.items():
+            lines.append(
+                f"{platform:<14} offered={rate:6.0f}rps "
+                f"achieved={point.achieved_rps:7.1f} "
+                f"p50={point.latency.p50_ms:9.1f}ms "
+                f"p99={point.latency.p99_ms:10.1f}ms "
+                f"{'SATURATED' if point.saturated else ''}")
+    emit("Extension — sustained-load sweep (faas-netlatency, 64 cores)",
+         "\n".join(lines))
+
+    fw = results["fireworks"]
+    fc = results["firecracker"]
+    ow = results["openwhisk"]
+
+    # Fireworks: flat latency at every offered rate, never saturated.
+    p50s = [point.latency.p50_ms for point in fw.values()]
+    assert max(p50s) - min(p50s) < 5.0
+    assert not any(point.saturated for point in fw.values())
+
+    # Firecracker: saturates early; throughput caps at the queueing-theory
+    # bound, cores / per-request core occupancy (~2.37 s of boot+exec).
+    top_rate = max(RATES)
+    assert fc[top_rate].saturated
+    service_s = 2.37
+    theoretical_rps = 64 / service_s
+    assert fc[top_rate].achieved_rps == pytest.approx(theoretical_rps,
+                                                      rel=0.15)
+
+    # OpenWhisk keeps up on throughput but with a heavy p99 tail.
+    assert ow[top_rate].achieved_rps > 300
+    assert ow[top_rate].latency.p99_ms > 10 * fw[top_rate].latency.p99_ms

@@ -1,0 +1,19 @@
+"""The machine-checked scorecard: every headline claim, paper vs measured."""
+
+from repro.bench.paper import comparison_summary, headline_comparisons
+from repro.bench.results import format_comparisons
+
+from conftest import emit
+
+
+def test_headline_scorecard(benchmark):
+    comparisons = benchmark.pedantic(headline_comparisons, rounds=1,
+                                     iterations=1)
+    emit("Scorecard — every headline claim of §5",
+         format_comparisons("Fireworks headline claims", comparisons))
+
+    summary = comparison_summary(comparisons)
+    assert summary["total"] >= 14
+    # Every tracked claim must hold within its band.
+    failing = [c.metric for c in comparisons if not c.holds]
+    assert not failing, f"claims out of band: {failing}"

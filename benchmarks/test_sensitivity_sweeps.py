@@ -1,0 +1,42 @@
+"""Extension: sensitivity of the headline claims to calibration constants.
+
+Shows which conclusions are robust: the Fig 6a exec improvement tracks V8's
+hotness threshold almost linearly, while the cold-start speedup hinges on
+the snapshot working-set size (exactly REAP's lever [54]).
+"""
+
+from repro.bench.sensitivity import run_sensitivity
+
+from conftest import emit
+
+
+def test_sensitivity_sweeps(benchmark):
+    def sweep():
+        return (
+            run_sensitivity("nodejs.hotness_threshold_units",
+                            [2000.0, 4000.0, 8000.0, 16000.0],
+                            "node_exec_improvement_pct"),
+            run_sensitivity("nodejs.snapshot_working_set_fraction",
+                            [0.05, 0.15, 0.30, 0.60],
+                            "cold_start_speedup_x"),
+        )
+
+    exec_sweep, coldstart_sweep = benchmark.pedantic(sweep, rounds=1,
+                                                     iterations=1)
+    emit("Extension — calibration sensitivity",
+         exec_sweep.as_table() + "\n" + coldstart_sweep.as_table())
+
+    # Exec improvement grows monotonically with the hotness threshold.
+    exec_values = [point.metric for point in exec_sweep.points]
+    assert exec_values == sorted(exec_values)
+    # The calibrated point (8000 units) sits at the paper's 38%.
+    calibrated = exec_sweep.points[2]
+    assert abs(calibrated.metric - 38.0) < 4.0
+
+    # Cold-start speedup falls monotonically with the working-set size,
+    # and the full claimed range (59.8x..133x) is reachable within
+    # plausible working sets.
+    cold_values = [point.metric for point in coldstart_sweep.points]
+    assert cold_values == sorted(cold_values, reverse=True)
+    assert cold_values[0] > 133
+    assert cold_values[-1] < 80

@@ -1,0 +1,33 @@
+"""§5.1: post-JIT snapshot creation time during the installation phase.
+
+Paper: snapshot creation takes 0.36-0.47 s for FaaSdom in Node.js and
+0.38-0.44 s in Python; npm installation dominates Node install time and
+Numba compilation scales with app complexity for Python.
+"""
+
+from repro.bench import run_snapshot_creation_times
+
+from conftest import emit
+
+
+def test_snapshot_creation_times(benchmark):
+    results = benchmark.pedantic(run_snapshot_creation_times, rounds=1,
+                                 iterations=1)
+    lines = [f"{'function':<28} {'annotate':>9} {'boot':>9} {'jit':>8} "
+             f"{'snapshot':>9} {'total':>9}"]
+    for name, parts in sorted(results.items()):
+        lines.append(
+            f"{name:<28} {parts['annotate_ms']:>8.0f}m "
+            f"{parts['boot_ms']:>8.0f}m {parts['jit_ms']:>7.1f}m "
+            f"{parts['snapshot_ms']:>8.0f}m {parts['total_ms']:>8.0f}m")
+    emit("§5.1: post-JIT snapshot creation time", "\n".join(lines))
+
+    for name, parts in results.items():
+        # Paper band: 0.36-0.47 s for the snapshot write itself.
+        assert 360 <= parts["snapshot_ms"] <= 470, name
+        if name.endswith("nodejs"):
+            # npm package loading dominates over JIT for Node (§5.1).
+            assert parts["jit_ms"] < 10
+    # Numba compilation costs more than TurboFan hooks (§5.1).
+    assert results["faas-fact-python"]["jit_ms"] > \
+        results["faas-fact-nodejs"]["jit_ms"]

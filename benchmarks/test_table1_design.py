@@ -1,0 +1,29 @@
+"""Table 1: design comparison of serverless platforms."""
+
+from repro.bench import run_table1
+
+from conftest import emit
+
+
+def _format(rows) -> str:
+    lines = [f"{'platform':<22} {'isolation':<22} {'performance':<26} "
+             f"{'memory efficiency'}"]
+    for row in rows:
+        lines.append(f"{row['platform']:<22} {row['isolation']:<22} "
+                     f"{row['performance']:<26} {row['memory_efficiency']}")
+    return "\n".join(lines)
+
+
+def test_table1_design_comparison(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    emit("Table 1: Design comparison of serverless platforms",
+         _format(rows))
+
+    by_name = {row["platform"]: row for row in rows}
+    # The paper's qualitative claims.
+    assert by_name["fireworks"]["isolation"] == "High (VM)"
+    assert by_name["firecracker"]["isolation"] == "High (VM)"
+    assert "container" in by_name["openwhisk"]["isolation"].lower()
+    assert "extreme" in by_name["fireworks"]["performance"].lower()
+    assert "extreme" in by_name["fireworks"]["memory_efficiency"].lower()
+    assert len(rows) == 6

@@ -1,0 +1,24 @@
+"""Table 2: the tested serverless applications."""
+
+from repro.bench import run_table2
+
+from conftest import emit
+
+
+def test_table2_applications(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    body = "\n".join(f"{row['application']:<34} {row['description']:<50} "
+                     f"{row['language']}" for row in rows)
+    emit("Table 2: Tested serverless applications", body)
+
+    applications = {row["application"] for row in rows}
+    assert applications == {
+        "FaaSdom: faas-fact",
+        "FaaSdom: faas-matrix-mult",
+        "FaaSdom: faas-diskio",
+        "FaaSdom: faas-netlatency",
+        "ServerlessBench: alexa-skills",
+        "ServerlessBench: data-analysis",
+    }
+    faasdom_rows = [r for r in rows if r["application"].startswith("FaaSdom")]
+    assert all(r["language"] == "Node.js, Python" for r in faasdom_rows)

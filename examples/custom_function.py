@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Deploy YOUR function on Fireworks: the downstream-user walkthrough.
+
+Shows the full adoption path for code this repo has never seen:
+
+1. write a handler (real Python source below);
+2. describe its runtime behaviour as an op program (compute / db / respond);
+3. install it through the API gateway with an authenticated namespace;
+4. invoke it and inspect the activation record and latency breakdown.
+
+Run:  python examples/custom_function.py
+"""
+
+from repro import FireworksPlatform, Simulation, default_parameters
+from repro.platforms import ApiGateway
+from repro.runtime import (AppCode, Compute, DbGet, DbPut, GuestFunction,
+                           Respond, program)
+from repro.workloads import FunctionSpec
+
+HANDLER_SOURCE = '''\
+def score(order):
+    total = sum(item["price"] * item["qty"] for item in order["items"])
+    return total * (0.9 if order.get("loyal") else 1.0)
+
+def main(params):
+    order = params.get("order", {"items": []})
+    return {"order_id": order.get("id"), "total": score(order)}
+'''
+
+
+def make_order_program(payload):
+    """What one invocation does: load the order, price it, persist it."""
+    return program(
+        DbGet("orders", doc_kb=1.8),
+        Compute(4200.0, function="main",
+                arg_shape=(payload.get("currency", "usd"),)),
+        DbPut("order-totals", doc_kb=0.7),
+        Respond(0.5),
+    )
+
+
+def main() -> None:
+    sim = Simulation(seed=2022)
+    fireworks = FireworksPlatform(sim, default_parameters())
+    gateway = ApiGateway(fireworks)
+    api_key = gateway.create_namespace("acme-shop")
+
+    spec = FunctionSpec(
+        name="price-order",
+        language="python",
+        app=AppCode(
+            name="price-order", language="python",
+            guest_functions=(GuestFunction("main", 600.0, 14.0),
+                             GuestFunction("score", 300.0, 14.0))),
+        make_program=make_order_program,
+        source=HANDLER_SOURCE,
+        description="Prices an order with loyalty discount")
+
+    print("== install (annotate + post-JIT snapshot) ==")
+    sim.run(sim.process(fireworks.install(spec)))
+    report = fireworks.install_reports["price-order"]
+    print(f"  annotated functions: {report.annotated.functions}")
+    print(f"  install total: {report.total_ms:.0f} ms "
+          f"(snapshot {report.snapshot_ms:.0f} ms)")
+
+    print("\n== invoke through the authenticated gateway ==")
+    fireworks.couch.database("orders").put(
+        "o-17", {"id": "o-17", "items": [{"price": 10.0, "qty": 3}],
+                 "loyal": True})
+    for currency in ("usd", "eur"):
+        activation = sim.run(sim.process(gateway.handle_request(
+            api_key, "price-order",
+            payload={"order": {"id": "o-17"}, "currency": currency})))
+        record = activation.record
+        print(f"  {activation.activation_id}: {activation.status}, "
+              f"start-up {record.startup_ms:5.1f} ms, "
+              f"exec {record.exec_ms:6.1f} ms "
+              f"(db {record.guest.db_ms:4.1f} ms, "
+              f"deopts {record.guest.deopt_count})")
+
+    print("\nEach clone resumed the same post-JIT snapshot in ~35 ms; the "
+          "first concrete argument shape de-optimized the snapshot's "
+          "generically-trained code once per clone and immediately "
+          "re-specialized (§6) — snapshots share code, not runtime "
+          "type feedback.")
+
+
+if __name__ == "__main__":
+    main()

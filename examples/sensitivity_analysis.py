@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""How robust are the paper's claims to calibration error?
+
+Sweeps two load-bearing constants and watches the headline metrics respond:
+
+* V8's tier-up (hotness) threshold vs the Fig 6a "38% faster execution";
+* the snapshot working-set size vs the "133x faster cold start".
+
+Run:  python examples/sensitivity_analysis.py
+"""
+
+from repro.bench.sensitivity import run_sensitivity
+
+
+def main() -> None:
+    print("sweeping V8's hotness threshold "
+          "(paper-calibrated value: 8000 units)...\n")
+    exec_sweep = run_sensitivity(
+        "nodejs.hotness_threshold_units",
+        [1000.0, 4000.0, 8000.0, 16000.0, 26000.0],
+        "node_exec_improvement_pct")
+    print(exec_sweep.as_table())
+    print("  -> the later V8 tiers up, the more interpreted work the\n"
+          "     baselines do, the bigger Fireworks' execution edge.\n")
+
+    print("sweeping the snapshot restore working set "
+          "(calibrated: 15% of the image)...\n")
+    cold_sweep = run_sensitivity(
+        "nodejs.snapshot_working_set_fraction",
+        [0.05, 0.10, 0.15, 0.30, 0.60],
+        "cold_start_speedup_x")
+    print(cold_sweep.as_table())
+    print("  -> the cold-start ratio is REAP's lever [54]: fault in less\n"
+          "     before first useful work, start up faster.  The paper's\n"
+          "     133x and 59.8x both live inside this plausible range.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+The environment has setuptools 65 but no `wheel`, so PEP 660 editable
+installs fail; `python setup.py develop` (or pip's legacy fallback) works.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

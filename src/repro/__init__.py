@@ -1,0 +1,52 @@
+"""Fireworks reproduction: a fast, efficient, and safe serverless framework
+using VM-level post-JIT snapshots (Shin, Kim, Min — EuroSys 2022).
+
+The public API, by layer:
+
+* :mod:`repro.core`      — the Fireworks platform (annotator, installer,
+  snapshotter, parameter passer, microVM manager).
+* :mod:`repro.platforms` — the baselines: OpenWhisk, Firecracker (plain and
+  snapshot), gVisor, plus the shared control plane.
+* :mod:`repro.workloads` — FaaSdom and ServerlessBench workloads.
+* :mod:`repro.bench`     — one driver per paper figure/table.
+* Substrates: :mod:`repro.sim` (event simulation), :mod:`repro.mem`
+  (CoW pages/PSS), :mod:`repro.net` (namespaces/NAT), :mod:`repro.snapshot`,
+  :mod:`repro.runtime` (V8/CPython JIT models), :mod:`repro.storage`,
+  :mod:`repro.db` (CouchDB substrate).
+
+Quickstart::
+
+    from repro import FireworksPlatform, Simulation, default_parameters
+    from repro.workloads import faasdom_spec
+
+    sim = Simulation()
+    fireworks = FireworksPlatform(sim, default_parameters())
+    spec = faasdom_spec("faas-fact", "python")
+    sim.run(sim.process(fireworks.install(spec)))
+    record = sim.run(sim.process(fireworks.invoke(spec.name)))
+    print(record.startup_ms, record.exec_ms)
+"""
+
+from repro.config import CalibratedParameters, default_parameters
+from repro.core.fireworks import FireworksPlatform
+from repro.errors import ReproError
+from repro.platforms import (FirecrackerPlatform,
+                             FirecrackerSnapshotPlatform, GVisorPlatform,
+                             InvocationRecord, OpenWhiskPlatform)
+from repro.sim import Simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CalibratedParameters",
+    "FirecrackerPlatform",
+    "FirecrackerSnapshotPlatform",
+    "FireworksPlatform",
+    "GVisorPlatform",
+    "InvocationRecord",
+    "OpenWhiskPlatform",
+    "ReproError",
+    "Simulation",
+    "default_parameters",
+    "__version__",
+]

@@ -1,0 +1,93 @@
+"""Experiment harness: one driver per paper table/figure, plus ablations."""
+
+from repro.bench.ablations import (DeoptResult, KeepAliveOutcome,
+                                   PolicyComparison,
+                                   run_aot_comparison,
+                                   run_catalyzer_comparison,
+                                   run_deopt_experiment,
+                                   run_keepalive_policy_comparison,
+                                   run_policy_comparison,
+                                   run_regeneration_demo,
+                                   run_remote_store_ablation,
+                                   run_restore_policy_ablation,
+                                   run_store_eviction_demo)
+from repro.bench.concurrency import (BurstResult, run_burst,
+                                     run_burst_comparison)
+from repro.bench.stats import LatencyStats, histogram, percentile
+from repro.bench.tracing import (to_chrome_trace_json, trace_events,
+                                 write_chrome_trace)
+from repro.bench.factors import FactorRow, run_factor_analysis, run_fig11
+from repro.bench.faasdom_experiments import (run_faasdom_benchmark,
+                                             run_faasdom_figure, run_fig6,
+                                             run_fig7)
+from repro.bench.harness import (cold_and_warm, drain, fireworks_invocation,
+                                 fresh_platform, install_all, install_chain,
+                                 invoke_once, provision_warm)
+from repro.bench.export import export_all
+from repro.bench.memory import (FACTOR_CONFIGS, fig12_improvements,
+                                run_fig4_view, run_fig10, run_fig12)
+from repro.bench.paper import comparison_summary, headline_comparisons
+from repro.bench.realworld import run_fig9
+from repro.bench.results import (FigureResult, LatencyRow, MemoryPoint,
+                                 MemorySeries, PaperComparison,
+                                 format_comparisons, geometric_mean)
+from repro.bench.tables import (run_snapshot_creation_times, run_table1,
+                                run_table2)
+
+__all__ = [
+    "BurstResult",
+    "DeoptResult",
+    "FACTOR_CONFIGS",
+    "FactorRow",
+    "FigureResult",
+    "KeepAliveOutcome",
+    "LatencyRow",
+    "LatencyStats",
+    "MemoryPoint",
+    "MemorySeries",
+    "PaperComparison",
+    "PolicyComparison",
+    "cold_and_warm",
+    "comparison_summary",
+    "drain",
+    "export_all",
+    "fig12_improvements",
+    "headline_comparisons",
+    "fireworks_invocation",
+    "format_comparisons",
+    "fresh_platform",
+    "geometric_mean",
+    "histogram",
+    "install_all",
+    "install_chain",
+    "invoke_once",
+    "percentile",
+    "provision_warm",
+    "run_aot_comparison",
+    "run_burst",
+    "run_burst_comparison",
+    "run_catalyzer_comparison",
+    "run_deopt_experiment",
+    "run_faasdom_benchmark",
+    "run_keepalive_policy_comparison",
+    "run_faasdom_figure",
+    "run_factor_analysis",
+    "run_fig4_view",
+    "run_fig6",
+    "run_fig7",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_policy_comparison",
+    "run_regeneration_demo",
+    "run_remote_store_ablation",
+    "run_restore_policy_ablation",
+    "run_snapshot_creation_times",
+    "run_store_eviction_demo",
+    "run_table1",
+    "run_table2",
+    "to_chrome_trace_json",
+    "trace_events",
+    "write_chrome_trace",
+]

@@ -1,0 +1,52 @@
+"""ASCII stacked-bar rendering of latency figures.
+
+The paper's Figs 6/7/9 are stacked bars (start-up | exec | others); this
+renders the same picture in a terminal, log-free and dependency-free::
+
+    openwhisk (c)    |SSSSSSSSSSSSSSSSEEEEEEEEEEE.| 2324.2ms
+    fireworks (both) |E|                             524.3ms
+
+``S`` = start-up, ``E`` = exec, ``.`` = others; bars scale to the widest
+row.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.results import FigureResult, LatencyRow
+
+_SEGMENTS = (("startup_ms", "S"), ("exec_ms", "E"), ("other_ms", "."))
+
+
+def render_bar(row: LatencyRow, scale_ms_per_char: float) -> str:
+    """One row's stacked bar at the given scale."""
+    if scale_ms_per_char <= 0:
+        raise ValueError(f"scale must be positive, got {scale_ms_per_char}")
+    cells: List[str] = []
+    carry = 0.0
+    for attribute, glyph in _SEGMENTS:
+        value = getattr(row, attribute) + carry
+        chars = int(value / scale_ms_per_char)
+        carry = value - chars * scale_ms_per_char
+        cells.append(glyph * chars)
+    return "".join(cells)
+
+
+def render_figure(figure: FigureResult, width: int = 60) -> str:
+    """The whole figure as labeled stacked bars."""
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    if not figure.rows:
+        return f"== {figure.figure_id}: {figure.title} ==\n(no rows)"
+    longest_ms = max(row.total_ms for row in figure.rows)
+    scale = max(longest_ms / width, 1e-9)
+    label_width = max(len(row.label()) for row in figure.rows)
+    lines = [f"== {figure.figure_id}: {figure.title} ==",
+             f"   scale: {scale:.1f} ms/char   "
+             f"S=start-up  E=exec  .=others"]
+    for row in figure.rows:
+        bar = render_bar(row, scale)
+        lines.append(f"{row.label():<{label_width}} |{bar:<{width}}| "
+                     f"{row.total_ms:9.1f}ms")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""CSV export of regenerated figures — for plotting outside the harness.
+
+``export_all(directory)`` regenerates every figure and writes one CSV per
+artifact, mirroring the bar/series structure of the paper's plots.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.bench.factors import FactorRow
+from repro.bench.results import FigureResult, MemorySeries
+from repro.config import CalibratedParameters
+
+
+def write_latency_figure_csv(figure: FigureResult, path: Path) -> None:
+    """One row per bar: platform, mode, startup/exec/other/total ms."""
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["platform", "mode", "startup_ms", "exec_ms",
+                         "other_ms", "total_ms"])
+        for row in figure.rows:
+            writer.writerow([row.platform, row.mode,
+                             f"{row.startup_ms:.3f}", f"{row.exec_ms:.3f}",
+                             f"{row.other_ms:.3f}", f"{row.total_ms:.3f}"])
+
+
+def write_memory_series_csv(series_by_platform: Dict[str, MemorySeries],
+                            path: Path) -> None:
+    """Fig 10: platform, n_vms, host MB, mean PSS, max-before-swap."""
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["platform", "n_vms", "host_used_mb",
+                         "mean_pss_mb", "max_vms_before_swap"])
+        for platform, series in series_by_platform.items():
+            for point in series.points:
+                writer.writerow([platform, point.n_vms,
+                                 f"{point.host_used_mb:.1f}",
+                                 f"{point.mean_pss_mb:.2f}",
+                                 series.max_vms_before_swap])
+
+
+def write_factor_csv(rows: Dict[str, FactorRow], path: Path) -> None:
+    """Fig 11: workload, per-configuration totals and speedups."""
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["workload", "baseline_ms", "os_snapshot_ms",
+                         "post_jit_ms", "os_snapshot_speedup",
+                         "post_jit_total_speedup"])
+        for workload, row in rows.items():
+            writer.writerow([workload, f"{row.baseline_ms:.2f}",
+                             f"{row.os_snapshot_ms:.2f}",
+                             f"{row.post_jit_ms:.2f}",
+                             f"{row.os_snapshot_speedup:.3f}",
+                             f"{row.post_jit_speedup:.3f}"])
+
+
+def write_fig12_csv(results: Dict[str, Dict[str, float]],
+                    path: Path) -> None:
+    """Fig 12: workload, per-configuration mean PSS."""
+    configs: List[str] = []
+    for per_config in results.values():
+        configs = list(per_config)
+        break
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["workload"] + configs)
+        for workload, per_config in sorted(results.items()):
+            writer.writerow([workload] + [f"{per_config[c]:.2f}"
+                                          for c in configs])
+
+
+def export_all(directory: str,
+               params: Optional[CalibratedParameters] = None,
+               figures: Optional[Iterable[str]] = None) -> List[str]:
+    """Regenerate figures and write CSVs into *directory*.
+
+    Returns the written file names.  ``figures`` limits the set (names:
+    fig6, fig7, fig9, fig10, fig11, fig12); default is all of them.
+    """
+    from repro.bench.faasdom_experiments import run_fig6, run_fig7
+    from repro.bench.factors import run_fig11
+    from repro.bench.memory import run_fig10, run_fig12
+    from repro.bench.realworld import run_fig9
+
+    wanted = set(figures or ("fig6", "fig7", "fig9", "fig10", "fig11",
+                             "fig12"))
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[str] = []
+
+    def emit_latency_dict(results: Dict[str, FigureResult]) -> None:
+        for result in results.values():
+            name = f"{result.figure_id}.csv"
+            write_latency_figure_csv(result, out_dir / name)
+            written.append(name)
+
+    if "fig6" in wanted:
+        emit_latency_dict(run_fig6(params))
+    if "fig7" in wanted:
+        emit_latency_dict(run_fig7(params))
+    if "fig9" in wanted:
+        emit_latency_dict(run_fig9(params))
+    if "fig10" in wanted:
+        write_memory_series_csv(run_fig10(params, sample_every=50),
+                                out_dir / "fig10.csv")
+        written.append("fig10.csv")
+    if "fig11" in wanted:
+        write_factor_csv(run_fig11(params), out_dir / "fig11.csv")
+        written.append("fig11.csv")
+    if "fig12" in wanted:
+        write_fig12_csv(run_fig12(params), out_dir / "fig12.csv")
+        written.append("fig12.csv")
+    return written

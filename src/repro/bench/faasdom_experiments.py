@@ -1,0 +1,120 @@
+"""Figs 6 and 7: FaaSdom latency breakdowns, Node.js and Python.
+
+Each sub-figure compares OpenWhisk, gVisor and Firecracker (cold and warm)
+against Fireworks (no cold/warm distinction — always a snapshot resume),
+with latency broken into start-up / exec / others.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.harness import (cold_and_warm, fireworks_invocation)
+from repro.bench.results import FigureResult, LatencyRow, geometric_mean
+from repro.config import CalibratedParameters
+from repro.platforms.base import InvocationRecord
+from repro.platforms.firecracker import FirecrackerPlatform
+from repro.platforms.gvisor_platform import GVisorPlatform
+from repro.platforms.openwhisk import OpenWhiskPlatform
+from repro.workloads.faasdom import BENCHMARK_NAMES, faasdom_spec
+
+_SUBFIGURES = {
+    "faas-fact": "a",
+    "faas-matrix-mult": "b",
+    "faas-diskio": "c",
+    "faas-netlatency": "d",
+}
+
+_FIGURE_BY_LANGUAGE = {"nodejs": "6", "python": "7"}
+
+
+def _row_from(record: InvocationRecord, platform: str,
+              mode: str) -> LatencyRow:
+    return LatencyRow(platform=platform, mode=mode,
+                      startup_ms=record.startup_ms,
+                      exec_ms=record.exec_ms,
+                      other_ms=record.other_ms)
+
+
+def run_faasdom_benchmark(benchmark: str, language: str,
+                          params: Optional[CalibratedParameters] = None
+                          ) -> FigureResult:
+    """One sub-figure: latency breakdown of *benchmark* in *language*."""
+    spec = faasdom_spec(benchmark, language)
+    figure = _FIGURE_BY_LANGUAGE[language]
+    letter = _SUBFIGURES[benchmark]
+    result = FigureResult(
+        figure_id=f"fig{figure}{letter}",
+        title=f"{benchmark} ({language}) latency breakdown")
+
+    for platform_cls, label in ((OpenWhiskPlatform, "openwhisk"),
+                                (GVisorPlatform, "gvisor"),
+                                (FirecrackerPlatform, "firecracker")):
+        cold, warm = cold_and_warm(platform_cls, spec, params)
+        result.rows.append(_row_from(cold, label, "cold"))
+        result.rows.append(_row_from(warm, label, "warm"))
+
+    fireworks = fireworks_invocation(spec, params)
+    result.rows.append(_row_from(fireworks, "fireworks", "snapshot"))
+
+    fw_total = result.row("fireworks", "snapshot").total_ms
+    worst_cold = max(result.row(p, "cold").total_ms
+                     for p in ("openwhisk", "gvisor", "firecracker"))
+    result.notes.append(
+        f"fireworks end-to-end is {worst_cold / fw_total:.1f}x faster than "
+        "the slowest cold start")
+    fc_cold_startup = result.row("firecracker", "cold").startup_ms
+    result.notes.append(
+        f"cold start-up speedup vs firecracker: "
+        f"{fc_cold_startup / result.row('fireworks', 'snapshot').startup_ms:.0f}x")
+    return result
+
+
+def run_faasdom_figure(language: str,
+                       params: Optional[CalibratedParameters] = None
+                       ) -> Dict[str, FigureResult]:
+    """All five sub-figures of Fig 6 (nodejs) or Fig 7 (python).
+
+    Sub-figure (e) is the geometric mean of the four benchmarks, per
+    platform and start mode.
+    """
+    results = {
+        benchmark: run_faasdom_benchmark(benchmark, language, params)
+        for benchmark in BENCHMARK_NAMES
+    }
+    figure = _FIGURE_BY_LANGUAGE[language]
+    geomean = FigureResult(
+        figure_id=f"fig{figure}e",
+        title=f"geometric mean of FaaSdom benchmarks ({language})")
+    combos: List[Tuple[str, str]] = [
+        ("openwhisk", "cold"), ("openwhisk", "warm"),
+        ("gvisor", "cold"), ("gvisor", "warm"),
+        ("firecracker", "cold"), ("firecracker", "warm"),
+        ("fireworks", "snapshot"),
+    ]
+    for platform, mode in combos:
+        rows = [results[b].row(platform, mode) for b in BENCHMARK_NAMES]
+        geomean.rows.append(LatencyRow(
+            platform=platform, mode=mode,
+            startup_ms=geometric_mean([max(r.startup_ms, 0.1) for r in rows]),
+            exec_ms=geometric_mean([max(r.exec_ms, 0.1) for r in rows]),
+            other_ms=geometric_mean([max(r.other_ms, 0.1) for r in rows])))
+    fw_total = geomean.row("fireworks", "snapshot").total_ms
+    worst = max(row.total_ms for row in geomean.rows)
+    geomean.notes.append(
+        f"overall fireworks speedup (geomean, vs slowest): "
+        f"{worst / fw_total:.1f}x")
+    results["geomean"] = geomean
+    return results
+
+
+def run_fig6(params: Optional[CalibratedParameters] = None
+             ) -> Dict[str, FigureResult]:
+    """Figure 6: the Node.js FaaSdom latency comparison."""
+    return run_faasdom_figure("nodejs", params)
+
+
+def run_fig7(params: Optional[CalibratedParameters] = None
+             ) -> Dict[str, FigureResult]:
+    """Figure 7: the Python FaaSdom latency comparison."""
+    return run_faasdom_figure("python", params)

@@ -1,0 +1,100 @@
+"""Shared experiment plumbing: build a platform, install, invoke, measure."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, Type
+
+from repro.config import CalibratedParameters, default_parameters
+from repro.core.fireworks import FireworksPlatform
+from repro.platforms.base import (MODE_AUTO, MODE_COLD, MODE_WARM,
+                                  InvocationRecord, ServerlessPlatform)
+from repro.platforms.firecracker import (FirecrackerPlatform,
+                                         FirecrackerSnapshotPlatform)
+from repro.platforms.gvisor_platform import GVisorPlatform
+from repro.platforms.openwhisk import OpenWhiskPlatform
+from repro.sim.kernel import Simulation
+from repro.workloads.base import ChainSpec, FunctionSpec
+
+def fresh_platform(platform_cls: Type[ServerlessPlatform],
+                   params: Optional[CalibratedParameters] = None,
+                   seed: int = 2022,
+                   **kwargs) -> ServerlessPlatform:
+    """A platform on its own simulation and host (isolated experiment)."""
+    sim = Simulation(seed=seed)
+    return platform_cls(sim, params or default_parameters(), **kwargs)
+
+
+def install_all(platform: ServerlessPlatform,
+                specs: Iterable[FunctionSpec]) -> None:
+    """Run the install phase for every spec, to completion."""
+    sim = platform.sim
+    for spec in specs:
+        sim.run(sim.process(platform.install(spec)))
+
+
+def install_chain(platform: ServerlessPlatform, chain: ChainSpec) -> None:
+    """Install every function of a chain."""
+    install_all(platform, chain.functions)
+
+
+def invoke_once(platform: ServerlessPlatform, name: str,
+                mode: str = MODE_AUTO,
+                payload: Optional[dict] = None) -> InvocationRecord:
+    """One measured invocation, run to completion."""
+    sim = platform.sim
+    return sim.run(sim.process(platform.invoke(name, payload=payload,
+                                               mode=mode)))
+
+
+def provision_warm(platform: ServerlessPlatform, name: str) -> None:
+    """Pre-provision a warm sandbox per §5.1's methodology."""
+    sim = platform.sim
+    if hasattr(platform, "provision_warm"):
+        sim.run(sim.process(platform.provision_warm(name)))
+    else:
+        # OpenWhisk-style: invoking once leaves the container warm.
+        invoke_once(platform, name, mode=MODE_COLD)
+
+
+def cold_and_warm(platform_cls: Type[ServerlessPlatform],
+                  spec: FunctionSpec,
+                  params: Optional[CalibratedParameters] = None
+                  ) -> Tuple[InvocationRecord, InvocationRecord]:
+    """Measure one cold and one warm invocation on a fresh platform."""
+    platform = fresh_platform(platform_cls, params)
+    install_all(platform, [spec])
+    cold = invoke_once(platform, spec.name, mode=MODE_COLD)
+    provision_warm(platform, spec.name)
+    warm = invoke_once(platform, spec.name, mode=MODE_WARM)
+    return cold, warm
+
+
+def fireworks_invocation(spec: FunctionSpec,
+                         params: Optional[CalibratedParameters] = None,
+                         **platform_kwargs) -> InvocationRecord:
+    """Install + one invocation on a fresh Fireworks platform."""
+    platform = fresh_platform(FireworksPlatform, params, **platform_kwargs)
+    install_all(platform, [spec])
+    return invoke_once(platform, spec.name)
+
+
+def drain(platform: ServerlessPlatform) -> None:
+    """Run the simulation until quiescent (async triggers, reaping...)."""
+    platform.sim.run()
+
+
+__all__ = [
+    "FirecrackerPlatform",
+    "FirecrackerSnapshotPlatform",
+    "FireworksPlatform",
+    "GVisorPlatform",
+    "OpenWhiskPlatform",
+    "cold_and_warm",
+    "drain",
+    "fireworks_invocation",
+    "fresh_platform",
+    "install_all",
+    "install_chain",
+    "invoke_once",
+    "provision_warm",
+]

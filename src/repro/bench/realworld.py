@@ -1,0 +1,102 @@
+"""Figure 9: the real-world ServerlessBench applications.
+
+Only OpenWhisk and Fireworks can execute chains of functions (§5.3), so the
+comparison is between those two.  Latency is aggregated over the whole chain
+(every function's start-up and exec summed, as the paper's stacked bars do).
+
+For the data-analysis app, the insertion chain (da-input -> da-format ->
+CouchDB) and the triggered analysis chain (da-analyze -> da-stats) are
+reported separately, matching the paper's two sets of ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.bench.harness import (drain, fresh_platform, install_chain,
+                                 invoke_once)
+from repro.bench.results import FigureResult, LatencyRow
+from repro.config import CalibratedParameters
+from repro.core.fireworks import FireworksPlatform
+from repro.errors import PlatformError
+from repro.platforms.base import ServerlessPlatform
+from repro.platforms.openwhisk import OpenWhiskPlatform
+from repro.workloads.serverlessbench import (ALEXA_SKILLS, WAGES_DB,
+                                             alexa_skills_chain,
+                                             data_analysis_chain)
+
+
+def _chain_row(records, platform: str, mode: str) -> LatencyRow:
+    return LatencyRow(
+        platform=platform, mode=mode,
+        startup_ms=sum(r.chain_startup_ms() for r in records),
+        exec_ms=sum(r.chain_exec_ms() for r in records),
+        other_ms=sum(r.chain_other_ms() for r in records))
+
+
+def _run_alexa(platform_cls: Type[ServerlessPlatform],
+               params: Optional[CalibratedParameters]) -> LatencyRow:
+    """§5.3(1): ask a fact, check the schedule, check the smart home."""
+    platform = fresh_platform(platform_cls, params)
+    chain = alexa_skills_chain()
+    install_chain(platform, chain)
+    records = [invoke_once(platform, chain.entry, payload={"skill": skill})
+               for skill in ALEXA_SKILLS]
+    drain(platform)
+    return _chain_row(records, platform.name, "chain")
+
+
+def _run_data_analysis(platform_cls: Type[ServerlessPlatform],
+                       params: Optional[CalibratedParameters]
+                       ) -> Dict[str, LatencyRow]:
+    """§5.3(2): wage insertion, then the db-triggered analysis chain."""
+    platform = fresh_platform(platform_cls, params)
+    chain = data_analysis_chain()
+    install_chain(platform, chain)
+    platform.register_db_trigger(WAGES_DB, "da-analyze")
+
+    insertion = invoke_once(platform, chain.entry,
+                            payload={"name": "alice", "id": "e1",
+                                     "role": "engineer", "base": 7200})
+    drain(platform)  # let the triggered analysis chain finish
+
+    analysis_records = [r for r in platform.records
+                        if r.function == "da-analyze"]
+    if not analysis_records:
+        raise PlatformError(
+            "the wages-db trigger never fired the analysis chain")
+    return {
+        "insertion": _chain_row([insertion], platform.name, "insert"),
+        "analysis": _chain_row(analysis_records, platform.name, "analysis"),
+    }
+
+
+def run_fig9(params: Optional[CalibratedParameters] = None
+             ) -> Dict[str, FigureResult]:
+    """Figure 9(a) and 9(b): Alexa Skills and data analysis."""
+    alexa = FigureResult(figure_id="fig9a",
+                         title="Alexa Skills chain (3 requests)")
+    for platform_cls in (OpenWhiskPlatform, FireworksPlatform):
+        alexa.rows.append(_run_alexa(platform_cls, params))
+    ow = alexa.row("openwhisk", "chain")
+    fw = alexa.row("fireworks", "chain")
+    alexa.notes.append(
+        f"fireworks start-up {ow.startup_ms / fw.startup_ms:.1f}x faster, "
+        f"exec {ow.exec_ms / fw.exec_ms:.1f}x faster than openwhisk")
+
+    analysis = FigureResult(figure_id="fig9b",
+                            title="Data analysis: insertion + analysis")
+    ratios = {}
+    for platform_cls in (OpenWhiskPlatform, FireworksPlatform):
+        rows = _run_data_analysis(platform_cls, params)
+        analysis.rows.append(rows["insertion"])
+        analysis.rows.append(rows["analysis"])
+        ratios[rows["insertion"].platform] = rows
+    for step in ("insertion", "analysis"):
+        ow_row = ratios["openwhisk"][step]
+        fw_row = ratios["fireworks"][step]
+        analysis.notes.append(
+            f"{step}: fireworks start-up "
+            f"{ow_row.startup_ms / fw_row.startup_ms:.1f}x faster, exec "
+            f"{ow_row.exec_ms / fw_row.exec_ms:.1f}x faster")
+    return {"alexa": alexa, "data-analysis": analysis}

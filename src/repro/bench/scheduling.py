@@ -1,0 +1,80 @@
+"""Scheduling-policy experiment (extension): warm affinity across invokers.
+
+Replays a multi-function stream against OpenWhisk with an invoker pool
+under each load-balancing policy.  Hash scheduling (OpenWhisk's home
+invoker) concentrates each function's warm containers on one node and keeps
+hitting them; round-robin sprays requests and keeps paying cold starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bench.harness import fresh_platform, install_all, invoke_once
+from repro.bench.stats import LatencyStats
+from repro.config import CalibratedParameters
+from repro.platforms.openwhisk import OpenWhiskPlatform
+from repro.platforms.scheduler import (POLICY_HASH, POLICY_LEAST_LOADED,
+                                       POLICY_ROUND_ROBIN, InvokerPool)
+from repro.workloads.faasdom import faasdom_spec
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """One policy's outcome on the replayed stream."""
+
+    policy: str
+    warm_hit_rate: float
+    latency: LatencyStats
+    load_spread: int     # max-min total assignments across invokers
+
+    def as_line(self) -> str:
+        """One-line summary for the bench output."""
+        return (f"{self.policy:<14} warm-hit={self.warm_hit_rate:6.1%} "
+                f"p50={self.latency.p50_ms:8.1f}ms "
+                f"p99={self.latency.p99_ms:8.1f}ms "
+                f"spread={self.load_spread}")
+
+
+def run_scheduling_comparison(
+        params: Optional[CalibratedParameters] = None,
+        n_functions: int = 9,
+        rounds: int = 12,
+        nodes: int = 4,
+        capacity_per_node: int = 16) -> Dict[str, PolicyResult]:
+    """Round-robin vs least-loaded vs hash on an interleaved stream.
+
+    Each round invokes every function once (think: steady per-minute
+    traffic for popular functions).  The function count is deliberately
+    not a multiple of the node count, so round-robin cannot accidentally
+    re-align each function with its previous node.
+    """
+    base = faasdom_spec("faas-netlatency", "nodejs")
+    specs = [
+        base.__class__(
+            name=f"fn-{index:02d}", language=base.language, app=base.app,
+            make_program=base.make_program, source=base.source,
+            description=base.description)
+        for index in range(n_functions)
+    ]
+
+    results: Dict[str, PolicyResult] = {}
+    for policy in (POLICY_ROUND_ROBIN, POLICY_LEAST_LOADED, POLICY_HASH):
+        pool = InvokerPool(nodes=nodes,
+                           capacity_per_node=capacity_per_node,
+                           policy=policy)
+        platform = fresh_platform(OpenWhiskPlatform, params, invokers=pool)
+        install_all(platform, specs)
+        latencies: List[float] = []
+        for _round in range(rounds):
+            for spec in specs:
+                record = invoke_once(platform, spec.name)
+                latencies.append(record.total_ms)
+        total = platform.warm_starts + platform.cold_starts
+        results[policy] = PolicyResult(
+            policy=policy,
+            warm_hit_rate=platform.warm_starts / max(1, total),
+            latency=LatencyStats.from_samples(latencies),
+            load_spread=int(pool.load_spread()))
+    return results

@@ -1,0 +1,149 @@
+"""Parameter-sensitivity analysis (research tool, extension).
+
+Varies one calibrated constant across a range and reports the effect on a
+headline metric, so a reader can see which conclusions are robust to
+calibration error and which hinge on a constant.
+
+Example: sweep V8's hotness threshold and watch the Node fact exec
+improvement (Fig 6a's 38%) respond; sweep the snapshot working-set fraction
+and watch the 133x cold-start ratio respond.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import CalibratedParameters, default_parameters
+from repro.errors import ReproError
+from repro.validation import validate_or_raise
+
+MetricFn = Callable[[CalibratedParameters], float]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One swept value and the metric it produced."""
+
+    value: float
+    metric: float
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """A full sweep of one parameter against one metric."""
+
+    parameter: str
+    metric_name: str
+    points: List[SensitivityPoint]
+
+    @property
+    def metric_range(self) -> float:
+        values = [point.metric for point in self.points]
+        return max(values) - min(values)
+
+    def as_table(self) -> str:
+        """Render the sweep as an aligned table."""
+        lines = [f"-- sensitivity: {self.metric_name} vs "
+                 f"{self.parameter} --"]
+        for point in self.points:
+            lines.append(f"  {self.parameter}={point.value:<12g} "
+                         f"{self.metric_name}={point.metric:.2f}")
+        return "\n".join(lines)
+
+
+def _override_runtime(params: CalibratedParameters, language: str,
+                      **fields) -> CalibratedParameters:
+    runtimes = dict(params.runtimes)
+    runtimes[language] = replace(runtimes[language], **fields)
+    return params.with_overrides(runtimes=runtimes)
+
+
+def _override_layout(params: CalibratedParameters, language: str,
+                     **fields) -> CalibratedParameters:
+    layouts = dict(params.memory_layouts)
+    layouts[language] = replace(layouts[language], **fields)
+    return params.with_overrides(memory_layouts=layouts)
+
+
+def _override_snapshot(params: CalibratedParameters,
+                       **fields) -> CalibratedParameters:
+    return params.with_overrides(
+        snapshot=replace(params.snapshot, **fields))
+
+
+#: parameter name -> function(base_params, value) -> new params
+PARAMETER_KNOBS: Dict[str, Callable[[CalibratedParameters, float],
+                                    CalibratedParameters]] = {
+    "nodejs.hotness_threshold_units": lambda p, v: _override_runtime(
+        p, "nodejs", hotness_threshold_units=v),
+    "nodejs.jit_compile_ms_per_kunit": lambda p, v: _override_runtime(
+        p, "nodejs", jit_compile_ms_per_kunit=v),
+    "python.interp_units_per_ms": lambda p, v: _override_runtime(
+        p, "python", interp_units_per_ms=v),
+    "nodejs.snapshot_working_set_fraction": lambda p, v: _override_layout(
+        p, "nodejs", snapshot_working_set_mb_fraction=v),
+    "snapshot.restore_per_working_mb_ms": lambda p, v: _override_snapshot(
+        p, restore_per_working_mb_ms=v),
+    "nodejs.steady_state_dirty_fraction": lambda p, v: _override_layout(
+        p, "nodejs", steady_state_dirty_fraction=v),
+}
+
+
+# -- headline metrics ---------------------------------------------------------
+def metric_node_exec_improvement(params: CalibratedParameters) -> float:
+    """Fig 6a's exec bar: % faster than Firecracker cold (paper: 38%)."""
+    from repro.bench.faasdom_experiments import run_faasdom_benchmark
+    figure = run_faasdom_benchmark("faas-fact", "nodejs", params)
+    fw = figure.row("fireworks", "snapshot").exec_ms
+    cold = figure.row("firecracker", "cold").exec_ms
+    return 100.0 * (1.0 - fw / cold)
+
+
+def metric_cold_start_speedup(params: CalibratedParameters) -> float:
+    """Fig 6a's start-up ratio (paper: up to 133x)."""
+    from repro.bench.faasdom_experiments import run_faasdom_benchmark
+    figure = run_faasdom_benchmark("faas-fact", "nodejs", params)
+    return (figure.row("firecracker", "cold").startup_ms
+            / figure.row("fireworks", "snapshot").startup_ms)
+
+
+def metric_consolidation_ratio(params: CalibratedParameters) -> float:
+    """Fig 10's ratio (paper: 1.68x)."""
+    from repro.bench.memory import run_fig10
+    results = run_fig10(params, sample_every=400)
+    return (results["fireworks"].max_vms_before_swap
+            / results["firecracker"].max_vms_before_swap)
+
+
+METRICS: Dict[str, MetricFn] = {
+    "node_exec_improvement_pct": metric_node_exec_improvement,
+    "cold_start_speedup_x": metric_cold_start_speedup,
+    "consolidation_ratio": metric_consolidation_ratio,
+}
+
+
+def run_sensitivity(parameter: str, values: Sequence[float],
+                    metric: str,
+                    params: Optional[CalibratedParameters] = None
+                    ) -> SensitivityResult:
+    """Sweep *parameter* over *values*, measuring *metric* at each point."""
+    if parameter not in PARAMETER_KNOBS:
+        raise ReproError(
+            f"unknown knob {parameter!r}; knobs: "
+            f"{sorted(PARAMETER_KNOBS)}")
+    if metric not in METRICS:
+        raise ReproError(
+            f"unknown metric {metric!r}; metrics: {sorted(METRICS)}")
+    base = params or default_parameters()
+    knob = PARAMETER_KNOBS[parameter]
+    metric_fn = METRICS[metric]
+
+    points = []
+    for value in values:
+        modified = knob(base, value)
+        validate_or_raise(modified)
+        points.append(SensitivityPoint(value=value,
+                                       metric=metric_fn(modified)))
+    return SensitivityResult(parameter=parameter, metric_name=metric,
+                             points=points)

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures``                 — list every regenerable table/figure;
+* ``run <figure> [...]``      — regenerate one (e.g. ``run fig6``);
+* ``annotate <file>``         — run the §3.2 code annotator on a handler;
+* ``burst [-n N] [-c CORES]`` — the burst-storm extension experiment;
+* ``trace <out.json>``        — run an Alexa chain and export a Chrome
+                                trace of its invocation records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench import (run_fig6, run_fig7, run_fig9, run_fig10, run_fig11,
+                         run_fig12, fig12_improvements,
+                         run_snapshot_creation_times, run_table1,
+                         run_table2)
+from repro.bench.concurrency import run_burst_comparison
+from repro.bench.memory import FACTOR_CONFIGS
+
+FIGURES = ("table1", "table2", "snapshot-creation", "fig6", "fig7", "fig9",
+           "fig10", "fig11", "fig12", "scorecard")
+
+
+def _print_fig_dict(results, chart: bool = False) -> None:
+    from repro.bench.ascii_chart import render_figure
+    for result in results.values():
+        print(render_figure(result) if chart else result.as_table())
+        print()
+
+
+def _run_figure(name: str, chart: bool = False) -> None:
+    if name == "table1":
+        for row in run_table1():
+            print(f"{row['platform']:<22} {row['isolation']:<22} "
+                  f"{row['performance']:<26} {row['memory_efficiency']}")
+    elif name == "table2":
+        for row in run_table2():
+            print(f"{row['application']:<34} {row['description']:<50} "
+                  f"{row['language']}")
+    elif name == "snapshot-creation":
+        for fn, parts in sorted(run_snapshot_creation_times().items()):
+            print(f"{fn:<28} snapshot={parts['snapshot_ms']:.0f}ms "
+                  f"total-install={parts['total_ms']:.0f}ms")
+    elif name == "fig6":
+        _print_fig_dict(run_fig6(), chart)
+    elif name == "fig7":
+        _print_fig_dict(run_fig7(), chart)
+    elif name == "fig9":
+        _print_fig_dict(run_fig9(), chart)
+    elif name == "fig10":
+        for series in run_fig10(sample_every=50).values():
+            print(series.as_table())
+    elif name == "fig11":
+        for row in run_fig11().values():
+            print(row.as_line())
+    elif name == "fig12":
+        results = run_fig12()
+        for workload, per_config in sorted(results.items()):
+            cells = " ".join(f"{per_config[c]:8.1f}M"
+                             for c in FACTOR_CONFIGS)
+            print(f"{workload:<28} {cells}")
+        for workload, values in sorted(fig12_improvements(results).items()):
+            print(f"{workload:<28} os-snap "
+                  f"{values['os_snapshot_vs_baseline_pct']:5.1f}%  "
+                  f"post-jit {values['post_jit_vs_os_snapshot_pct']:5.1f}%")
+    elif name == "scorecard":
+        from repro.bench.paper import headline_comparisons
+        from repro.bench.results import format_comparisons
+        print(format_comparisons("Fireworks headline claims",
+                                 headline_comparisons()))
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown figure {name!r}")
+
+
+def _cmd_annotate(path: str) -> None:
+    from repro.core import annotate
+    source_path = Path(path)
+    language = "nodejs" if source_path.suffix == ".js" else "python"
+    result = annotate(source_path.read_text(), language,
+                      service_name=source_path.stem)
+    print(result.annotated)
+
+
+def _cmd_burst(requests: int, cores: int) -> None:
+    results = run_burst_comparison(requests=requests, cores=cores)
+    for result in results.values():
+        print(result.as_line())
+
+
+def _cmd_trace(out_path: str) -> None:
+    from repro.bench import fresh_platform, install_chain, invoke_once
+    from repro.bench.tracing import write_chrome_trace
+    from repro.core import FireworksPlatform
+    from repro.workloads import ALEXA_SKILLS, alexa_skills_chain
+
+    platform = fresh_platform(FireworksPlatform)
+    chain = alexa_skills_chain()
+    install_chain(platform, chain)
+    for skill in ALEXA_SKILLS:
+        invoke_once(platform, chain.entry, payload={"skill": skill})
+    write_chrome_trace(platform.records, out_path,
+                       install_reports=platform.install_reports.values())
+    print(f"wrote {len(platform.records)} records to {out_path} "
+          "(open in chrome://tracing)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for `python -m repro`."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fireworks (EuroSys '22) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="list regenerable tables/figures")
+
+    run_parser = sub.add_parser("run", help="regenerate one table/figure")
+    run_parser.add_argument("figure", choices=FIGURES)
+    run_parser.add_argument("--chart", action="store_true",
+                            help="render stacked ASCII bars (fig6/7/9)")
+
+    annotate_parser = sub.add_parser(
+        "annotate", help="annotate a handler file (Figure 3)")
+    annotate_parser.add_argument("file")
+
+    burst_parser = sub.add_parser(
+        "burst", help="burst-storm extension experiment")
+    burst_parser.add_argument("-n", "--requests", type=int, default=256)
+    burst_parser.add_argument("-c", "--cores", type=int, default=64)
+
+    trace_parser = sub.add_parser(
+        "trace", help="export a Chrome trace of an Alexa chain run")
+    trace_parser.add_argument("output", help="output .json path")
+
+    export_parser = sub.add_parser(
+        "export", help="regenerate figures and write CSVs")
+    export_parser.add_argument("directory")
+    export_parser.add_argument("--only", nargs="*", default=None,
+                               choices=["fig6", "fig7", "fig9", "fig10",
+                                        "fig11", "fig12"])
+
+    report_parser = sub.add_parser(
+        "report", help="the full evaluation as one document (~30 s)")
+    report_parser.add_argument("--no-extensions", action="store_true")
+
+    sub.add_parser("validate",
+                   help="validate the calibrated default parameters")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "figures":
+        for name in FIGURES:
+            print(name)
+    elif args.command == "run":
+        _run_figure(args.figure, chart=getattr(args, "chart", False))
+    elif args.command == "annotate":
+        _cmd_annotate(args.file)
+    elif args.command == "burst":
+        _cmd_burst(args.requests, args.cores)
+    elif args.command == "trace":
+        _cmd_trace(args.output)
+    elif args.command == "export":
+        from repro.bench.export import export_all
+        written = export_all(args.directory, figures=args.only)
+        for name in written:
+            print(f"wrote {args.directory}/{name}")
+    elif args.command == "report":
+        from repro.bench.report import full_report
+        print(full_report(
+            include_extensions=not args.no_extensions))
+    elif args.command == "validate":
+        from repro.config import default_parameters
+        from repro.validation import validate
+        problems = validate(default_parameters())
+        if problems:
+            for problem in problems:
+                print(f"PROBLEM: {problem}")
+            return 1
+        print("calibrated parameters: OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Fireworks core: the paper's contribution (§3)."""
+
+from repro.core.annotator import (AnnotatedSource, annotate, annotate_nodejs,
+                                  annotate_python)
+from repro.core.fireworks import FireworksPlatform
+from repro.core.installer import Installer, InstallReport
+from repro.core.microvm_manager import MicroVMManager
+from repro.core.parameter_passer import ParameterPasser, topic_for
+
+__all__ = [
+    "AnnotatedSource",
+    "FireworksPlatform",
+    "InstallReport",
+    "Installer",
+    "MicroVMManager",
+    "ParameterPasser",
+    "annotate",
+    "annotate_nodejs",
+    "annotate_python",
+    "topic_for",
+]

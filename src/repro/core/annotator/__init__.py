@@ -1,0 +1,21 @@
+"""The code annotator: source-to-source Fireworks instrumentation (§3.2)."""
+
+from repro.core.annotator.common import AnnotatedSource
+from repro.core.annotator.nodejs_annotator import (annotate_nodejs,
+                                                   find_function_names)
+from repro.core.annotator.python_annotator import annotate_python
+from repro.errors import AnnotationError
+
+
+def annotate(source: str, language: str, entry_point: str = "main",
+             service_name: str = "function") -> AnnotatedSource:
+    """Annotate *source* for the given language."""
+    if language == "python":
+        return annotate_python(source, entry_point, service_name)
+    if language == "nodejs":
+        return annotate_nodejs(source, entry_point, service_name)
+    raise AnnotationError(f"no annotator for language {language!r}")
+
+
+__all__ = ["AnnotatedSource", "annotate", "annotate_nodejs",
+           "annotate_python", "find_function_names"]

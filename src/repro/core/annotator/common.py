@@ -1,0 +1,29 @@
+"""Shared types for the code annotator (§3.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import AnnotationError
+
+
+@dataclass(frozen=True)
+class AnnotatedSource:
+    """The result of annotating a user's serverless function source."""
+
+    language: str
+    original: str
+    annotated: str
+    functions: Tuple[str, ...]   # every function the annotation JITs
+    entry_point: str             # the serverless entry (Figure 3's `main`)
+
+    def __post_init__(self) -> None:
+        if self.entry_point not in self.functions:
+            raise AnnotationError(
+                f"entry point {self.entry_point!r} is not among the "
+                f"annotated functions {self.functions!r}")
+
+
+GATEWAY_IP = "172.17.0.1"
+KAFKA_PORT = 9092

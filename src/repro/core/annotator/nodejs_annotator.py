@@ -1,0 +1,149 @@
+"""Automatic source annotation for Node.js functions (§3.2).
+
+V8 has no decorator syntax, so the Node.js annotator works differently from
+the Python one: it scans the source for top-level function declarations
+(``function name(...)``, ``const name = (...) => ...``, and
+``exports.name = function ...``), then emits a preamble/epilogue that
+
+* calls V8's optimization hooks (``%PrepareFunctionForOptimization`` /
+  ``%OptimizeFunctionOnNextCall`` — the "comparable annotation
+  opportunities" of §3.2) for each user function, and
+* adds the same ``__fireworks_*`` install/resume scaffolding as Figure 3,
+  with the parameter fetch going through the per-fcID Kafka topic.
+
+The scanner is a small tokenizer, not a full JS parser: it strips strings
+and comments first so declarations inside them are not picked up.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.core.annotator.common import (GATEWAY_IP, KAFKA_PORT,
+                                         AnnotatedSource)
+from repro.errors import AnnotationError
+
+_FUNCTION_DECL = re.compile(
+    r"^\s*(?:async\s+)?function\s+([A-Za-z_$][\w$]*)\s*\(", re.MULTILINE)
+_ARROW_DECL = re.compile(
+    r"^\s*(?:const|let|var)\s+([A-Za-z_$][\w$]*)\s*=\s*(?:async\s*)?"
+    r"(?:\([^)]*\)|[A-Za-z_$][\w$]*)\s*=>", re.MULTILINE)
+_EXPORTS_DECL = re.compile(
+    r"^\s*(?:module\.)?exports\.([A-Za-z_$][\w$]*)\s*=\s*"
+    r"(?:async\s+)?function", re.MULTILINE)
+
+_STRING_OR_COMMENT = re.compile(
+    r"//[^\n]*"            # line comment
+    r"|/\*.*?\*/"          # block comment
+    r"|'(?:\\.|[^'\\])*'"  # single-quoted string
+    r'|"(?:\\.|[^"\\])*"'  # double-quoted string
+    r"|`(?:\\.|[^`\\])*`",  # template literal (no nesting)
+    re.DOTALL)
+
+
+def _strip_strings_and_comments(source: str) -> str:
+    def blank(match: re.Match) -> str:
+        # Preserve newlines so ^-anchored patterns keep working.
+        return "".join(ch if ch == "\n" else " " for ch in match.group(0))
+    return _STRING_OR_COMMENT.sub(blank, source)
+
+
+def _balanced_braces(source: str) -> bool:
+    depth = 0
+    for char in _strip_strings_and_comments(source):
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0
+
+
+def find_function_names(source: str) -> List[str]:
+    """Top-level-ish function names declared in *source*, in order."""
+    stripped = _strip_strings_and_comments(source)
+    names: List[str] = []
+    for pattern in (_FUNCTION_DECL, _ARROW_DECL, _EXPORTS_DECL):
+        for match in pattern.finditer(stripped):
+            name = match.group(1)
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def _scaffolding_source(function_names: List[str], entry_point: str,
+                        service_name: str) -> str:
+    prepare = "\n".join(
+        f"    %PrepareFunctionForOptimization({name});\n"
+        f"    {name}(defaultParams);\n"
+        f"    %OptimizeFunctionOnNextCall({name});\n"
+        f"    {name}(defaultParams);" for name in function_names)
+    return f"""
+
+// ---- Fireworks scaffolding (added by the code annotator) ----
+const __fireworks_http = require('http');
+const {{ execSync: __fireworks_execSync }} = require('child_process');
+
+function __fireworks_jit() {{
+    const defaultParams = {{}};
+{prepare}
+}}
+
+function __fireworks_mmdsGet(key) {{
+    return __fireworks_execSync(
+        'curl -s http://169.254.169.254/' + key).toString();
+}}
+
+function __fireworks_snapshot() {{
+    __fireworks_http.get(
+        'http://{GATEWAY_IP}/?snapshot=y&name={service_name}' +
+        '&srcfcID=' + __fireworks_mmdsGet('srcfcID'));
+}}
+
+function __fireworks_main() {{
+    __fireworks_jit();
+    __fireworks_snapshot();
+    // ---- snapshot point: below runs on each invocation ----
+    const fcID = __fireworks_mmdsGet('fcID');
+    const userParams = __fireworks_execSync(
+        'kafkacat -C -b {GATEWAY_IP}:{KAFKA_PORT} -t topic' + fcID +
+        ' -o -1 -c 1').toString();
+    {entry_point}(userParams);
+}}
+
+__fireworks_main();
+"""
+
+
+def annotate_nodejs(source: str, entry_point: str = "main",
+                    service_name: str = "function") -> AnnotatedSource:
+    """Annotate a Node.js serverless function for Fireworks.
+
+    Raises :class:`AnnotationError` on unbalanced braces, no functions, or
+    a missing entry point.
+    """
+    if not _balanced_braces(source):
+        raise AnnotationError("Node.js source has unbalanced braces")
+    function_names = find_function_names(source)
+    if not function_names:
+        raise AnnotationError("source defines no functions")
+    if any(name.startswith("__fireworks") for name in function_names):
+        raise AnnotationError(
+            "user functions collide with the __fireworks namespace")
+    if entry_point not in function_names:
+        raise AnnotationError(
+            f"entry point {entry_point!r} not found; source defines "
+            f"{function_names!r}")
+    annotated = ("// Run with --allow-natives-syntax (V8 optimization hooks)\n"
+                 + source
+                 + _scaffolding_source(function_names, entry_point,
+                                       service_name))
+    return AnnotatedSource(
+        language="nodejs",
+        original=source,
+        annotated=annotated,
+        functions=tuple(function_names),
+        entry_point=entry_point,
+    )

@@ -1,0 +1,154 @@
+"""The Fireworks serverless platform (§3) — the paper's contribution.
+
+Installation creates a VM-level *post-JIT* snapshot of every function;
+invocation publishes the arguments to a per-instance Kafka topic, wires a
+network namespace for the clone, writes its identity into MMDS, restores the
+snapshot, and the resumed guest fetches the arguments and runs the original
+entry point — already loaded, already JITted (Figure 2).
+
+There is no cold/warm distinction: Fireworks always resumes from the
+snapshot (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.installer import Installer, InstallReport
+from repro.core.microvm_manager import MicroVMManager
+from repro.core.parameter_passer import ParameterPasser
+from repro.errors import PlatformError
+from repro.faults import (FaultInjector, InjectedFault,
+                          SnapshotCorruptedError)
+from repro.platforms.base import MODE_SNAPSHOT, ServerlessPlatform
+from repro.sandbox.worker import Worker
+from repro.snapshot.image import SnapshotImage
+from repro.snapshot.prefetch import ReapRecorder
+from repro.snapshot.restorer import POLICY_DEMAND
+from repro.storage.disk import BlockDevice
+from repro.storage.snapshot_store import SnapshotStore
+from repro.workloads.base import FunctionSpec
+
+
+class FireworksPlatform(ServerlessPlatform):
+    """Fireworks: VM isolation, snapshot+JIT performance (Table 1, last row)."""
+
+    name = "fireworks"
+    isolation_label = "High (VM)"
+    performance_label = "Extreme (snapshot+JIT)"
+    memory_label = "Extreme (snapshot+JIT)"
+    supports_chains = True
+
+    #: How often a corrupted snapshot is regenerated before giving up.
+    MAX_RESTORE_ATTEMPTS = 2
+    #: How often the guest retries a failed parameter fetch (§3.6).
+    MAX_PARAM_FETCH_ATTEMPTS = 3
+    PARAM_FETCH_BACKOFF_MS = 1.0
+
+    def __init__(self, *args, restore_policy: str = POLICY_DEMAND,
+                 faults: Optional[FaultInjector] = None,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.restore_policy = restore_policy
+        self.faults = faults
+        self.installer = Installer(self.sim, self.params, self.host_memory,
+                                   self.bridge)
+        self.manager = MicroVMManager(self.sim, self.params,
+                                      self.host_memory, self.bridge)
+        self.manager.restorer.faults = faults
+        self.passer = ParameterPasser(self.sim, self.bus,
+                                      self.params.fireworks, faults=faults)
+        self.restore_failures = 0
+        self.param_fetch_retries = 0
+        self.store = SnapshotStore(
+            BlockDevice(self.params.host.disk_gb * 1024.0, name="fw-ssd"),
+            capacity_images=self.params.snapshot.store_capacity_images)
+        self.install_reports: Dict[str, InstallReport] = {}
+        # REAP-style working-set recording (§7): profiles are captured after
+        # each invocation and consulted by POLICY_REAP restores.
+        self.recorder = ReapRecorder()
+        self.manager.restorer.recorder = self.recorder
+
+    # -- installation phase (§3.1 steps 1-4) ------------------------------------
+    def _install_backend(self, spec: FunctionSpec):
+        report = yield from self.installer.install(spec)
+        self.store.put(spec.name, report.image)
+        self.install_reports[spec.name] = report
+
+    def image_for(self, name: str) -> SnapshotImage:
+        """The stored snapshot image for *name* (refreshes LRU recency)."""
+        image = self.store.get(name)
+        if not isinstance(image, SnapshotImage):  # pragma: no cover
+            raise PlatformError(f"corrupt snapshot store entry for {name!r}")
+        return image
+
+    # -- invocation phase (§3.1 steps 5-8) ------------------------------------------
+    def _acquire_worker(self, spec: FunctionSpec, mode: str):
+        del mode  # Fireworks has no cold/warm distinction (§5.1).
+        image = self.image_for(spec.name)
+        fc_id = self.manager.next_fc_id()
+
+        # (5) put the arguments into the parameter passer queue *before*
+        # resuming, so the guest's kafkacat finds them.
+        started = self.sim.now
+        yield from self.passer.publish(fc_id, {"function": spec.name})
+        publish_ms = self.sim.now - started
+
+        # (6)+(7) network, metadata, restore.  A corrupted image is
+        # regenerated once (the same §6 machinery ASLR re-randomization
+        # uses) before the restore is retried.
+        for attempt in range(1, self.MAX_RESTORE_ATTEMPTS + 1):
+            try:
+                worker = yield from self.manager.launch_clone(
+                    image, fc_id, policy=self.restore_policy)
+                break
+            except SnapshotCorruptedError:
+                self.restore_failures += 1
+                if attempt == self.MAX_RESTORE_ATTEMPTS:
+                    raise
+                image = yield from self.regenerate_snapshot(spec.name)
+
+        # (8) resumed guest reads its fcID and fetches the parameters,
+        # retrying transient broker failures.
+        for attempt in range(1, self.MAX_PARAM_FETCH_ATTEMPTS + 1):
+            try:
+                params = yield from self.passer.fetch(
+                    fc_id, fault_key=spec.name)
+                break
+            except InjectedFault as fault:
+                if fault.kind != "param-fetch" or \
+                        attempt == self.MAX_PARAM_FETCH_ATTEMPTS:
+                    raise
+                self.param_fetch_retries += 1
+                yield self.sim.timeout(self.PARAM_FETCH_BACKOFF_MS)
+        if params.get("function") != spec.name:
+            raise PlatformError(
+                f"parameter passer mismatch: expected {spec.name!r}, "
+                f"got {params!r}")
+        return worker, MODE_SNAPSHOT, publish_ms
+
+    def _release_worker(self, spec: FunctionSpec, worker: Worker):
+        if worker.invocations > 0:
+            self.recorder.record(self.image_for(spec.name), worker,
+                                 now_ms=self.sim.now)
+        if not self.retain_workers:
+            # Clone reclamation happens off the response's critical path.
+            self.sim.process(self.manager.retire(worker),
+                             name=f"retire:{worker.sandbox.name}")
+        return
+        yield  # pragma: no cover
+
+    # -- §6 mitigations -----------------------------------------------------------
+    def regenerate_snapshot(self, name: str):
+        """Periodically re-create a function's snapshot (ASLR entropy, §6).
+
+        A simulation generator: writes a fresh-generation image; clones
+        restored afterwards share *new* segments, not the old ones.
+        """
+        old_image = self.image_for(name)
+        new_image = old_image.clone_for_regeneration()
+        write_ms = (self.params.snapshot.create_base_ms
+                    + new_image.size_mb * self.params.snapshot.create_per_mb_ms)
+        yield self.sim.timeout(write_ms)
+        self.store.put(name, new_image)
+        return new_image

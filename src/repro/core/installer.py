@@ -1,0 +1,115 @@
+"""The Fireworks installation phase (§3.1 steps 1-4).
+
+Install = annotate the user's source, boot a fresh microVM, load the
+annotated function, run ``__fireworks_jit()`` (forced JIT of every user
+function), and create the post-JIT VM snapshot right before the original
+entry point.  The report keeps the §5.1 timing decomposition ("the npm
+package installation process dominates installation time" for Node;
+"depends on the complexity of the application due to JIT compilation" for
+Python).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.config import CalibratedParameters
+from repro.core.annotator import AnnotatedSource, annotate
+from repro.errors import AnnotationError
+from repro.mem.host_memory import HostMemory
+from repro.net.bridge import HostBridge
+from repro.runtime import make_runtime
+from repro.sandbox.microvm import MicroVM
+from repro.sandbox.worker import Worker
+from repro.snapshot.image import STAGE_POST_JIT, SnapshotImage
+from repro.snapshot.snapshotter import Snapshotter
+from repro.workloads.base import FunctionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulation
+
+
+@dataclass(frozen=True)
+class InstallReport:
+    """Timing decomposition of one installation (§5.1)."""
+
+    function: str
+    language: str
+    annotate_ms: float
+    boot_ms: float          # microVM + guest OS + runtime + app load
+    jit_ms: float           # __fireworks_jit(): forced compilation
+    snapshot_ms: float      # __fireworks_snapshot(): image creation + write
+    image: SnapshotImage
+    annotated: AnnotatedSource
+
+    @property
+    def total_ms(self) -> float:
+        return (self.annotate_ms + self.boot_ms + self.jit_ms
+                + self.snapshot_ms)
+
+
+class Installer:
+    """Runs the installation phase for one function."""
+
+    def __init__(self, sim: "Simulation", params: CalibratedParameters,
+                 host_memory: HostMemory, bridge: HostBridge) -> None:
+        self.sim = sim
+        self.params = params
+        self.host_memory = host_memory
+        self.bridge = bridge
+        self.snapshotter = Snapshotter(sim, params.snapshot)
+
+    def install(self, spec: FunctionSpec):
+        """The whole installation phase (a simulation generator).
+
+        Returns an :class:`InstallReport` carrying the post-JIT image.
+        """
+        if not spec.source:
+            raise AnnotationError(
+                f"function {spec.name!r} has no source code to annotate")
+
+        # (2) transform the source code.
+        started = self.sim.now
+        annotated = annotate(spec.source, spec.language,
+                             service_name=spec.name)
+        n_functions = max(1, len(annotated.functions))
+        yield self.sim.timeout(
+            self.params.fireworks.annotate_ms_per_function * n_functions)
+        annotate_ms = self.sim.now - started
+
+        # (1)+(3) create a microVM ready for the runtime, load the function.
+        started = self.sim.now
+        microvm = MicroVM(self.sim, self.params, self.host_memory,
+                          spec.language, name=f"fw-install-{spec.name}")
+        guest_ip, guest_mac = self.bridge.allocate_guest_addresses()
+        microvm.assign_guest_addresses(guest_ip, guest_mac)
+        worker = Worker(self.sim, microvm,
+                        make_runtime(self.sim, self.params, spec.language))
+        yield from worker.cold_start(spec.app)
+        boot_ms = self.sim.now - started
+
+        # (4a) __fireworks_jit(): force JIT of all annotated functions.
+        started = self.sim.now
+        yield from worker.force_jit()
+        jit_ms = self.sim.now - started
+
+        # (4b) __fireworks_snapshot(): post-JIT VM snapshot.
+        started = self.sim.now
+        image = yield from self.snapshotter.create(
+            worker, spec.name, STAGE_POST_JIT)
+        snapshot_ms = self.sim.now - started
+
+        # The installer VM is done; clones will serve invocations.
+        yield from worker.stop()
+
+        return InstallReport(
+            function=spec.name,
+            language=spec.language,
+            annotate_ms=annotate_ms,
+            boot_ms=boot_ms,
+            jit_ms=jit_ms,
+            snapshot_ms=snapshot_ms,
+            image=image,
+            annotated=annotated,
+        )

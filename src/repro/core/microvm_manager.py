@@ -1,0 +1,75 @@
+"""The microVM manager: snapshot-clone launch with network + metadata wiring.
+
+§3.4-§3.5: before resuming a snapshot, Fireworks creates a network namespace
+with a NAT pair (so the clone's snapshotted IP/MAC do not conflict), writes
+the clone's identity (fcID) into MMDS, and only then restores the microVM.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import CalibratedParameters
+from repro.mem.host_memory import HostMemory
+from repro.net.bridge import HostBridge
+from repro.sandbox.worker import Worker
+from repro.snapshot.image import SnapshotImage
+from repro.snapshot.restorer import POLICY_DEMAND, Restorer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulation
+
+
+class MicroVMManager:
+    """Creates, restores, and retires Fireworks microVMs."""
+
+    def __init__(self, sim: "Simulation", params: CalibratedParameters,
+                 host_memory: HostMemory, bridge: HostBridge) -> None:
+        self.sim = sim
+        self.params = params
+        self.host_memory = host_memory
+        self.bridge = bridge
+        self.restorer = Restorer(sim, params, host_memory)
+        self._fc_counter = 0
+        self.launched_clones = 0
+
+    def next_fc_id(self) -> str:
+        """Allocate the next unique clone id (the guest's fcID)."""
+        self._fc_counter += 1
+        return f"fc{self._fc_counter}"
+
+    def launch_clone(self, image: SnapshotImage, fc_id: str,
+                     policy: str = POLICY_DEMAND):
+        """Restore a clone of *image* with connectivity and identity.
+
+        A simulation generator returning the ready :class:`Worker`.  Order
+        follows §3.4: network first (step 6), then resume (step 7).
+        """
+        fw = self.params.fireworks
+
+        # (6) network namespace + tap + NAT for the clone's snapshotted IP.
+        yield self.sim.timeout(fw.netns_setup_ms)
+        endpoint = self.bridge.connect_guest(image.guest_ip, image.guest_mac)
+
+        # Identity via MMDS, written before resume so the guest can read it.
+        yield self.sim.timeout(fw.mmds_write_ms)
+
+        # (7) restore the VM snapshot.  A failed restore must not leak the
+        # namespace/NAT wiring set up above.
+        try:
+            worker = yield from self.restorer.restore(image, policy)
+        except Exception:
+            self.bridge.disconnect(endpoint)
+            raise
+        worker.endpoint = endpoint
+        worker.sandbox.mmds.put("fcID", fc_id)
+        worker.sandbox.mmds.put("srcfcID", image.key)
+        self.launched_clones += 1
+        return worker
+
+    def retire(self, worker: Worker):
+        """Tear a clone down, releasing network and memory."""
+        if worker.endpoint is not None:
+            self.bridge.disconnect(worker.endpoint)
+            worker.endpoint = None
+        yield from worker.stop()

@@ -1,0 +1,57 @@
+"""The parameter passer: Kafka-based argument delivery (§3.6).
+
+A restored snapshot has exactly the memory it was created with, so arguments
+cannot live in guest memory.  Fireworks publishes them to a per-instance
+Kafka topic *before* resuming the microVM; the resumed guest learns its fcID
+from MMDS and consumes the newest record from ``topic<fcID>``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.config import FireworksConfig
+from repro.errors import BusError
+from repro.platforms.bus import MessageBus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulation
+
+
+def topic_for(fc_id: str) -> str:
+    """Figure 3 line 24: the topic name is ``topic`` + fcID."""
+    return f"topic{fc_id}"
+
+
+class ParameterPasser:
+    """Publishes and fetches invocation arguments over the message bus."""
+
+    def __init__(self, sim: "Simulation", bus: MessageBus,
+                 config: FireworksConfig, faults=None) -> None:
+        self.sim = sim
+        self.bus = bus
+        self.config = config
+        self.faults = faults  # optional FaultInjector
+
+    def publish(self, fc_id: str, params: Dict[str, Any]):
+        """Host side: enqueue *params* before resuming the snapshot."""
+        yield self.sim.timeout(self.config.param_publish_ms)
+        self.bus.produce(topic_for(fc_id), dict(params),
+                         timestamp_ms=self.sim.now)
+
+    def fetch(self, fc_id: str, fault_key: str = ""):
+        """Guest side: ``kafkacat ... -o -1 -c 1`` after the snapshot point.
+
+        Returns the parameters.  Raises :class:`BusError` if the host never
+        published (a control-plane bug Fireworks must not mask).  An armed
+        ``param-fetch`` fault (broker hiccup) surfaces after the consume
+        timeout elapses; the caller retries.
+        """
+        yield self.sim.timeout(self.config.param_fetch_ms)
+        if self.faults is not None:
+            self.faults.check("param-fetch", fault_key or fc_id)
+        record = self.bus.consume_latest(topic_for(fc_id))
+        if not isinstance(record.value, dict):
+            raise BusError(
+                f"malformed parameter record on {topic_for(fc_id)!r}")
+        return record.value

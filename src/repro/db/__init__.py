@@ -1,0 +1,6 @@
+"""Database substrate: the CouchDB-like document store with change feeds."""
+
+from repro.db.couchdb import (Change, CouchDatabase, CouchServer, DbLatency,
+                              Document)
+
+__all__ = ["Change", "CouchDatabase", "CouchServer", "DbLatency", "Document"]

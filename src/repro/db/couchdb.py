@@ -1,0 +1,156 @@
+"""CouchDB substrate: a revisioned document store with a change feed.
+
+The ServerlessBench applications use CouchDB (§5.3): Alexa's reminder skill
+reads/writes schedules, and the data-analysis app's *analysis chain is
+triggered when the database is updated* (the dashed box of Fig 8(b)) — that
+trigger is the change feed here.
+
+Semantics modeled after CouchDB's MVCC: every write must carry the current
+revision or it conflicts; reads return the latest revision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import DatabaseError, DocumentConflictError
+
+
+@dataclass(frozen=True)
+class DbLatency:
+    """Server-side cost of one database operation (ms)."""
+
+    get_ms: float = 1.2
+    put_ms: float = 2.4
+    per_kb_ms: float = 0.02
+
+    def get_cost(self, kb: float) -> float:
+        """Server-side cost of reading a *kb*-sized document (ms)."""
+        return self.get_ms + kb * self.per_kb_ms
+
+    def put_cost(self, kb: float) -> float:
+        """Server-side cost of writing a *kb*-sized document (ms)."""
+        return self.put_ms + kb * self.per_kb_ms
+
+
+@dataclass
+class Document:
+    """A stored document with CouchDB-style revision tracking."""
+
+    doc_id: str
+    rev: int
+    body: Dict[str, Any]
+    size_kb: float
+
+
+@dataclass(frozen=True)
+class Change:
+    """One entry in the change feed."""
+
+    seq: int
+    doc_id: str
+    rev: int
+    deleted: bool = False
+
+
+ChangeListener = Callable[["CouchDatabase", Change], None]
+
+
+class CouchDatabase:
+    """One database: documents + a monotonically increasing change feed."""
+
+    def __init__(self, name: str, latency: Optional[DbLatency] = None) -> None:
+        self.name = name
+        self.latency = latency or DbLatency()
+        self._docs: Dict[str, Document] = {}
+        self._changes: List[Change] = []
+        self._listeners: List[ChangeListener] = []
+
+    # -- document API -----------------------------------------------------------
+    def put(self, doc_id: str, body: Dict[str, Any], rev: Optional[int] = None,
+            size_kb: float = 1.0) -> Document:
+        """Insert or update a document.  Updates must carry the current rev."""
+        existing = self._docs.get(doc_id)
+        if existing is not None:
+            if rev != existing.rev:
+                raise DocumentConflictError(
+                    f"{self.name}/{doc_id}: rev {rev} is stale "
+                    f"(current {existing.rev})")
+            document = Document(doc_id, existing.rev + 1, dict(body), size_kb)
+        else:
+            if rev not in (None, 0):
+                raise DocumentConflictError(
+                    f"{self.name}/{doc_id}: new document with rev {rev}")
+            document = Document(doc_id, 1, dict(body), size_kb)
+        self._docs[doc_id] = document
+        self._emit(Change(len(self._changes) + 1, doc_id, document.rev))
+        return document
+
+    def get(self, doc_id: str) -> Document:
+        """Fetch a document; DatabaseError if absent."""
+        if doc_id not in self._docs:
+            raise DatabaseError(f"{self.name}/{doc_id}: not found")
+        return self._docs[doc_id]
+
+    def delete(self, doc_id: str, rev: int) -> None:
+        """Delete a document; the revision must be current."""
+        document = self.get(doc_id)
+        if document.rev != rev:
+            raise DocumentConflictError(
+                f"{self.name}/{doc_id}: rev {rev} is stale "
+                f"(current {document.rev})")
+        del self._docs[doc_id]
+        self._emit(Change(len(self._changes) + 1, doc_id, rev + 1,
+                          deleted=True))
+
+    def contains(self, doc_id: str) -> bool:
+        """Whether the document exists."""
+        return doc_id in self._docs
+
+    def all_docs(self) -> List[Document]:
+        """Every document, ordered by id."""
+        return sorted(self._docs.values(), key=lambda d: d.doc_id)
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    # -- change feed --------------------------------------------------------------
+    def changes_since(self, seq: int) -> List[Change]:
+        """All changes with sequence number > *seq*."""
+        return [change for change in self._changes if change.seq > seq]
+
+    @property
+    def last_seq(self) -> int:
+        return len(self._changes)
+
+    def subscribe(self, listener: ChangeListener) -> None:
+        """Register a continuous-changes listener (the platform trigger)."""
+        self._listeners.append(listener)
+
+    def _emit(self, change: Change) -> None:
+        self._changes.append(change)
+        for listener in list(self._listeners):
+            listener(self, change)
+
+
+class CouchServer:
+    """A CouchDB instance hosting named databases."""
+
+    def __init__(self, latency: Optional[DbLatency] = None) -> None:
+        self.latency = latency or DbLatency()
+        self._databases: Dict[str, CouchDatabase] = {}
+
+    def database(self, name: str) -> CouchDatabase:
+        """Get-or-create a database (CouchDB's PUT /dbname idiom)."""
+        if name not in self._databases:
+            self._databases[name] = CouchDatabase(name, self.latency)
+        return self._databases[name]
+
+    def has_database(self, name: str) -> bool:
+        """Whether the named database exists."""
+        return name in self._databases
+
+    def database_names(self):
+        """Names of all databases on this server."""
+        return tuple(self._databases)

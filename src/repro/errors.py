@@ -1,0 +1,75 @@
+"""Exception hierarchy for the Fireworks reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event simulation invariant was violated."""
+
+
+class MemoryError_(ReproError):
+    """Guest/host memory model misuse (bad address, double free, ...)."""
+
+
+class OutOfMemoryError(MemoryError_):
+    """Host physical memory exhausted (beyond the swap threshold)."""
+
+
+class StorageError(ReproError):
+    """Block device / filesystem / snapshot store failure."""
+
+
+class SnapshotNotFoundError(StorageError):
+    """The requested snapshot image is not in the snapshot store."""
+
+
+class NetworkError(ReproError):
+    """Network namespace / NAT / tap device misconfiguration."""
+
+
+class AddressConflictError(NetworkError):
+    """Two endpoints in the same namespace claimed the same address."""
+
+
+class RuntimeModelError(ReproError):
+    """Language-runtime model misuse (unknown op, bad JIT state, ...)."""
+
+
+class DeoptimizationError(RuntimeModelError):
+    """JITted code was asked to deoptimize in an invalid state."""
+
+
+class SandboxError(ReproError):
+    """Sandbox lifecycle violation (e.g. resuming a sandbox never paused)."""
+
+
+class PlatformError(ReproError):
+    """Serverless control-plane failure (unknown function, bad request)."""
+
+
+class FunctionNotFoundError(PlatformError):
+    """Invocation of a function that was never installed/registered."""
+
+
+class AnnotationError(ReproError):
+    """The code annotator could not transform the user's source."""
+
+
+class BusError(ReproError):
+    """Message bus misuse (unknown topic, empty consume, ...)."""
+
+
+class DatabaseError(ReproError):
+    """CouchDB-substrate failure (missing document, bad revision, ...)."""
+
+
+class DocumentConflictError(DatabaseError):
+    """A document update supplied a stale revision."""

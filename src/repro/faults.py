@@ -1,0 +1,73 @@
+"""Deterministic fault injection for robustness testing.
+
+A :class:`FaultInjector` is armed with a budget of failures per (kind, key)
+and consulted by the components that can fail in a real deployment:
+
+* ``restore``     — the snapshot image fails integrity checks on load
+                    (torn write, bit rot);
+* ``param-fetch`` — the guest's kafkacat consume fails (broker hiccup);
+* ``db``          — a CouchDB request times out.
+
+Components raise the mapped exception when the injector says so; the
+Fireworks control plane's recovery paths (regenerate the snapshot, retry the
+fetch) are exercised by the fault-injection tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ReproError
+
+
+class InjectedFault(ReproError):
+    """An injected failure, carrying its kind and key."""
+
+    def __init__(self, kind: str, key: str) -> None:
+        super().__init__(f"injected {kind} fault for {key!r}")
+        self.kind = kind
+        self.key = key
+
+
+class SnapshotCorruptedError(InjectedFault):
+    """The snapshot image failed its integrity check on restore."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__("restore", key)
+
+
+class FaultInjector:
+    """Arms and fires deterministic failures."""
+
+    def __init__(self) -> None:
+        self._budgets: Dict[Tuple[str, str], int] = {}
+        self.fired: Dict[Tuple[str, str], int] = {}
+
+    def arm(self, kind: str, key: str, count: int = 1) -> None:
+        """Make the next *count* operations of (kind, key) fail."""
+        if count < 1:
+            raise ReproError(f"fault count must be >= 1, got {count}")
+        self._budgets[(kind, key)] = \
+            self._budgets.get((kind, key), 0) + count
+
+    def should_fail(self, kind: str, key: str) -> bool:
+        """Consume one failure budget if armed; returns whether to fail."""
+        slot = (kind, key)
+        remaining = self._budgets.get(slot, 0)
+        if remaining <= 0:
+            return False
+        self._budgets[slot] = remaining - 1
+        self.fired[slot] = self.fired.get(slot, 0) + 1
+        return True
+
+    def check(self, kind: str, key: str) -> None:
+        """Raise the mapped exception if a failure is armed."""
+        if not self.should_fail(kind, key):
+            return
+        if kind == "restore":
+            raise SnapshotCorruptedError(key)
+        raise InjectedFault(kind, key)
+
+    def armed(self, kind: str, key: str) -> int:
+        """How many failures remain armed for (kind, key)."""
+        return self._budgets.get((kind, key), 0)

@@ -1,0 +1,5 @@
+"""Host hardware beyond memory: the shared CPU core pool."""
+
+from repro.host.cpu import HostCpu
+
+__all__ = ["HostCpu"]

@@ -1,0 +1,80 @@
+"""smem-style memory reports over a set of address spaces.
+
+The paper measures Proportional Set Size with ``smem`` (§5.4); this module
+produces equivalent per-sandbox and aggregate reports from the page model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.host_memory import HostMemory
+
+
+@dataclass(frozen=True)
+class MemoryReportRow:
+    """One sandbox's memory stats, smem-style."""
+
+    name: str
+    rss_mb: float
+    pss_mb: float
+    uss_mb: float
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Aggregate memory report across sandboxes."""
+
+    rows: List[MemoryReportRow]
+    host_used_mb: float
+    host_swapping: bool
+
+    @property
+    def total_pss_mb(self) -> float:
+        return sum(row.pss_mb for row in self.rows)
+
+    @property
+    def mean_pss_mb(self) -> float:
+        if not self.rows:
+            return 0.0
+        return self.total_pss_mb / len(self.rows)
+
+    def as_table(self) -> str:
+        """Render the report like ``smem`` output."""
+        lines = [f"{'name':<28} {'RSS':>10} {'PSS':>10} {'USS':>10}"]
+        for row in self.rows:
+            lines.append(
+                f"{row.name:<28} {row.rss_mb:>9.1f}M {row.pss_mb:>9.1f}M "
+                f"{row.uss_mb:>9.1f}M")
+        lines.append(
+            f"{'host used':<28} {self.host_used_mb:>9.1f}M "
+            f"swapping={self.host_swapping}")
+        return "\n".join(lines)
+
+
+def smem_report(host: HostMemory,
+                spaces: Iterable[AddressSpace]) -> MemoryReport:
+    """Produce a :class:`MemoryReport` for *spaces* on *host*."""
+    rows = [
+        MemoryReportRow(
+            name=space.name,
+            rss_mb=space.rss_mb(),
+            pss_mb=space.pss_mb(),
+            uss_mb=space.uss_mb(),
+        )
+        for space in spaces
+    ]
+    return MemoryReport(
+        rows=rows, host_used_mb=host.used_mb, host_swapping=host.is_swapping)
+
+
+def region_breakdown(spaces: Iterable[AddressSpace]) -> Dict[str, float]:
+    """Total PSS MiB per region name across *spaces* (Fig 4-style view)."""
+    totals: Dict[str, float] = {}
+    for space in spaces:
+        for region in space.region_names():
+            totals[region] = totals.get(region, 0.0) + \
+                space.region_pss_mb(region)
+    return totals

@@ -1,0 +1,195 @@
+"""Guest address spaces: named regions backed by private or shared memory.
+
+A sandbox's guest-physical memory is a set of named regions (``kernel``,
+``runtime``, ``app``, ``heap``, ``jit_code``, ...).  Each region is backed
+either by a :class:`~repro.mem.segments.PrivateBlock` (fresh boot — nothing
+shared) or by a MAP_PRIVATE mapping of a :class:`SharedSegment` (snapshot
+restore — everything shared until written).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import MemoryError_
+from repro.mem.host_memory import HostMemory, mb_to_pages, pages_to_mb
+from repro.mem.segments import PrivateBlock, SharedSegment
+
+
+class _PrivateMapping:
+    """Region backing: exclusively owned pages."""
+
+    def __init__(self, block: PrivateBlock) -> None:
+        self.block = block
+
+    @property
+    def pages(self) -> int:
+        return self.block.pages
+
+    def dirty(self, pages: int) -> None:
+        # Writing to private memory changes nothing in the accounting.
+        del pages
+
+    def grow(self, pages: int) -> None:
+        self.block.grow(pages)
+
+    def rss_pages(self) -> int:
+        return self.block.pages
+
+    def uss_pages(self) -> int:
+        return self.block.pages
+
+    def pss_pages(self) -> float:
+        return float(self.block.pages)
+
+    def unmap(self) -> None:
+        self.block.free()
+
+
+class _SharedMapping:
+    """Region backing: MAP_PRIVATE view of a shared segment + CoW overflow.
+
+    Writes first CoW-break segment pages; once every segment page is private,
+    further growth lands in a private overflow block (fresh anonymous
+    memory, e.g. heap expansion past the snapshotted heap).
+    """
+
+    def __init__(self, host: HostMemory, segment: SharedSegment,
+                 kind: str) -> None:
+        self.host = host
+        self.segment = segment
+        self.kind = kind
+        self.mapper_id = segment.attach()
+        self.overflow: Optional[PrivateBlock] = None
+
+    @property
+    def pages(self) -> int:
+        extra = self.overflow.pages if self.overflow else 0
+        return self.segment.pages + extra
+
+    def dirty(self, pages: int) -> None:
+        before = self.segment.dirty_pages(self.mapper_id)
+        after = self.segment.dirty(self.mapper_id, pages)
+        spill = pages - (after - before)
+        if spill > 0:
+            self.grow(spill)
+
+    def grow(self, pages: int) -> None:
+        if self.overflow is None:
+            self.overflow = PrivateBlock(self.host, pages, self.kind)
+        else:
+            self.overflow.grow(pages)
+
+    def rss_pages(self) -> int:
+        extra = self.overflow.pages if self.overflow else 0
+        return self.segment.pages + extra
+
+    def uss_pages(self) -> int:
+        extra = self.overflow.pages if self.overflow else 0
+        return self.segment.uss_pages(self.mapper_id) + extra
+
+    def pss_pages(self) -> float:
+        extra = self.overflow.pages if self.overflow else 0
+        return self.segment.pss_pages(self.mapper_id) + extra
+
+    def unmap(self) -> None:
+        self.segment.detach(self.mapper_id)
+        if self.overflow is not None:
+            self.overflow.free()
+            self.overflow = None
+
+
+class AddressSpace:
+    """The guest-physical memory of one sandbox, split into named regions."""
+
+    def __init__(self, host: HostMemory, name: str = "guest") -> None:
+        self.host = host
+        self.name = name
+        self._regions: Dict[str, object] = {}
+        self._closed = False
+
+    # -- mapping ------------------------------------------------------------
+    def map_private(self, region: str, mb: float, kind: str = "") -> None:
+        """Back *region* with freshly allocated private memory."""
+        self._check_new_region(region)
+        block = self.host.allocate_block(mb, kind or region)
+        self._regions[region] = _PrivateMapping(block)
+
+    def map_segment(self, region: str, segment: SharedSegment) -> None:
+        """Back *region* with a MAP_PRIVATE view of *segment*."""
+        self._check_new_region(region)
+        self._regions[region] = _SharedMapping(
+            self.host, segment, segment.kind)
+
+    def has_region(self, region: str) -> bool:
+        """Whether *region* is mapped."""
+        return region in self._regions
+
+    def region_names(self) -> Iterable[str]:
+        """Names of all mapped regions."""
+        return tuple(self._regions)
+
+    # -- writes -------------------------------------------------------------
+    def dirty_mb(self, region: str, mb: float) -> None:
+        """Write *mb* MiB in *region* (CoW-breaking shared pages first)."""
+        self._mapping(region).dirty(mb_to_pages(mb))
+
+    def dirty_fraction(self, region: str, fraction: float) -> None:
+        """Write a fraction of *region*'s current pages."""
+        if not 0.0 <= fraction <= 1.0:
+            raise MemoryError_(f"dirty fraction {fraction} out of [0, 1]")
+        mapping = self._mapping(region)
+        mapping.dirty(int(round(mapping.pages * fraction)))
+
+    def grow_mb(self, region: str, mb: float) -> None:
+        """Allocate *mb* MiB of fresh anonymous memory in *region*."""
+        self._mapping(region).grow(mb_to_pages(mb))
+
+    # -- accounting ---------------------------------------------------------
+    def rss_mb(self) -> float:
+        """Resident set size: every mapped page, shared or not."""
+        return pages_to_mb(sum(m.rss_pages() for m in self._regions.values()))
+
+    def uss_mb(self) -> float:
+        """Unique set size: pages no other address space maps."""
+        return pages_to_mb(sum(m.uss_pages() for m in self._regions.values()))
+
+    def pss_mb(self) -> float:
+        """Proportional set size, as ``smem`` reports (paper §5.4)."""
+        return pages_to_mb(sum(m.pss_pages() for m in self._regions.values()))
+
+    def region_pss_mb(self, region: str) -> float:
+        """PSS of one region in MiB."""
+        return pages_to_mb(self._mapping(region).pss_pages())
+
+    def region_rss_mb(self, region: str) -> float:
+        """RSS of one region in MiB."""
+        return pages_to_mb(self._mapping(region).rss_pages())
+
+    # -- teardown -----------------------------------------------------------
+    def unmap_all(self) -> None:
+        """Release every region.  Idempotent."""
+        if self._closed:
+            return
+        for mapping in self._regions.values():
+            mapping.unmap()
+        self._regions.clear()
+        self._closed = True
+
+    # -- internal -----------------------------------------------------------
+    def _check_new_region(self, region: str) -> None:
+        if self._closed:
+            raise MemoryError_(f"address space {self.name!r} is closed")
+        if region in self._regions:
+            raise MemoryError_(
+                f"region {region!r} already mapped in {self.name!r}")
+
+    def _mapping(self, region: str):
+        if region not in self._regions:
+            raise MemoryError_(
+                f"region {region!r} not mapped in {self.name!r}")
+        return self._regions[region]
+
+    def __repr__(self) -> str:
+        return (f"<AddressSpace {self.name} regions={list(self._regions)} "
+                f"pss={self.pss_mb():.1f}MiB>")

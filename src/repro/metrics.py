@@ -1,0 +1,97 @@
+"""Operational metrics: per-platform summaries of invocation records.
+
+What a fleet dashboard would show: request counts by start mode, latency
+statistics per function, and the start-up share of total latency — derived
+purely from :class:`InvocationRecord` lists, so any platform (or any
+subset of records) can be summarized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.bench.stats import LatencyStats
+from repro.platforms.base import InvocationRecord
+
+
+@dataclass(frozen=True)
+class FunctionMetrics:
+    """One function's operational view."""
+
+    function: str
+    invocations: int
+    by_mode: Dict[str, int]
+    latency: LatencyStats
+    startup_share: float     # fraction of total latency spent starting up
+
+    def as_line(self) -> str:
+        """One-line dashboard row."""
+        modes = ",".join(f"{mode}={count}"
+                         for mode, count in sorted(self.by_mode.items()))
+        return (f"{self.function:<26} n={self.invocations:<5d} "
+                f"p50={self.latency.p50_ms:8.1f}ms "
+                f"p99={self.latency.p99_ms:8.1f}ms "
+                f"startup-share={self.startup_share:6.1%} [{modes}]")
+
+
+@dataclass(frozen=True)
+class PlatformMetrics:
+    """The whole platform's operational view."""
+
+    platform: str
+    total_invocations: int
+    by_mode: Dict[str, int]
+    functions: List[FunctionMetrics]
+
+    def function(self, name: str) -> FunctionMetrics:
+        """Look up one function's metrics; KeyError if absent."""
+        for entry in self.functions:
+            if entry.function == name:
+                return entry
+        raise KeyError(f"no metrics for function {name!r}")
+
+    def as_table(self) -> str:
+        """Render the dashboard."""
+        lines = [f"== metrics: {self.platform} "
+                 f"({self.total_invocations} invocations) =="]
+        lines.extend(entry.as_line() for entry in self.functions)
+        return "\n".join(lines)
+
+
+def summarize(platform_name: str,
+              records: Iterable[InvocationRecord],
+              include_chains: bool = True) -> PlatformMetrics:
+    """Build the operational summary for *records*."""
+    flat: List[InvocationRecord] = []
+    for record in records:
+        flat.extend(record.chain_records() if include_chains
+                    else [record])
+
+    by_function: Dict[str, List[InvocationRecord]] = {}
+    total_by_mode: Dict[str, int] = {}
+    for record in flat:
+        by_function.setdefault(record.function, []).append(record)
+        total_by_mode[record.mode] = total_by_mode.get(record.mode, 0) + 1
+
+    functions = []
+    for name in sorted(by_function):
+        entries = by_function[name]
+        modes: Dict[str, int] = {}
+        for record in entries:
+            modes[record.mode] = modes.get(record.mode, 0) + 1
+        total_ms = sum(record.total_ms for record in entries)
+        startup_ms = sum(record.startup_ms for record in entries)
+        functions.append(FunctionMetrics(
+            function=name,
+            invocations=len(entries),
+            by_mode=modes,
+            latency=LatencyStats.from_samples(
+                [record.total_ms for record in entries]),
+            startup_share=0.0 if total_ms == 0 else startup_ms / total_ms))
+
+    return PlatformMetrics(
+        platform=platform_name,
+        total_invocations=len(flat),
+        by_mode=total_by_mode,
+        functions=functions)

@@ -1,0 +1,38 @@
+"""Serverless platforms: the control plane and the baseline backends."""
+
+from repro.platforms.base import (MODE_AUTO, MODE_COLD, MODE_SNAPSHOT,
+                                  MODE_WARM, InvocationRecord,
+                                  ServerlessPlatform)
+from repro.platforms.bus import MessageBus, Record, Topic
+from repro.platforms.catalyzer import CatalyzerPlatform
+from repro.platforms.gateway import (Activation, ApiGateway,
+                                     AuthenticationError,
+                                     PayloadTooLargeError)
+from repro.platforms.firecracker import (FirecrackerPlatform,
+                                         FirecrackerSnapshotPlatform)
+from repro.platforms.gvisor_platform import GVisorPlatform
+from repro.platforms.openwhisk import OpenWhiskPlatform
+from repro.platforms.pooling import WarmEntry, WarmPool
+
+__all__ = [
+    "Activation",
+    "ApiGateway",
+    "AuthenticationError",
+    "CatalyzerPlatform",
+    "FirecrackerPlatform",
+    "FirecrackerSnapshotPlatform",
+    "GVisorPlatform",
+    "InvocationRecord",
+    "MODE_AUTO",
+    "MODE_COLD",
+    "MODE_SNAPSHOT",
+    "MODE_WARM",
+    "MessageBus",
+    "OpenWhiskPlatform",
+    "PayloadTooLargeError",
+    "Record",
+    "ServerlessPlatform",
+    "Topic",
+    "WarmEntry",
+    "WarmPool",
+]

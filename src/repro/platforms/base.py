@@ -1,0 +1,309 @@
+"""The serverless platform control plane (Figure 1) shared by all backends.
+
+``ServerlessPlatform`` implements the frontend flow — gateway, controller,
+message bus — and the invocation bookkeeping (latency breakdown into
+*start-up*, *exec*, and *others*, exactly the bars of Figs 6/7/9).  Each
+backend (OpenWhisk, Firecracker, gVisor, Fireworks) supplies its own worker
+acquisition strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.config import CalibratedParameters
+from repro.db.couchdb import CouchServer
+from repro.errors import FunctionNotFoundError, PlatformError
+from repro.mem.host_memory import HostMemory
+from repro.net.bridge import HostBridge
+from repro.platforms.bus import MessageBus
+from repro.runtime.interpreter import ExecBreakdown, ExternalHandlers
+from repro.runtime.ops import DbGet, DbPut, InvokeNext, Respond
+from repro.sandbox.worker import Worker
+from repro.workloads.base import FunctionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulation
+    from repro.sim.process import Process
+
+MODE_AUTO = "auto"
+MODE_COLD = "cold"
+MODE_WARM = "warm"
+MODE_SNAPSHOT = "snapshot"
+
+
+@dataclass
+class InvocationRecord:
+    """End-to-end accounting of one invocation (one bar of Fig 6/7/9)."""
+
+    function: str
+    platform: str
+    mode: str                     # cold | warm | snapshot
+    submitted_ms: float
+    startup_ms: float = 0.0      # sandbox acquisition until code runs
+    exec_ms: float = 0.0         # in-guest program execution
+    other_ms: float = 0.0        # gateway, dispatch, params, response
+    queue_wait_ms: float = 0.0   # waiting for a host core (burst benches);
+    #                              also included in other_ms
+    guest: Optional[ExecBreakdown] = None
+    children: List["InvocationRecord"] = field(default_factory=list)
+    worker: Optional[Worker] = None
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end latency of this record's own work (no double count:
+        children's time is *not* added — it already elapsed inside exec's
+        wall clock only if the chain was synchronous, and we track chain
+        time separately)."""
+        return self.startup_ms + self.exec_ms + self.other_ms
+
+    # -- chain aggregates (Fig 9 sums the whole chain) -------------------------
+    def chain_startup_ms(self) -> float:
+        """Start-up summed over this record and its chain children."""
+        return self.startup_ms + sum(c.chain_startup_ms()
+                                     for c in self.children)
+
+    def chain_exec_ms(self) -> float:
+        """Exec time summed over the whole chain."""
+        return self.exec_ms + sum(c.chain_exec_ms() for c in self.children)
+
+    def chain_other_ms(self) -> float:
+        """Control-plane time summed over the whole chain."""
+        return self.other_ms + sum(c.chain_other_ms() for c in self.children)
+
+    def chain_total_ms(self) -> float:
+        """End-to-end chain latency (all phases, all hops)."""
+        return (self.chain_startup_ms() + self.chain_exec_ms()
+                + self.chain_other_ms())
+
+    def chain_records(self) -> List["InvocationRecord"]:
+        """This record plus all chain descendants, pre-order."""
+        records = [self]
+        for child in self.children:
+            records.extend(child.chain_records())
+        return records
+
+
+class _PlatformHandlers(ExternalHandlers):
+    """Routes db/chain ops from the guest back through the platform."""
+
+    def __init__(self, platform: "ServerlessPlatform", worker: Worker,
+                 record: InvocationRecord) -> None:
+        self.platform = platform
+        self.worker = worker
+        self.record = record
+
+    def db_get(self, op: DbGet):
+        sim = self.platform.sim
+        database = self.platform.couch.database(op.database)
+        io = self.worker.sandbox.io
+        yield sim.timeout(io.net_send_ms(0.3))           # request out
+        yield sim.timeout(database.latency.get_cost(op.doc_kb))
+        yield sim.timeout(io.net_recv_ms(op.doc_kb))     # document back
+
+    def db_put(self, op: DbPut):
+        sim = self.platform.sim
+        database = self.platform.couch.database(op.database)
+        io = self.worker.sandbox.io
+        yield sim.timeout(io.net_send_ms(op.doc_kb))     # document out
+        yield sim.timeout(database.latency.put_cost(op.doc_kb))
+        # The write is real: a fresh document lands in the database.
+        database.put(f"{self.record.function}-{database.last_seq + 1}",
+                     {"source": self.record.function,
+                      "at_ms": sim.now},
+                     size_kb=op.doc_kb)
+        yield sim.timeout(io.net_recv_ms(0.2))           # ack back
+        self.platform.note_db_write(op.database)
+
+    def invoke_next(self, op: InvokeNext):
+        if not self.platform.supports_chains:
+            raise PlatformError(
+                f"{self.platform.name} cannot process a chain of serverless "
+                "functions (§5.3: only OpenWhisk and Fireworks can)")
+        child = yield from self.platform.invoke(op.function,
+                                                payload={"kb": op.payload_kb})
+        self.record.children.append(child)
+
+    def respond(self, op: Respond):
+        # Response already left through the guest NIC; platform-side routing
+        # cost is charged by invoke() as "other".
+        del op
+        return
+        yield  # pragma: no cover
+
+
+class ServerlessPlatform:
+    """Base class: registry + frontend + invocation accounting."""
+
+    name = "abstract"
+    isolation_label = "?"
+    performance_label = "?"
+    memory_label = "?"
+    supports_chains = False
+
+    def __init__(self, sim: "Simulation", params: CalibratedParameters,
+                 host_memory: Optional[HostMemory] = None,
+                 bridge: Optional[HostBridge] = None,
+                 bus: Optional[MessageBus] = None,
+                 couch: Optional[CouchServer] = None,
+                 host_cpu=None) -> None:
+        self.sim = sim
+        self.params = params
+        self.host_cpu = host_cpu  # optional HostCpu: burst benches only
+        self.host_memory = host_memory or HostMemory(params.host)
+        self.bridge = bridge or HostBridge()
+        self.bus = bus or MessageBus()
+        self.couch = couch or CouchServer()
+        self.retain_workers = False
+        self.active_workers: List[Worker] = []
+        self.records: List[InvocationRecord] = []
+        self._specs: Dict[str, FunctionSpec] = {}
+        self._db_triggers: Dict[str, List[str]] = {}
+
+    # -- registry ------------------------------------------------------------------
+    def install(self, spec: FunctionSpec):
+        """Install *spec* (a simulation generator).  Subclasses extend."""
+        if spec.name in self._specs:
+            raise PlatformError(f"function {spec.name!r} already installed")
+        self._specs[spec.name] = spec
+        yield from self._install_backend(spec)
+
+    def _install_backend(self, spec: FunctionSpec):
+        """Backend-specific installation work.  Default: registration only."""
+        del spec
+        return
+        yield  # pragma: no cover
+
+    def spec(self, name: str) -> FunctionSpec:
+        """The installed FunctionSpec for *name*; 404s otherwise."""
+        if name not in self._specs:
+            raise FunctionNotFoundError(
+                f"{self.name}: function {name!r} is not installed")
+        return self._specs[name]
+
+    def installed_functions(self) -> Tuple[str, ...]:
+        """Names of every installed function."""
+        return tuple(self._specs)
+
+    # -- triggers (Cloud trigger box of Figure 1) -------------------------------
+    def register_db_trigger(self, database: str, function: str) -> None:
+        """Invoke *function* whenever *database* changes (Fig 8(b))."""
+        self.spec(function)  # must exist
+        self._db_triggers.setdefault(database, []).append(function)
+
+    def note_db_write(self, database: str) -> None:
+        """Called by the db handler after a write; fires triggers async."""
+        for function in self._db_triggers.get(database, ()):
+            self.sim.process(self._fire_trigger(function),
+                             name=f"trigger:{function}")
+
+    def _fire_trigger(self, function: str):
+        record = yield from self.invoke(function)
+        return record
+
+    def register_timer_trigger(self, function: str, every_ms: float,
+                               count: int) -> "Process":
+        """Invoke *function* every *every_ms*, *count* times (Figure 1's
+        Cloud-trigger box: triggering events include timers)."""
+        if every_ms <= 0:
+            raise PlatformError(f"timer period must be > 0, got {every_ms}")
+        if count < 1:
+            raise PlatformError(f"timer count must be >= 1, got {count}")
+        self.spec(function)  # must exist
+
+        def ticker():
+            # Fixed-rate ticks; each invocation runs as its own process so
+            # a slow function cannot skew the timer cadence.
+            for _ in range(count):
+                yield self.sim.timeout(every_ms)
+                self.sim.process(self._fire_trigger(function),
+                                 name=f"timer-fire:{function}")
+
+        return self.sim.process(ticker(), name=f"timer:{function}")
+
+    # -- invocation -------------------------------------------------------------------
+    def invoke(self, name: str, payload: Optional[Dict[str, Any]] = None,
+               mode: str = MODE_AUTO):
+        """Invoke a function end-to-end (a simulation generator).
+
+        Returns the :class:`InvocationRecord` with the full latency
+        breakdown.  ``mode`` forces a cold or warm path where the backend
+        distinguishes them.
+        """
+        spec = self.spec(name)
+        record = InvocationRecord(
+            function=name, platform=self.name, mode=mode,
+            submitted_ms=self.sim.now)
+
+        # Frontend: gateway relays, controller dispatches over the bus.
+        cp = self.params.control_plane
+        frontend_ms = (cp.gateway_route_ms + cp.controller_dispatch_ms
+                       + cp.bus_publish_ms)
+        self.bus.produce(f"invoke-{name}", payload or {},
+                         timestamp_ms=self.sim.now)
+        yield self.sim.timeout(frontend_ms)
+        record.other_ms += frontend_ms
+
+        # Under burst load the host's core pool gates everything past the
+        # frontend: claim a core for the sandbox work + execution.
+        cpu_claim = None
+        if self.host_cpu is not None:
+            waited_from = self.sim.now
+            cpu_claim = yield from self.host_cpu.acquire()
+            record.queue_wait_ms = self.sim.now - waited_from
+            record.other_ms += record.queue_wait_ms
+
+        try:
+            # Backend: acquire a worker (cold boot / warm pool / snapshot).
+            started = self.sim.now
+            worker, mode_used, extra_other_ms = \
+                yield from self._acquire_worker(spec, mode)
+            record.startup_ms += self.sim.now - started - extra_other_ms
+            record.other_ms += extra_other_ms
+            record.mode = mode_used
+            record.worker = worker
+
+            # Execute the guest program.
+            handlers = self._make_handlers(worker, record)
+            guest = yield from worker.invoke(spec.program(payload), handlers)
+            record.guest = guest
+            record.exec_ms = guest.exec_ms
+        finally:
+            if cpu_claim is not None:
+                self.host_cpu.release(cpu_claim)
+
+        yield from self._release_worker(spec, worker)
+        if self.retain_workers and worker not in self.active_workers:
+            self.active_workers.append(worker)
+        self.records.append(record)
+        return record
+
+    def _make_handlers(self, worker: Worker,
+                       record: InvocationRecord) -> ExternalHandlers:
+        return _PlatformHandlers(self, worker, record)
+
+    # -- backend hooks ---------------------------------------------------------------
+    def _acquire_worker(self, spec: FunctionSpec, mode: str):
+        """Yield-based hook returning ``(worker, mode_used, other_ms)``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _release_worker(self, spec: FunctionSpec, worker: Worker):
+        """What happens to the worker after the invocation."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- reporting ----------------------------------------------------------------
+    def memory_pss_mb(self) -> List[float]:
+        """PSS of every retained worker (Fig 10/12 measurements)."""
+        return [worker.pss_mb() for worker in self.active_workers]
+
+    def table1_row(self) -> Dict[str, str]:
+        """This platform's row of the paper's Table 1."""
+        return {
+            "platform": self.name,
+            "isolation": self.isolation_label,
+            "performance": self.performance_label,
+            "memory_efficiency": self.memory_label,
+        }

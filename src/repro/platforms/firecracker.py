@@ -1,0 +1,168 @@
+"""Firecracker sandbox-manager baselines.
+
+Two variants, both providing VM-level isolation (Table 1, row 1):
+
+* :class:`FirecrackerPlatform` — plain Firecracker: cold start boots the
+  microVM, guest OS, runtime, and loads the function (the slowest cold start
+  in Fig 6); warm start resumes a *paused* microVM that was installed but
+  never executed (§5.1 methodology), so the first execution still JITs.
+* :class:`FirecrackerSnapshotPlatform` — Firecracker *using a snapshot*
+  (§5.2's extra comparison point and Fig 11's factor analysis): the install
+  phase snapshots the VM at a configurable stage (after OS boot + runtime
+  agent, or after app load), and invocation restores it.  No forced JIT —
+  that is the piece Fireworks adds.
+
+Neither variant can execute chains of functions (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import PlatformError
+from repro.platforms.base import (MODE_AUTO, MODE_COLD, MODE_SNAPSHOT,
+                                  MODE_WARM, ServerlessPlatform)
+from repro.platforms.pooling import WarmEntry, WarmPool, require_warm
+from repro.runtime import make_runtime
+from repro.sandbox.microvm import MicroVM
+from repro.sandbox.worker import Worker
+from repro.snapshot.image import STAGE_OS, STAGE_POST_LOAD, SnapshotImage
+from repro.snapshot.restorer import POLICY_DEMAND, Restorer
+from repro.snapshot.snapshotter import Snapshotter
+from repro.storage.disk import BlockDevice
+from repro.storage.snapshot_store import SnapshotStore
+from repro.workloads.base import FunctionSpec
+
+
+class FirecrackerPlatform(ServerlessPlatform):
+    """Plain Firecracker microVMs: highest isolation, slowest cold start."""
+
+    name = "firecracker"
+    isolation_label = "High (VM)"
+    performance_label = "Medium (snapshot)"
+    memory_label = "High (snapshot)"
+    supports_chains = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.pool = WarmPool()
+        self.cold_starts = 0
+        self.warm_starts = 0
+
+    # -- worker construction -------------------------------------------------------
+    def _boot_worker(self, spec: FunctionSpec):
+        microvm = MicroVM(self.sim, self.params, self.host_memory,
+                          spec.language)
+        guest_ip, guest_mac = self.bridge.allocate_guest_addresses()
+        microvm.assign_guest_addresses(guest_ip, guest_mac)
+        worker = Worker(self.sim, microvm,
+                        make_runtime(self.sim, self.params, spec.language))
+        yield from worker.cold_start(spec.app)
+        worker.endpoint = self.bridge.connect_guest(guest_ip, guest_mac)
+        return worker
+
+    def provision_warm(self, name: str):
+        """§5.1 warm methodology: boot, install, pause — keep in memory."""
+        spec = self.spec(name)
+        worker = yield from self._boot_worker(spec)
+        yield from worker.pause()
+        self.pool.add(name, WarmEntry(worker, float("inf"), paused=True))
+        return worker
+
+    # -- backend hooks -----------------------------------------------------------------
+    def _acquire_worker(self, spec: FunctionSpec, mode: str):
+        if mode in (MODE_AUTO, MODE_WARM):
+            entry = self.pool.take(spec.name, self.sim.now)
+            if mode == MODE_WARM:
+                entry = require_warm(entry, spec.name, self.name)
+            if entry is not None:
+                yield from entry.worker.resume()
+                self.warm_starts += 1
+                return entry.worker, MODE_WARM, 0.0
+        worker = yield from self._boot_worker(spec)
+        self.cold_starts += 1
+        return worker, MODE_COLD, 0.0
+
+    def _release_worker(self, spec: FunctionSpec, worker: Worker):
+        del spec
+        if not self.retain_workers:
+            # The response already left; reclaim the VM off the critical
+            # path.
+            self.sim.process(self._teardown(worker),
+                             name=f"teardown:{worker.sandbox.name}")
+        return
+        yield  # pragma: no cover
+
+    def _teardown(self, worker: Worker):
+        if worker.endpoint is not None:
+            self.bridge.disconnect(worker.endpoint)
+            worker.endpoint = None
+        yield from worker.stop()
+
+
+class FirecrackerSnapshotPlatform(FirecrackerPlatform):
+    """Firecracker with its VM-level snapshot feature (no post-JIT).
+
+    ``stage`` selects what the install-phase snapshot captures:
+
+    * ``STAGE_OS`` — Fig 11's "+VM-level OS snapshot": guest OS booted and
+      runtime agent up, function not loaded; invocation pays app load and
+      run-time JIT.
+    * ``STAGE_POST_LOAD`` — function loaded but never executed: invocation
+      pays only run-time JIT.
+    """
+
+    name = "firecracker-snapshot"
+
+    def __init__(self, *args, stage: str = STAGE_OS, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if stage not in (STAGE_OS, STAGE_POST_LOAD):
+            raise PlatformError(
+                f"{self.name}: stage must be os/post-load, got {stage!r} — "
+                "post-JIT snapshots are what Fireworks adds")
+        self.stage = stage
+        self.snapshotter = Snapshotter(self.sim, self.params.snapshot)
+        self.restorer = Restorer(self.sim, self.params, self.host_memory)
+        self.store = SnapshotStore(
+            BlockDevice(self.params.host.disk_gb * 1024.0),
+            capacity_images=self.params.snapshot.store_capacity_images)
+        self._images: Dict[str, SnapshotImage] = {}
+
+    # -- installation ---------------------------------------------------------------
+    def _install_backend(self, spec: FunctionSpec):
+        microvm = MicroVM(self.sim, self.params, self.host_memory,
+                          spec.language, name=f"install-{spec.name}")
+        guest_ip, guest_mac = self.bridge.allocate_guest_addresses()
+        microvm.assign_guest_addresses(guest_ip, guest_mac)
+        worker = Worker(self.sim, microvm,
+                        make_runtime(self.sim, self.params, spec.language))
+        yield from microvm.boot()
+        yield from worker.runtime.launch()
+        microvm.map_runtime_memory()
+        if self.stage == STAGE_POST_LOAD:
+            yield from worker.runtime.load_app(spec.app)
+            microvm.map_app_memory()
+            worker.app = spec.app
+        image = yield from self.snapshotter.create(
+            worker, spec.name, self.stage)
+        self.store.put(spec.name, image)
+        self._images[spec.name] = image
+        yield from worker.stop()
+
+    # -- invocation -------------------------------------------------------------------
+    def _acquire_worker(self, spec: FunctionSpec, mode: str):
+        if mode == MODE_WARM:
+            # Warm and snapshot starts coincide: there is nothing warmer
+            # than the always-available snapshot.
+            mode = MODE_AUTO
+        image = self._images.get(spec.name)
+        if image is None:
+            raise PlatformError(
+                f"{self.name}: {spec.name!r} has no snapshot; install first")
+        self.store.get(spec.name)  # refresh LRU recency
+        worker = yield from self.restorer.restore(image, POLICY_DEMAND)
+        worker.endpoint = self.bridge.connect_guest(
+            image.guest_ip, image.guest_mac)
+        if self.stage == STAGE_OS:
+            yield from worker.load_app_only(spec.app)
+        return worker, MODE_SNAPSHOT, 0.0

@@ -1,0 +1,70 @@
+"""gVisor sandbox-manager baseline (Table 1, row 3).
+
+Cold start pays container creation plus gVisor's Sentry/Gofer bring-up;
+every I/O pays syscall interception (the slowest I/O path in Fig 6(c)).
+Warm methodology matches §5.1: install, pause, resume on invocation — the
+function was never executed, so the first run still JITs.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.base import (MODE_AUTO, MODE_COLD, MODE_WARM,
+                                  ServerlessPlatform)
+from repro.platforms.pooling import WarmEntry, WarmPool, require_warm
+from repro.runtime import make_runtime
+from repro.sandbox.gvisor import GVisorSandbox
+from repro.sandbox.worker import Worker
+from repro.workloads.base import FunctionSpec
+
+
+class GVisorPlatform(ServerlessPlatform):
+    """gVisor (runsc) with Docker, as the paper evaluates it."""
+
+    name = "gvisor"
+    isolation_label = "Medium (container)"
+    performance_label = "Medium (snapshot)"
+    memory_label = "High (snapshot)"
+    supports_chains = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.pool = WarmPool()
+        self.cold_starts = 0
+        self.warm_starts = 0
+
+    def _boot_worker(self, spec: FunctionSpec):
+        worker = Worker(self.sim,
+                        GVisorSandbox(self.sim, self.params,
+                                      self.host_memory, spec.language),
+                        make_runtime(self.sim, self.params, spec.language))
+        yield from worker.cold_start(spec.app)
+        return worker
+
+    def provision_warm(self, name: str):
+        """§5.1 warm methodology: launch, install, pause."""
+        spec = self.spec(name)
+        worker = yield from self._boot_worker(spec)
+        yield from worker.pause()
+        self.pool.add(name, WarmEntry(worker, float("inf"), paused=True))
+        return worker
+
+    def _acquire_worker(self, spec: FunctionSpec, mode: str):
+        if mode in (MODE_AUTO, MODE_WARM):
+            entry = self.pool.take(spec.name, self.sim.now)
+            if mode == MODE_WARM:
+                entry = require_warm(entry, spec.name, self.name)
+            if entry is not None:
+                yield from entry.worker.resume()
+                self.warm_starts += 1
+                return entry.worker, MODE_WARM, 0.0
+        worker = yield from self._boot_worker(spec)
+        self.cold_starts += 1
+        return worker, MODE_COLD, 0.0
+
+    def _release_worker(self, spec: FunctionSpec, worker: Worker):
+        del spec
+        if not self.retain_workers:
+            self.sim.process(worker.stop(),
+                             name=f"teardown:{worker.sandbox.name}")
+        return
+        yield  # pragma: no cover

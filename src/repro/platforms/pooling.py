@@ -1,0 +1,80 @@
+"""Warm-pool management shared by the baseline platforms.
+
+The "current practice" of §2.2: after an invocation, keep the sandbox around
+for a keep-alive window hoping another request arrives (a *warm start*); tear
+it down afterwards because idle sandboxes waste memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import PlatformError
+from repro.sandbox.worker import Worker
+
+
+@dataclass
+class WarmEntry:
+    """One idle sandbox waiting in the warm pool."""
+
+    worker: Worker
+    expires_at_ms: float
+    paused: bool      # FC/gVisor pause their sandboxes; OW keeps them live
+
+
+class WarmPool:
+    """Per-function pools of idle sandboxes with lazy expiry."""
+
+    def __init__(self) -> None:
+        self._pools: Dict[str, List[WarmEntry]] = {}
+        self.expired_entries: List[WarmEntry] = []
+
+    def add(self, function: str, entry: WarmEntry) -> None:
+        """Park an idle sandbox in the function's pool."""
+        self._pools.setdefault(function, []).append(entry)
+
+    def take(self, function: str, now_ms: float) -> Optional[WarmEntry]:
+        """Pop the freshest live entry, expiring stale ones as we go."""
+        pool = self._pools.get(function, [])
+        self._expire(pool, now_ms)
+        if not pool:
+            return None
+        return pool.pop()
+
+    def size(self, function: str, now_ms: float) -> int:
+        """Live entries for *function* (expiring stale ones)."""
+        pool = self._pools.get(function, [])
+        self._expire(pool, now_ms)
+        return len(pool)
+
+    def drain_expired(self) -> List[WarmEntry]:
+        """Entries that timed out since the last drain (caller tears down)."""
+        expired, self.expired_entries = self.expired_entries, []
+        return expired
+
+    def expire_all(self, now_ms: float) -> None:
+        """Sweep every pool for timed-out entries (periodic reaper)."""
+        for pool in self._pools.values():
+            self._expire(pool, now_ms)
+
+    def live_entries(self, now_ms: float) -> List[WarmEntry]:
+        """Every still-live entry across all pools."""
+        self.expire_all(now_ms)
+        return [entry for pool in self._pools.values() for entry in pool]
+
+    def _expire(self, pool: List[WarmEntry], now_ms: float) -> None:
+        live = [entry for entry in pool if entry.expires_at_ms > now_ms]
+        self.expired_entries.extend(
+            entry for entry in pool if entry.expires_at_ms <= now_ms)
+        pool[:] = live
+
+
+def require_warm(entry: Optional[WarmEntry], function: str,
+                 platform: str) -> WarmEntry:
+    """Raise a clear error when a warm start was forced but none exists."""
+    if entry is None:
+        raise PlatformError(
+            f"{platform}: warm start of {function!r} requested but the warm "
+            "pool is empty — call provision_warm() first")
+    return entry

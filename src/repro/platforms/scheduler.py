@@ -1,0 +1,121 @@
+"""Invoker pool and load-balancing policies (the backend of Figure 1).
+
+Figure 1's controller relays requests "to one of the backend servers" —
+the invokers.  Which invoker a request lands on matters because warm
+containers live *on a specific invoker*: a scheduler that sprays requests
+(round-robin) keeps missing its own warm pools, while OpenWhisk's actual
+scheme — hashing each function to a *home invoker* — concentrates warmth.
+
+Three policies:
+
+* ``round-robin``  — spread blindly;
+* ``least-loaded`` — spread by instantaneous load;
+* ``hash``         — home-invoker per function (OpenWhisk's default),
+                     falling over to the next node when the home is full.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import PlatformError
+
+POLICY_ROUND_ROBIN = "round-robin"
+POLICY_LEAST_LOADED = "least-loaded"
+POLICY_HASH = "hash"
+
+_POLICIES = (POLICY_ROUND_ROBIN, POLICY_LEAST_LOADED, POLICY_HASH)
+
+
+@dataclass
+class InvokerNode:
+    """One backend server running sandboxes."""
+
+    node_id: int
+    capacity: int = 16            # concurrent sandboxes it can host
+    active: int = 0
+    assigned_total: int = 0
+    per_function: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def has_room(self) -> bool:
+        return self.active < self.capacity
+
+    def assign(self, function: str) -> None:
+        """Count one request onto this node; errors when full."""
+        if not self.has_room:
+            raise PlatformError(
+                f"invoker{self.node_id} over capacity "
+                f"({self.active}/{self.capacity})")
+        self.active += 1
+        self.assigned_total += 1
+        self.per_function[function] = \
+            self.per_function.get(function, 0) + 1
+
+    def release(self) -> None:
+        """Return a slot after the invocation finished."""
+        if self.active <= 0:
+            raise PlatformError(
+                f"invoker{self.node_id} released below zero")
+        self.active -= 1
+
+
+class InvokerPool:
+    """The controller's view of the invokers, with a pick policy."""
+
+    def __init__(self, nodes: int = 4, capacity_per_node: int = 16,
+                 policy: str = POLICY_HASH) -> None:
+        if nodes < 1:
+            raise PlatformError(f"need >= 1 invoker, got {nodes}")
+        if policy not in _POLICIES:
+            raise PlatformError(f"unknown scheduling policy {policy!r}")
+        self.policy = policy
+        self.nodes: List[InvokerNode] = [
+            InvokerNode(node_id=index, capacity=capacity_per_node)
+            for index in range(nodes)]
+        self._rr_next = 0
+
+    # -- policy ---------------------------------------------------------------
+    def pick(self, function: str) -> InvokerNode:
+        """Choose (and assign to) an invoker for one request."""
+        node = self._select(function)
+        node.assign(function)
+        return node
+
+    def _select(self, function: str) -> InvokerNode:
+        if self.policy == POLICY_ROUND_ROBIN:
+            for _ in range(len(self.nodes)):
+                node = self.nodes[self._rr_next]
+                self._rr_next = (self._rr_next + 1) % len(self.nodes)
+                if node.has_room:
+                    return node
+            raise PlatformError("all invokers at capacity")
+        if self.policy == POLICY_LEAST_LOADED:
+            candidates = [node for node in self.nodes if node.has_room]
+            if not candidates:
+                raise PlatformError("all invokers at capacity")
+            return min(candidates, key=lambda node: (node.active,
+                                                     node.node_id))
+        # hash: home invoker, then linear probe on overflow.
+        home = self._home_index(function)
+        for offset in range(len(self.nodes)):
+            node = self.nodes[(home + offset) % len(self.nodes)]
+            if node.has_room:
+                return node
+        raise PlatformError("all invokers at capacity")
+
+    def _home_index(self, function: str) -> int:
+        digest = hashlib.sha256(function.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") % len(self.nodes)
+
+    # -- stats -----------------------------------------------------------------
+    def total_active(self) -> int:
+        """Requests currently running across all nodes."""
+        return sum(node.active for node in self.nodes)
+
+    def load_spread(self) -> float:
+        """Max-min assigned_total across nodes (fairness measure)."""
+        totals = [node.assigned_total for node in self.nodes]
+        return max(totals) - min(totals)

@@ -1,0 +1,52 @@
+"""Language runtime models: op streams, tiered JIT, Node.js and Python."""
+
+from repro.runtime.interpreter import (AppCode, ExecBreakdown,
+                                       ExternalHandlers, GuestFunction,
+                                       LanguageRuntime)
+from repro.runtime.jit import (INTERPRETED, OPTIMIZED, ComputeCost,
+                               FunctionJitState, JitEngine)
+from repro.runtime.dotnet import DotnetRuntime
+from repro.runtime.nodejs import NodeJsRuntime
+from repro.runtime.ops import (Compute, DbGet, DbPut, DiskRead, DiskWrite,
+                               InvokeNext, NetRecv, NetSend, Op, Program,
+                               Respond, program)
+from repro.runtime.python_rt import PythonRuntime
+
+__all__ = [
+    "AppCode",
+    "Compute",
+    "ComputeCost",
+    "DbGet",
+    "DbPut",
+    "DiskRead",
+    "DiskWrite",
+    "DotnetRuntime",
+    "ExecBreakdown",
+    "ExternalHandlers",
+    "FunctionJitState",
+    "GuestFunction",
+    "INTERPRETED",
+    "InvokeNext",
+    "JitEngine",
+    "LanguageRuntime",
+    "NetRecv",
+    "NetSend",
+    "NodeJsRuntime",
+    "OPTIMIZED",
+    "Op",
+    "Program",
+    "PythonRuntime",
+    "Respond",
+    "program",
+]
+
+
+def make_runtime(sim, params, language):
+    """Factory: the right runtime class for *language*."""
+    if language == "nodejs":
+        return NodeJsRuntime(sim, params)
+    if language == "python":
+        return PythonRuntime(sim, params)
+    if language == "dotnet":
+        return DotnetRuntime(sim, params)
+    raise KeyError(f"unknown language {language!r}")

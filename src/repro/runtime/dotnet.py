@@ -1,0 +1,43 @@
+"""The C#/.NET Ahead-Of-Time runtime model (extension).
+
+§3.1: *"Fireworks's use of JIT is conceptually similar to Ahead-Of-Time
+compilation (AOT) provided by some language runtimes (e.g., C#)"*, and §7:
+AWS supports JIT only for pre-provisioned C#/.NET instances — whose JIT
+"does not allow sharing of code or resources".
+
+The model: AOT code is machine code from the first instruction (top-tier
+throughput, no tier-up, no deopt), but the CLR launch and AOT binary load
+are heavier than node/python, and — the key contrast with Fireworks —
+nothing is shareable across instances without a VM-level snapshot.  The
+AOT-vs-post-JIT ablation quantifies exactly that trade.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import CalibratedParameters
+from repro.errors import RuntimeModelError
+from repro.runtime.interpreter import LanguageRuntime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulation
+
+
+class DotnetRuntime(LanguageRuntime):
+    """A CLR process running an AOT-compiled function."""
+
+    language = "dotnet"
+
+    def __init__(self, sim: "Simulation",
+                 params: CalibratedParameters) -> None:
+        super().__init__(sim, params.runtime(self.language),
+                         params.memory_layout(self.language))
+
+    def force_jit_all(self):
+        """AOT code cannot be (and need not be) JIT-annotated."""
+        raise RuntimeModelError(
+            ".NET AOT functions are compiled at build time; there is "
+            "nothing for __fireworks_jit() to do — and no JIT state for a "
+            "post-JIT snapshot to share (§7)")
+        yield  # pragma: no cover

@@ -1,0 +1,210 @@
+"""The tiered-execution (interpreter -> JIT) model.
+
+This captures everything §2, §5.5.1 and §6 of the paper rely on:
+
+* functions start in the interpreter tier;
+* runtimes with a *runtime JIT* (V8/TurboFan) tier a function up after it has
+  executed ``hotness_threshold_units`` of work — so I/O-heavy functions reach
+  the threshold "near the end of function execution" and mostly run
+  interpreted (§5.5.1);
+* tier-up pays a compile cost **on the same single vCPU** as the function
+  (§2.3: JIT compilation competes with execution for CPU time);
+* annotation-driven JIT (`@jit(cache=True)` / V8 hooks) compiles eagerly —
+  this is what Fireworks does at install time;
+* JITted code specializes on argument *shapes*; executing with an unseen
+  shape de-optimizes back to the interpreter and re-tiers (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.config import RuntimeConfig
+from repro.errors import RuntimeModelError
+
+INTERPRETED = "interpreted"
+OPTIMIZED = "optimized"
+
+_GENERIC_SHAPE: Tuple[str, ...] = ()
+
+
+@dataclass
+class FunctionJitState:
+    """Per-guest-function tier state; snapshotted along with guest memory."""
+
+    name: str
+    tier: str = INTERPRETED
+    hotness_units: float = 0.0
+    code_units: float = 500.0          # size of the function's code, units
+    jit_speedup: float = 3.0           # optimized-tier speedup factor
+    trained_shapes: Set[Tuple[str, ...]] = field(default_factory=set)
+    deopt_count: int = 0
+    compile_count: int = 0
+
+    def clone(self) -> "FunctionJitState":
+        """Deep copy for inclusion in a snapshot image."""
+        return FunctionJitState(
+            name=self.name,
+            tier=self.tier,
+            hotness_units=self.hotness_units,
+            code_units=self.code_units,
+            jit_speedup=self.jit_speedup,
+            trained_shapes=set(self.trained_shapes),
+            deopt_count=self.deopt_count,
+            compile_count=self.compile_count,
+        )
+
+
+@dataclass(frozen=True)
+class ComputeCost:
+    """Timing breakdown of one compute op through the tier machinery."""
+
+    exec_ms: float
+    jit_compile_ms: float
+    deopt_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.exec_ms + self.jit_compile_ms + self.deopt_ms
+
+
+class JitEngine:
+    """Tier state machine for all guest functions inside one runtime."""
+
+    def __init__(self, config: RuntimeConfig) -> None:
+        self.config = config
+        self._functions: Dict[str, FunctionJitState] = {}
+
+    # -- function registry ----------------------------------------------------
+    def register(self, name: str, code_units: float = 500.0,
+                 jit_speedup: float = 3.0) -> FunctionJitState:
+        """Declare a guest function (done at app-load time)."""
+        if name in self._functions:
+            raise RuntimeModelError(f"function {name!r} already registered")
+        if jit_speedup < 1.0:
+            raise RuntimeModelError(
+                f"jit_speedup must be >= 1, got {jit_speedup}")
+        state = FunctionJitState(
+            name=name, code_units=code_units, jit_speedup=jit_speedup)
+        self._functions[name] = state
+        return state
+
+    def state(self, name: str) -> FunctionJitState:
+        """Tier state of a guest function; errors if unknown."""
+        if name not in self._functions:
+            raise RuntimeModelError(f"unknown guest function {name!r}")
+        return self._functions[name]
+
+    def functions(self) -> Tuple[str, ...]:
+        """Names of all registered guest functions."""
+        return tuple(self._functions)
+
+    # -- annotation-driven (install-time) compilation ---------------------------
+    def force_compile(self, name: str,
+                      shape: Tuple[str, ...] = _GENERIC_SHAPE) -> float:
+        """Eagerly JIT *name* (Fireworks `__fireworks_jit`); returns cost ms.
+
+        Only runtimes that support annotation JIT (Numba, V8 hooks) allow
+        this; stock CPython without Numba would raise.
+        """
+        if not self.config.annotation_jit:
+            raise RuntimeModelError(
+                f"{self.config.name} does not support annotation-driven JIT")
+        state = self.state(name)
+        compile_ms = self._compile_ms(state)
+        state.tier = OPTIMIZED
+        state.trained_shapes.add(shape)
+        state.compile_count += 1
+        return compile_ms
+
+    # -- execution ------------------------------------------------------------
+    def execute(self, name: str, units: float,
+                arg_shape: Tuple[str, ...] = _GENERIC_SHAPE) -> ComputeCost:
+        """Run *units* of work in *name*, advancing tier state.
+
+        Returns the timing breakdown.  The returned ``jit_compile_ms`` is
+        charged inline because the sandbox has a single vCPU (§2.3).
+        """
+        state = self.state(name)
+        deopt_ms = 0.0
+        recompile_ms = 0.0
+        if state.tier == OPTIMIZED and not self._shape_ok(state, arg_shape):
+            # De-optimization (§6): the specialized code bails out to the
+            # already-generated bytecode — cheap — and, because the function
+            # is known-hot, the runtime immediately re-specializes for the
+            # new argument shape (V8's speculative re-optimization [2]).
+            state.deopt_count += 1
+            deopt_ms = self.config.deopt_penalty_ms
+            recompile_ms = self._compile_ms(state)
+            state.trained_shapes.add(arg_shape)
+            state.compile_count += 1
+
+        if state.tier == OPTIMIZED:
+            exec_ms = units / (self.config.interp_units_per_ms
+                               * state.jit_speedup)
+            return ComputeCost(exec_ms, recompile_ms, deopt_ms)
+
+        return self._execute_interpreted(state, units, arg_shape, deopt_ms)
+
+    # -- internal ---------------------------------------------------------------
+    def _execute_interpreted(self, state: FunctionJitState, units: float,
+                             arg_shape: Tuple[str, ...],
+                             deopt_ms: float) -> ComputeCost:
+        interp_rate = self.config.interp_units_per_ms
+        threshold = self.config.hotness_threshold_units
+        compile_ms = 0.0
+        exec_ms = 0.0
+        remaining = units
+
+        if self.config.has_runtime_jit:
+            until_hot = max(0.0, threshold - state.hotness_units)
+            interpreted_units = min(remaining, until_hot)
+        else:
+            # Stock CPython: never tiers up on its own (§5.5.1).
+            interpreted_units = remaining
+
+        exec_ms += interpreted_units / interp_rate
+        state.hotness_units += interpreted_units
+        remaining -= interpreted_units
+
+        if remaining > 0:
+            # Tier-up fires mid-execution: compile (blocking the single
+            # vCPU), then finish in optimized code.
+            compile_ms = self._compile_ms(state)
+            state.tier = OPTIMIZED
+            state.trained_shapes.add(arg_shape)
+            state.compile_count += 1
+            exec_ms += remaining / (interp_rate * state.jit_speedup)
+
+        return ComputeCost(exec_ms, compile_ms, deopt_ms)
+
+    def _compile_ms(self, state: FunctionJitState) -> float:
+        return (state.code_units / 1000.0) * self.config.jit_compile_ms_per_kunit
+
+    @staticmethod
+    def _shape_ok(state: FunctionJitState, shape: Tuple[str, ...]) -> bool:
+        # The generic shape never deopts (monomorphic benchmark code);
+        # a concrete shape must have been trained.
+        if shape == _GENERIC_SHAPE:
+            return True
+        return shape in state.trained_shapes
+
+    # -- snapshotting -------------------------------------------------------------
+    def export_state(self) -> Dict[str, FunctionJitState]:
+        """Deep-copy all tier state for inclusion in a snapshot image."""
+        return {name: state.clone() for name, state in self._functions.items()}
+
+    def import_state(self, snapshot: Dict[str, FunctionJitState]) -> None:
+        """Replace tier state with a snapshot's (restore path)."""
+        self._functions = {name: state.clone()
+                           for name, state in snapshot.items()}
+
+    def total_deopts(self) -> int:
+        """De-optimizations across all functions."""
+        return sum(s.deopt_count for s in self._functions.values())
+
+    def optimized_functions(self) -> Tuple[str, ...]:
+        """Names currently in the optimized tier."""
+        return tuple(name for name, s in self._functions.items()
+                     if s.tier == OPTIMIZED)

@@ -1,0 +1,40 @@
+"""The Node.js (V8/TurboFan) runtime model.
+
+V8 specifics the paper relies on:
+
+* Ignition interprets bytecode; TurboFan tiers hot functions up *during*
+  execution (``has_runtime_jit=True``), competing with the function for the
+  single vCPU (§2.3).
+* ``%OptimizeFunctionOnNextCall``-style hooks let Fireworks force compilation
+  at install time (``annotation_jit=True``), observable via
+  ``GetOptimizationStatus()`` (§5.5.1).
+* V8 allocates JIT memory lazily and compactly ("a lighter V8" [55]), which
+  is why Node post-JIT snapshots also *save* memory (Fig 12).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import CalibratedParameters
+from repro.runtime.interpreter import LanguageRuntime
+from repro.runtime.jit import OPTIMIZED
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulation
+
+
+class NodeJsRuntime(LanguageRuntime):
+    """A `node` process with the V8 tiering model."""
+
+    language = "nodejs"
+
+    def __init__(self, sim: "Simulation",
+                 params: CalibratedParameters) -> None:
+        super().__init__(sim, params.runtime(self.language),
+                         params.memory_layout(self.language))
+
+    def get_optimization_status(self, function: str) -> str:
+        """Mimics V8's ``GetOptimizationStatus()`` (§5.5.1 methodology)."""
+        state = self.jit.state(function)
+        return "optimized" if state.tier == OPTIMIZED else "interpreted"

@@ -1,0 +1,161 @@
+"""The abstract operation stream executed by a serverless function.
+
+A workload *program* is a sequence of ops.  Compute ops flow through the
+language runtime's interpreter/JIT machinery; I/O ops flow through the
+sandbox's I/O path; chain ops (`InvokeNext`) and database ops are handled by
+the platform executing the program.
+
+Each op names the guest *function* performing it so the JIT model can keep
+per-function hotness and tier state (V8 optimizes per function).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+from repro.errors import RuntimeModelError
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Execute *units* of abstract bytecode work in *function*.
+
+    ``arg_shape`` is the type-feedback signature of the arguments flowing
+    into this code (e.g. ``("str", "int")``); a shape unseen by the JITted
+    code triggers de-optimization (§6).
+    """
+
+    units: float
+    function: str = "main"
+    arg_shape: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.units < 0:
+            raise RuntimeModelError(f"negative compute units {self.units}")
+
+
+@dataclass(frozen=True)
+class DiskRead:
+    """Read *kb* KiB from the sandbox filesystem, *times* times."""
+
+    kb: float
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kb < 0 or self.times < 0:
+            raise RuntimeModelError("negative disk read size/count")
+
+
+@dataclass(frozen=True)
+class DiskWrite:
+    """Write *kb* KiB to the sandbox filesystem, *times* times."""
+
+    kb: float
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kb < 0 or self.times < 0:
+            raise RuntimeModelError("negative disk write size/count")
+
+
+@dataclass(frozen=True)
+class NetSend:
+    """Send a message of *kb* KiB from the guest."""
+
+    kb: float
+
+    def __post_init__(self) -> None:
+        if self.kb < 0:
+            raise RuntimeModelError("negative message size")
+
+
+@dataclass(frozen=True)
+class NetRecv:
+    """Receive a message of *kb* KiB in the guest."""
+
+    kb: float
+
+    def __post_init__(self) -> None:
+        if self.kb < 0:
+            raise RuntimeModelError("negative message size")
+
+
+@dataclass(frozen=True)
+class Respond:
+    """Send the HTTP response terminating the invocation.
+
+    faas-netlatency responds with a 79-byte body and ~500-byte header
+    (paper §5.2.1), i.e. ``kb ~= 0.57``.
+    """
+
+    kb: float = 0.57
+
+
+@dataclass(frozen=True)
+class DbGet:
+    """Read a document of *doc_kb* KiB from the named database."""
+
+    database: str
+    doc_kb: float = 1.0
+
+
+@dataclass(frozen=True)
+class DbPut:
+    """Insert/update a document of *doc_kb* KiB in the named database."""
+
+    database: str
+    doc_kb: float = 1.0
+
+
+@dataclass(frozen=True)
+class InvokeNext:
+    """Invoke the next function in a chain (ServerlessBench apps, Fig 8)."""
+
+    function: str
+    payload_kb: float = 1.0
+    wait: bool = True  # synchronous chain step (pipe-style, §5.3)
+
+
+Op = Union[Compute, DiskRead, DiskWrite, NetSend, NetRecv, Respond,
+           DbGet, DbPut, InvokeNext]
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable op sequence with helpers used by the calibration."""
+
+    ops: Tuple[Op, ...] = field(default_factory=tuple)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def total_compute_units(self) -> float:
+        """Sum of all Compute units in the program."""
+        return sum(op.units for op in self.ops if isinstance(op, Compute))
+
+    def io_op_count(self) -> int:
+        """Number of I/O-ish operations (disk, net, db)."""
+        count = 0
+        for op in self.ops:
+            if isinstance(op, (DiskRead, DiskWrite)):
+                count += op.times
+            elif isinstance(op, (NetSend, NetRecv, Respond, DbGet, DbPut)):
+                count += 1
+        return count
+
+    def functions(self) -> Tuple[str, ...]:
+        """Distinct guest function names, in first-appearance order."""
+        seen = []
+        for op in self.ops:
+            if isinstance(op, Compute) and op.function not in seen:
+                seen.append(op.function)
+        return tuple(seen) or ("main",)
+
+
+def program(*ops: Op) -> Program:
+    """Convenience constructor: ``program(Compute(1000), Respond())``."""
+    return Program(tuple(ops))

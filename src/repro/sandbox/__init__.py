@@ -1,0 +1,29 @@
+"""Sandbox mechanisms: microVM, container, gVisor, V8 isolate, workers."""
+
+from repro.sandbox.base import (ISOLATION_HIGH_VM,
+                                ISOLATION_LOW_RUNTIME,
+                                ISOLATION_MEDIUM_CONTAINER, STATE_CREATED,
+                                STATE_PAUSED, STATE_RUNNING, STATE_STOPPED,
+                                Sandbox)
+from repro.sandbox.container import Container
+from repro.sandbox.gvisor import GVisorSandbox
+from repro.sandbox.isolate import V8Isolate
+from repro.sandbox.microvm import MicroVM, Mmds
+from repro.sandbox.worker import Worker
+
+__all__ = [
+    "Container",
+    "GVisorSandbox",
+    "ISOLATION_HIGH_VM",
+    "ISOLATION_LOW_RUNTIME",
+    "ISOLATION_MEDIUM_CONTAINER",
+    "MicroVM",
+    "Mmds",
+    "STATE_CREATED",
+    "STATE_PAUSED",
+    "STATE_RUNNING",
+    "STATE_STOPPED",
+    "Sandbox",
+    "V8Isolate",
+    "Worker",
+]

@@ -1,0 +1,20 @@
+"""Docker-style container sandbox (OpenWhisk's mechanism).
+
+Containers share the host kernel (no guest kernel region, lower isolation)
+and reach the disk through OverlayFS — nearly host-filesystem speed, which is
+why the paper finds container disk I/O *faster* than microVMs (§5.2.1(2)).
+"""
+
+from __future__ import annotations
+
+from repro.sandbox.base import ISOLATION_MEDIUM_CONTAINER, Sandbox
+
+
+class Container(Sandbox):
+    """A Linux container: medium isolation (shares the host kernel)."""
+
+    mechanism = "container"
+    isolation = ISOLATION_MEDIUM_CONTAINER
+
+    # Containers have no guest kernel to map; the base `_map_boot_memory`
+    # no-op is exactly right.

@@ -1,0 +1,26 @@
+"""V8 isolate "sandbox" (Cloudflare-Workers style) — Table 1 only.
+
+Hundreds of isolates share one V8 process: near-zero start-up and memory
+cost, but the weakest isolation (a V8 bug compromises every tenant in the
+process).  Included to regenerate Table 1's design comparison.
+"""
+
+from __future__ import annotations
+
+from repro.sandbox.base import ISOLATION_LOW_RUNTIME, Sandbox
+
+
+class V8Isolate(Sandbox):
+    """A V8:Isolate context inside a shared runtime process."""
+
+    mechanism = "isolate"
+    isolation = ISOLATION_LOW_RUNTIME
+
+    def map_runtime_memory(self) -> None:
+        """Per-isolate context state; the V8 process is shared."""
+        # The runtime process is shared across isolates; per-isolate runtime
+        # cost is a sliver of context state.
+        self.space.map_private("runtime", 2, "isolate-context")
+
+    def _map_shell_memory(self) -> None:
+        self.space.map_private("vmm", 1, "isolate-overhead")

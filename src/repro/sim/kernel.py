@@ -1,0 +1,165 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulation` owns the virtual clock and the event heap.  Components
+throughout the library (sandboxes, runtimes, platforms) are written as
+generator processes scheduled on a single ``Simulation`` so that concurrent
+activity — warm-pool expiry, chained function invocations, background JIT —
+interleaves deterministically.
+
+Time is measured in **milliseconds** as floats; the clock starts at 0.0.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Interrupt, Process
+from repro.sim.rng import RngStreams
+
+__all__ = ["Simulation", "Interrupt"]
+
+# Heap entries are (time, urgent_rank, sequence, event): the sequence number
+# makes ordering total and FIFO among same-time events.
+_HeapEntry = Tuple[float, int, int, Event]
+
+
+class Simulation:
+    """A deterministic discrete-event simulation.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for all named RNG streams (see :class:`RngStreams`).
+    strict:
+        When True (the default for tests), exceptions escaping a process
+        propagate out of :meth:`run` instead of failing the process event.
+    """
+
+    def __init__(self, seed: int = 2022, strict: bool = True) -> None:
+        self._now = 0.0
+        self._heap: List[_HeapEntry] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+        self.strict = strict
+        self.rng = RngStreams(seed)
+        self._trace_hooks: List[Callable[[float, Event], None]] = []
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event construction ----------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered event on this simulation."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None,
+                name: str = "") -> Timeout:
+        """Create an event that fires ``delay`` ms from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        """Start a new process from *generator*; returns its Process event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Event firing once every event in *events* has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Event firing once any event in *events* has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority_urgent: bool = False) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        self._sequence += 1
+        rank = 0 if priority_urgent else 1
+        heapq.heappush(
+            self._heap, (self._now + delay, rank, self._sequence, event))
+
+    def add_trace_hook(self, hook: Callable[[float, Event], None]) -> None:
+        """Register a hook called with (time, event) for each processed event."""
+        self._trace_hooks.append(hook)
+
+    # -- execution ---------------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event.  Raises if the heap is empty."""
+        if not self._heap:
+            raise SimulationError("simulation has no scheduled events")
+        time, _rank, _seq, event = heapq.heappop(self._heap)
+        if time < self._now:
+            raise SimulationError("event heap time went backwards")
+        self._now = time
+        for hook in self._trace_hooks:
+            hook(time, event)
+        event._fire()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event fires, returning its value.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(
+                f"run(until={deadline}) is before now={self._now}")
+        while self._heap and self.peek() <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    def _run_until_event(self, until: Event) -> Any:
+        if until.sim is not self:
+            raise SimulationError("run(until=...) got a foreign event")
+        finished = []
+
+        def mark(_event: Event) -> None:
+            finished.append(True)
+
+        if until.processed:
+            finished.append(True)
+        elif until.triggered:
+            # Triggered but not yet processed: it is on the heap already.
+            assert until.callbacks is not None
+            until.callbacks.append(mark)
+        else:
+            assert until.callbacks is not None
+            until.callbacks.append(mark)
+        while not finished:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: no events left but {until!r} never fired")
+            self.step()
+        if not until.ok and not self.strict:
+            raise until.value
+        if not until.ok:
+            raise until.value
+        return until.value

@@ -1,0 +1,23 @@
+"""VM-level snapshot subsystem: images, snapshotter, CoW restorer."""
+
+from repro.snapshot.image import (STAGE_OS, STAGE_POST_JIT, STAGE_POST_LOAD,
+                                  SnapshotImage)
+from repro.snapshot.prefetch import ReapRecorder, WorkingSetProfile
+from repro.snapshot.restorer import (POLICY_DEMAND, POLICY_DEMAND_COLD,
+                                     POLICY_REAP, Restorer)
+from repro.snapshot.snapshotter import GUEST_REGIONS, Snapshotter
+
+__all__ = [
+    "GUEST_REGIONS",
+    "POLICY_DEMAND",
+    "POLICY_DEMAND_COLD",
+    "POLICY_REAP",
+    "ReapRecorder",
+    "Restorer",
+    "STAGE_OS",
+    "STAGE_POST_JIT",
+    "STAGE_POST_LOAD",
+    "SnapshotImage",
+    "Snapshotter",
+    "WorkingSetProfile",
+]

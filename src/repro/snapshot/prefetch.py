@@ -1,0 +1,98 @@
+"""REAP-style working-set recording and prefetch (§7 extension).
+
+REAP [54] observes that restoring a snapshot by demand paging faults in a
+small, *stable* working set with expensive random reads; it records the set
+of pages an invocation actually touches and, on later restores, prefetches
+exactly those pages with one sequential read.
+
+The paper notes Fireworks "can also employ REAP's prefetching to further
+reduce the overhead for reading snapshots from disk" — this module is that
+employment:
+
+* :class:`ReapRecorder` captures a per-function working-set profile from a
+  worker after its invocation;
+* :class:`Restorer` (see :mod:`repro.snapshot.restorer`) consults the
+  recorder under ``POLICY_REAP``: with a profile it prefetches just the
+  recorded working set; without one it falls back to whole-image prefetch
+  (the conservative first-invocation behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SnapshotNotFoundError
+from repro.sandbox.worker import Worker
+from repro.snapshot.image import SnapshotImage
+
+#: Fraction of clean (shared, executed-over) pages an invocation touches
+#: beyond what it dirties — text and read-only data of the hot path.
+CLEAN_TOUCH_FRACTION = 0.10
+
+
+@dataclass(frozen=True)
+class WorkingSetProfile:
+    """The recorded pages one invocation of a function touches."""
+
+    image_key: str
+    generation: int
+    working_set_mb: float
+    recorded_at_ms: float
+
+    def matches(self, image: SnapshotImage) -> bool:
+        """A profile is only valid for the generation it was recorded on —
+        regeneration (ASLR, §6) changes the page layout."""
+        return (self.image_key == image.key
+                and self.generation == image.generation)
+
+
+class ReapRecorder:
+    """Records and serves working-set profiles, keyed by function."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[str, WorkingSetProfile] = {}
+        self.recordings = 0
+
+    def record(self, image: SnapshotImage, worker: Worker,
+               now_ms: float) -> WorkingSetProfile:
+        """Capture the working set of *worker* after an invocation.
+
+        The working set is what the invocation actually touched: its
+        private (CoW-broken + fresh) pages plus the hot fraction of the
+        still-clean mapped pages it executed over.
+        """
+        if worker.invocations == 0:
+            raise SnapshotNotFoundError(
+                "cannot record a working set before any invocation ran")
+        space = worker.sandbox.space
+        vmm_mb = (space.region_rss_mb("vmm")
+                  if space.has_region("vmm") else 0.0)
+        private_mb = space.uss_mb() - vmm_mb
+        clean_mb = space.rss_mb() - space.uss_mb()
+        profile = WorkingSetProfile(
+            image_key=image.key,
+            generation=image.generation,
+            working_set_mb=max(0.0, private_mb
+                               + clean_mb * CLEAN_TOUCH_FRACTION),
+            recorded_at_ms=now_ms,
+        )
+        self._profiles[image.key] = profile
+        self.recordings += 1
+        return profile
+
+    def profile_for(self, image: SnapshotImage
+                    ) -> Optional[WorkingSetProfile]:
+        """The valid profile for *image*, or None (record first / stale
+        generation)."""
+        profile = self._profiles.get(image.key)
+        if profile is None or not profile.matches(image):
+            return None
+        return profile
+
+    def invalidate(self, image_key: str) -> None:
+        """Drop a profile (e.g. after the function is reinstalled)."""
+        self._profiles.pop(image_key, None)
+
+    def __len__(self) -> int:
+        return len(self._profiles)

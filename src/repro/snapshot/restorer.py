@@ -1,0 +1,132 @@
+"""Restoring microVMs from snapshot images.
+
+§3.4: "invoking the serverless function is nothing but loading the snapshot
+as a file into memory".  The restored microVM maps every image region
+MAP_PRIVATE from the image's page-cache segments, so clones share all clean
+pages (Figure 4) and CoW-break only what they write.
+
+Three restore policies are modeled:
+
+* ``demand``      — demand paging with a warm page cache (the common case on
+                    a busy host; the paper's steady-state numbers).
+* ``demand-cold`` — demand paging with a cold page cache: every working-set
+                    page is a random 4 KiB disk read (REAP's observed
+                    bottleneck [54]).
+* ``reap``        — REAP-style working-set prefetch: one sequential read of
+                    the image before resuming (§7: Fireworks "can also
+                    employ REAP's prefetching").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.config import CalibratedParameters
+from repro.errors import SnapshotNotFoundError
+from repro.mem.host_memory import HostMemory
+from repro.runtime import make_runtime
+from repro.runtime.interpreter import LanguageRuntime
+from repro.sandbox.base import STATE_RUNNING
+from repro.sandbox.microvm import MicroVM
+from repro.sandbox.worker import Worker
+from repro.snapshot.image import STAGE_OS, SnapshotImage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulation
+
+POLICY_DEMAND = "demand"
+POLICY_DEMAND_COLD = "demand-cold"
+POLICY_REAP = "reap"
+
+_POLICIES = (POLICY_DEMAND, POLICY_DEMAND_COLD, POLICY_REAP)
+
+
+class Restorer:
+    """Builds ready-to-run workers from snapshot images."""
+
+    def __init__(self, sim: "Simulation", params: CalibratedParameters,
+                 host_memory: HostMemory, recorder=None,
+                 faults=None) -> None:
+        self.sim = sim
+        self.params = params
+        self.host_memory = host_memory
+        self.recorder = recorder  # optional ReapRecorder (POLICY_REAP)
+        self.faults = faults      # optional FaultInjector
+        self._clone_counter = 0
+
+    def restore_ms(self, image: SnapshotImage,
+                   policy: str = POLICY_DEMAND) -> float:
+        """The restore latency for *image* under *policy*."""
+        if policy not in _POLICIES:
+            raise SnapshotNotFoundError(f"unknown restore policy {policy!r}")
+        cfg = self.params.snapshot
+        layout = self.params.memory_layout(image.language)
+        working_mb = image.size_mb * layout.snapshot_working_set_mb_fraction
+        if policy == POLICY_DEMAND:
+            return cfg.restore_base_ms + working_mb * cfg.restore_per_working_mb_ms
+        if policy == POLICY_DEMAND_COLD:
+            return (cfg.restore_base_ms
+                    + working_mb * cfg.restore_per_working_mb_cold_ms)
+        # REAP: one sequential prefetch, then cheap faults.  With a recorded
+        # working-set profile only those pages are read; without one the
+        # whole image is (the conservative first-invocation behaviour).
+        profile = (self.recorder.profile_for(image)
+                   if self.recorder is not None else None)
+        prefetch_mb = (profile.working_set_mb if profile is not None
+                       else image.size_mb)
+        return (cfg.restore_base_ms
+                + prefetch_mb * cfg.prefetch_per_mb_ms
+                + working_mb * cfg.restore_per_working_mb_ms * 0.1)
+
+    def restore(self, image: SnapshotImage, policy: str = POLICY_DEMAND,
+                name: str = ""):
+        """Restore a clone of *image* (a simulation generator) -> Worker.
+
+        With a fault injector attached, an armed ``restore`` fault surfaces
+        after the device-state load (where Firecracker's integrity check
+        runs), leaving no clone behind.
+        """
+        duration = self.restore_ms(image, policy)  # validates policy
+        if self.faults is not None:
+            cfg = self.params.snapshot
+            yield self.sim.timeout(cfg.restore_base_ms)
+            duration = max(0.0, duration - cfg.restore_base_ms)
+            self.faults.check("restore", image.key)
+        segments = image.materialize(self.host_memory)
+        self._clone_counter += 1
+        vm_name = name or f"{image.key}-clone-{self._clone_counter}"
+
+        microvm = MicroVM(self.sim, self.params, self.host_memory,
+                          image.language, name=vm_name)
+        # Snapshot clones inherit the snapshotted network identity verbatim
+        # (§3.5) — the namespace/NAT layer makes that safe.
+        microvm.assign_guest_addresses(image.guest_ip, image.guest_mac)
+        microvm.restored_from_snapshot = True
+
+        yield self.sim.timeout(duration)
+
+        # Map guest memory from the shared image segments, VMM state fresh.
+        microvm.space.map_private("vmm", microvm.layout.vmm_overhead_mb,
+                                  "vmm")
+        for region, segment in segments.items():
+            microvm.space.map_segment(region, segment)
+        microvm.state = STATE_RUNNING
+        microvm.boot_completed_at = self.sim.now
+
+        runtime = self._rebuild_runtime(image)
+        return Worker(self.sim, microvm, runtime, app=image.app)
+
+    # -- internal -----------------------------------------------------------------
+    def _rebuild_runtime(self, image: SnapshotImage) -> LanguageRuntime:
+        runtime = make_runtime(self.sim, self.params, image.language)
+        if image.stage == STAGE_OS:
+            # The OS-stage image has the runtime agent up but nothing loaded.
+            runtime.state = LanguageRuntime.STATE_LAUNCHED
+            return runtime
+        if image.app is None:
+            raise SnapshotNotFoundError(
+                f"{image.stage} image {image.key!r} has no app recorded")
+        runtime.state = LanguageRuntime.STATE_LOADED
+        runtime.app = image.app
+        runtime.jit.import_state(image.jit_state)
+        return runtime

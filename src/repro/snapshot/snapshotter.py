@@ -1,0 +1,89 @@
+"""Creating VM-level snapshots through the (modeled) Firecracker API.
+
+§3.3: the guest's ``__fireworks_snapshot()`` sends an HTTP request to the
+host; Firecracker pauses the VM, serializes device state, and writes all
+guest physical memory to an image file.  Cost scales with resident guest
+memory — the source of the 0.36-0.47 s creation times in §5.1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import SnapshotConfig
+from repro.errors import SandboxError, SnapshotNotFoundError
+from repro.sandbox.base import STATE_RUNNING
+from repro.sandbox.microvm import MicroVM
+from repro.sandbox.worker import Worker
+from repro.snapshot.image import (STAGE_OS, STAGE_POST_JIT, STAGE_POST_LOAD,
+                                  SnapshotImage)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulation
+
+#: Guest regions that belong in a VM-level memory snapshot.  The host-side
+#: VMM overhead is process state of Firecracker itself, not guest memory.
+GUEST_REGIONS = ("kernel", "runtime", "app", "heap", "jit_code")
+
+
+class Snapshotter:
+    """Creates :class:`SnapshotImage` objects from running microVMs."""
+
+    def __init__(self, sim: "Simulation", config: SnapshotConfig) -> None:
+        self.sim = sim
+        self.config = config
+
+    def create(self, worker: Worker, key: str, stage: str):
+        """Snapshot *worker*'s microVM (a simulation generator).
+
+        Returns the new :class:`SnapshotImage`.  The worker must be running
+        and must be a microVM — VM-level snapshots are a hypervisor feature
+        (containers would need CRIU, which is a different mechanism).
+        """
+        sandbox = worker.sandbox
+        if not isinstance(sandbox, MicroVM):
+            raise SandboxError(
+                f"VM-level snapshot of non-VM sandbox {sandbox.name!r}")
+        if sandbox.state != STATE_RUNNING:
+            raise SandboxError(
+                f"snapshot of {sandbox.name} in state {sandbox.state!r}")
+        if sandbox.guest_ip is None or sandbox.guest_mac is None:
+            raise SandboxError(
+                f"snapshot of {sandbox.name} before network configuration")
+        self._check_stage_consistency(worker, stage)
+
+        regions_mb = {
+            region: sandbox.space.region_rss_mb(region)
+            for region in GUEST_REGIONS
+            if sandbox.space.has_region(region)
+        }
+        image = SnapshotImage(
+            key=key,
+            language=sandbox.language,
+            stage=stage,
+            regions_mb=regions_mb,
+            guest_ip=sandbox.guest_ip,
+            guest_mac=sandbox.guest_mac,
+            app=worker.app if stage != STAGE_OS else None,
+            jit_state=worker.runtime.export_jit_state()
+            if stage != STAGE_OS else {},
+            created_at_ms=self.sim.now,
+        )
+        write_ms = (self.config.create_base_ms
+                    + image.size_mb * self.config.create_per_mb_ms)
+        yield self.sim.timeout(write_ms)
+        return image
+
+    @staticmethod
+    def _check_stage_consistency(worker: Worker, stage: str) -> None:
+        runtime = worker.runtime
+        if stage == STAGE_OS:
+            return
+        if stage in (STAGE_POST_LOAD, STAGE_POST_JIT):
+            if worker.app is None:
+                raise SnapshotNotFoundError(
+                    f"{stage} snapshot requires a loaded app")
+        if stage == STAGE_POST_JIT and not runtime.jit.optimized_functions():
+            raise SnapshotNotFoundError(
+                "post-JIT snapshot requested but nothing is JIT-compiled; "
+                "run the annotated __fireworks_jit() first (Figure 3)")

@@ -1,0 +1,7 @@
+"""Storage substrate: block device, I/O path models, snapshot store."""
+
+from repro.storage.disk import BlockDevice
+from repro.storage.filesystem import IoPathModel
+from repro.storage.snapshot_store import SnapshotStore, StorableImage
+
+__all__ = ["BlockDevice", "IoPathModel", "SnapshotStore", "StorableImage"]

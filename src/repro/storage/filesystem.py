@@ -1,0 +1,56 @@
+"""Per-sandbox I/O path models.
+
+Fig 6(c) of the paper hinges on how each sandbox mechanism reaches the disk:
+
+* **OverlayFS container** (OpenWhisk): almost direct host-filesystem access —
+  the fastest path.
+* **virtio-blk microVM** (Firecracker/Fireworks): guest filesystem + virtio
+  ring — moderate cost.
+* **9p/Gofer** (gVisor): every I/O traverses Sentry's seccomp trap and a
+  Gofer 9p round trip — the slowest path by far.
+
+The cost tables live in :class:`~repro.config.SandboxLatency`; this module
+turns them into per-operation latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SandboxLatency
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class IoPathModel:
+    """Computes disk/net operation latencies for one sandbox mechanism."""
+
+    latency: SandboxLatency
+
+    def disk_read_ms(self, kb: float) -> float:
+        """Latency of one read of *kb* KiB through this sandbox's I/O path."""
+        return self._disk_op_ms(kb)
+
+    def disk_write_ms(self, kb: float) -> float:
+        """Latency of one write of *kb* KiB (same path; writeback absorbed)."""
+        return self._disk_op_ms(kb)
+
+    def net_send_ms(self, kb: float) -> float:
+        """Latency of sending a message of *kb* KiB (request or response)."""
+        if kb < 0:
+            raise StorageError(f"negative message size {kb}")
+        per_kb = self.latency.disk_io_per_kb_ms * 0.5  # wire is faster than disk
+        return (self.latency.net_rtt_ms / 2.0
+                + self.latency.syscall_overhead_ms
+                + kb * per_kb)
+
+    def net_recv_ms(self, kb: float) -> float:
+        """Latency of receiving a message of *kb* KiB."""
+        return self.net_send_ms(kb)
+
+    def _disk_op_ms(self, kb: float) -> float:
+        if kb < 0:
+            raise StorageError(f"negative I/O size {kb}")
+        return (self.latency.disk_io_base_ms
+                + self.latency.syscall_overhead_ms
+                + kb * self.latency.disk_io_per_kb_ms)

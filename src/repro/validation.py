@@ -1,0 +1,136 @@
+"""Validation of calibrated parameters.
+
+Ablation users override constants in :class:`CalibratedParameters`; this
+module checks that an override still describes a *possible* system (no
+negative latencies, orderings the model relies on).  Violations come back
+as a list of human-readable problems — empty means valid.
+
+``validate_or_raise`` is the strict entry point used by ``python -m repro
+validate``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import CalibratedParameters
+from repro.errors import ReproError
+
+
+class InvalidParametersError(ReproError):
+    """The parameter bundle fails validation; see ``problems``."""
+
+    def __init__(self, problems: List[str]) -> None:
+        super().__init__(
+            f"{len(problems)} parameter problem(s): " + "; ".join(problems))
+        self.problems = problems
+
+
+def validate(params: CalibratedParameters) -> List[str]:
+    """All problems with *params* (empty list = valid)."""
+    problems: List[str] = []
+
+    # -- host ------------------------------------------------------------------
+    host = params.host
+    if host.cores < 1:
+        problems.append(f"host.cores must be >= 1, got {host.cores}")
+    if host.dram_mb <= 0:
+        problems.append(f"host.dram_mb must be > 0, got {host.dram_mb}")
+    if not 0.0 < host.swappiness_threshold <= 1.0:
+        problems.append(
+            "host.swappiness_threshold must be in (0, 1], got "
+            f"{host.swappiness_threshold}")
+
+    # -- sandbox latencies -------------------------------------------------------
+    for mechanism, latency in params.sandbox_latency.items():
+        for field_name in ("create_ms", "os_boot_ms", "init_ms", "pause_ms",
+                           "resume_paused_ms", "teardown_ms",
+                           "disk_io_base_ms", "disk_io_per_kb_ms",
+                           "net_rtt_ms", "syscall_overhead_ms"):
+            value = getattr(latency, field_name)
+            if value < 0:
+                problems.append(
+                    f"sandbox_latency[{mechanism}].{field_name} is "
+                    f"negative ({value})")
+
+    # -- runtimes -------------------------------------------------------------------
+    for language, runtime in params.runtimes.items():
+        if runtime.interp_units_per_ms <= 0:
+            problems.append(
+                f"runtimes[{language}].interp_units_per_ms must be > 0")
+        if runtime.launch_ms < 0 or runtime.app_load_base_ms < 0:
+            problems.append(
+                f"runtimes[{language}] has a negative launch/load time")
+        if runtime.jit_compile_ms_per_kunit < 0:
+            problems.append(
+                f"runtimes[{language}].jit_compile_ms_per_kunit is "
+                "negative")
+        if runtime.hotness_threshold_units < 0:
+            problems.append(
+                f"runtimes[{language}].hotness_threshold_units is "
+                "negative")
+
+    # -- memory layouts ----------------------------------------------------------------
+    for language, layout in params.memory_layouts.items():
+        for field_name in ("kernel_mb", "runtime_mb", "app_mb",
+                           "heap_after_load_mb", "jit_code_mb",
+                           "exec_extra_anon_mb",
+                           "steady_state_extra_anon_mb",
+                           "vmm_overhead_mb"):
+            if getattr(layout, field_name) < 0:
+                problems.append(
+                    f"memory_layouts[{language}].{field_name} is negative")
+        for field_name in ("exec_dirty_heap_fraction",
+                           "exec_dirty_jit_fraction",
+                           "exec_dirty_text_fraction",
+                           "steady_state_dirty_fraction",
+                           "snapshot_working_set_mb_fraction"):
+            value = getattr(layout, field_name)
+            if not 0.0 <= value <= 1.0:
+                problems.append(
+                    f"memory_layouts[{language}].{field_name} must be in "
+                    f"[0, 1], got {value}")
+        if layout.guest_total_mb <= 0:
+            problems.append(
+                f"memory_layouts[{language}] has an empty guest image")
+        if layout.guest_total_mb > params.microvm.mem_mb:
+            problems.append(
+                f"memory_layouts[{language}].guest_total_mb "
+                f"({layout.guest_total_mb}) exceeds the microVM size "
+                f"({params.microvm.mem_mb} MB)")
+
+    # -- snapshot machinery ---------------------------------------------------------
+    snapshot = params.snapshot
+    for field_name in ("create_base_ms", "create_per_mb_ms",
+                       "restore_base_ms", "restore_per_working_mb_ms",
+                       "restore_per_working_mb_cold_ms",
+                       "prefetch_per_mb_ms"):
+        if getattr(snapshot, field_name) < 0:
+            problems.append(f"snapshot.{field_name} is negative")
+    if snapshot.store_capacity_images < 1:
+        problems.append("snapshot.store_capacity_images must be >= 1")
+    if snapshot.restore_per_working_mb_cold_ms < \
+            snapshot.restore_per_working_mb_ms:
+        problems.append(
+            "cold-cache demand paging cannot be faster than warm "
+            "(restore_per_working_mb_cold_ms < restore_per_working_mb_ms)")
+
+    # -- model-level orderings the figures rely on --------------------------------
+    if ("container" in params.sandbox_latency
+            and "gvisor" in params.sandbox_latency):
+        container = params.sandbox_latency["container"]
+        gvisor = params.sandbox_latency["gvisor"]
+        if (gvisor.disk_io_base_ms + gvisor.syscall_overhead_ms
+                <= container.disk_io_base_ms):
+            problems.append(
+                "gVisor's per-I/O cost must exceed the container's "
+                "(Sentry/Gofer interposition, §5.2.1)")
+
+    return problems
+
+
+def validate_or_raise(params: CalibratedParameters) -> None:
+    """Raise :class:`InvalidParametersError` when *params* is invalid."""
+    problems = validate(params)
+    if problems:
+        raise InvalidParametersError(problems)

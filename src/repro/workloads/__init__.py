@@ -1,0 +1,38 @@
+"""Workloads: FaaSdom micro-benchmarks, ServerlessBench apps, traces."""
+
+from repro.workloads.base import ChainSpec, FunctionSpec
+from repro.workloads.faasdom import (BENCHMARK_NAMES,
+                                     EXTRA_BENCHMARK_NAMES, LANGUAGES,
+                                     all_faasdom_specs, faasdom_spec)
+from repro.workloads.generator import (POPULAR_FRACTION, FunctionPopularity,
+                                       TraceEvent, assign_popularity,
+                                       poisson_trace, trace_stats)
+from repro.workloads.serverlessbench import (ALEXA_SKILLS, DEVICES_DB,
+                                             REMINDER_DB, WAGE_STATS_DB,
+                                             WAGES_DB, alexa_skills_chain,
+                                             analysis_trigger,
+                                             data_analysis_chain)
+
+__all__ = [
+    "ALEXA_SKILLS",
+    "BENCHMARK_NAMES",
+    "ChainSpec",
+    "DEVICES_DB",
+    "EXTRA_BENCHMARK_NAMES",
+    "FunctionPopularity",
+    "FunctionSpec",
+    "LANGUAGES",
+    "POPULAR_FRACTION",
+    "REMINDER_DB",
+    "TraceEvent",
+    "WAGES_DB",
+    "WAGE_STATS_DB",
+    "alexa_skills_chain",
+    "all_faasdom_specs",
+    "analysis_trigger",
+    "assign_popularity",
+    "data_analysis_chain",
+    "faasdom_spec",
+    "poisson_trace",
+    "trace_stats",
+]

@@ -1,0 +1,102 @@
+"""Azure-like invocation trace generator (§1, §2.2).
+
+Shahrad et al. [48] report that only 18.6% of functions are called more than
+once a minute — the observation behind the paper's argument that warm pools
+waste memory on the other 81.4%.  This generator produces a deterministic
+synthetic trace with exactly that popularity split, used by the
+warm-pool-vs-snapshot policy bench (an extension beyond the paper's own
+figures).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import PlatformError
+from repro.sim.rng import RngStreams
+
+POPULAR_FRACTION = 0.186   # functions invoked more than once per minute [48]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled invocation."""
+
+    at_ms: float
+    function: str
+
+
+@dataclass(frozen=True)
+class FunctionPopularity:
+    """Arrival process of one function."""
+
+    function: str
+    mean_interarrival_ms: float
+    popular: bool
+
+
+def assign_popularity(functions: Sequence[str], rng: RngStreams,
+                      popular_interarrival_ms: float = 12000.0,
+                      rare_interarrival_ms: float = 1800000.0
+                      ) -> List[FunctionPopularity]:
+    """Split *functions* into popular (18.6%) and rare (81.4%) classes.
+
+    Popular functions arrive every ~12 s (more than once a minute); rare
+    functions every ~30 min — beyond any realistic keep-alive window, the
+    regime where [48] finds warm pools ineffective.
+    """
+    if not functions:
+        raise PlatformError("cannot assign popularity to zero functions")
+    n_popular = max(1, int(round(len(functions) * POPULAR_FRACTION)))
+    if len(functions) == 1:
+        n_popular = 1
+    stream = rng.stream("popularity")
+    shuffled = list(functions)
+    stream.shuffle(shuffled)
+    result = []
+    for index, function in enumerate(shuffled):
+        popular = index < n_popular
+        result.append(FunctionPopularity(
+            function=function,
+            mean_interarrival_ms=(popular_interarrival_ms if popular
+                                  else rare_interarrival_ms),
+            popular=popular))
+    return result
+
+
+def poisson_trace(popularities: Sequence[FunctionPopularity],
+                  duration_ms: float, rng: RngStreams) -> List[TraceEvent]:
+    """A merged Poisson arrival trace over *duration_ms*, sorted by time."""
+    if duration_ms <= 0:
+        raise PlatformError(f"duration must be positive, got {duration_ms}")
+    events: List[TraceEvent] = []
+    for pop in popularities:
+        stream = rng.stream(f"arrivals:{pop.function}")
+        t = 0.0
+        while True:
+            # Exponential inter-arrival via inverse transform.
+            u = stream.random()
+            t += -pop.mean_interarrival_ms * math.log(1.0 - u)
+            if t >= duration_ms:
+                break
+            events.append(TraceEvent(at_ms=t, function=pop.function))
+    events.sort(key=lambda e: (e.at_ms, e.function))
+    return events
+
+
+def trace_stats(events: Sequence[TraceEvent],
+                duration_ms: float) -> dict:
+    """Per-function rates, for sanity checks against the 18.6% claim."""
+    counts: dict = {}
+    for event in events:
+        counts[event.function] = counts.get(event.function, 0) + 1
+    minutes = duration_ms / 60000.0
+    rates = {function: count / minutes for function, count in counts.items()}
+    popular = sum(1 for rate in rates.values() if rate > 1.0)
+    return {
+        "per_minute_rates": rates,
+        "popular_functions": popular,
+        "total_events": len(events),
+    }

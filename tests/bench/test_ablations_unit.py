@@ -1,0 +1,69 @@
+"""Unit tests for the ablation drivers' result structures."""
+
+import pytest
+
+from repro.bench.ablations import (KeepAliveOutcome,
+                                   run_catalyzer_comparison,
+                                   run_deopt_experiment,
+                                   run_regeneration_demo,
+                                   run_remote_store_ablation,
+                                   run_store_eviction_demo)
+
+
+class TestDeoptDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_deopt_experiment()
+
+    def test_deopts_occur(self, result):
+        assert result.total_deopts >= 3  # one per distinct skill shape
+
+    def test_winner_flag_consistent(self, result):
+        assert result.fireworks_still_wins == \
+            (result.fireworks_mean_ms < result.openwhisk_mean_ms)
+
+
+class TestStoreEvictionDriver:
+    def test_counts_reconcile(self):
+        result = run_store_eviction_demo(capacity_images=3)
+        assert result["installed"] == \
+            result["resident_images"] + result["evictions"]
+        assert len(result["resident_keys"]) == result["resident_images"]
+
+    def test_capacity_one(self):
+        result = run_store_eviction_demo(capacity_images=1)
+        assert result["resident_images"] == 1
+        assert result["evictions"] == 7
+
+
+class TestRegenerationDriver:
+    def test_startup_stable_across_generations(self):
+        result = run_regeneration_demo()
+        assert result["generation"] == 2.0
+        assert result["startup_after_ms"] == pytest.approx(
+            result["startup_before_ms"], rel=0.05)
+
+
+class TestRemoteStoreDriver:
+    def test_fetch_cost_scales_with_image(self):
+        result = run_remote_store_ablation()
+        # Download dominates: remote - local ~ image/bandwidth + rtt.
+        transfer_ms = result["remote_fetch_ms"] - result["local_hit_ms"]
+        assert transfer_ms > result["image_mb"] / 2.0  # >= slow-ish link
+
+
+class TestCatalyzerDriver:
+    def test_result_shape(self):
+        results = run_catalyzer_comparison(benchmark="faas-netlatency")
+        assert set(results) == {"catalyzer", "fireworks"}
+        for values in results.values():
+            assert values["cold_startup_ms"] > 0
+            assert values["exec_ms"] > 0
+
+
+class TestKeepAliveOutcome:
+    def test_line_format(self):
+        outcome = KeepAliveOutcome("x", 12.0, 0.5, 100.0)
+        line = outcome.as_line()
+        assert "warm-hit= 50.0%" in line
+        assert "idle-mem=" in line

@@ -1,0 +1,66 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.bench.ascii_chart import render_bar, render_figure
+from repro.bench.results import FigureResult, LatencyRow
+
+
+@pytest.fixture
+def figure():
+    result = FigureResult("fig6a", "fact breakdown")
+    result.rows.append(LatencyRow("openwhisk", "cold", 1500.0, 800.0, 10.0))
+    result.rows.append(LatencyRow("fireworks", "snapshot", 18.0, 500.0,
+                                  3.0))
+    return result
+
+
+class TestRenderBar:
+    def test_segments_in_order(self):
+        row = LatencyRow("p", "cold", 30.0, 20.0, 10.0)
+        bar = render_bar(row, scale_ms_per_char=10.0)
+        assert bar == "SSS" + "EE" + "."
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar(LatencyRow("p", "cold", 1, 1, 1), 0.0)
+
+    def test_bar_length_tracks_total(self):
+        row = LatencyRow("p", "cold", 100.0, 100.0, 0.0)
+        assert len(render_bar(row, 10.0)) == 20
+
+    def test_carry_avoids_systematic_truncation(self):
+        # Three segments of 5 ms at 10 ms/char: 15 ms -> 1 char total,
+        # not zero.
+        row = LatencyRow("p", "cold", 5.0, 5.0, 5.0)
+        assert len(render_bar(row, 10.0)) == 1
+
+
+class TestRenderFigure:
+    def test_contains_all_rows_and_legend(self, figure):
+        text = render_figure(figure)
+        assert "openwhisk (c)" in text
+        assert "fireworks (both)" in text
+        assert "S=start-up" in text
+
+    def test_widest_row_fills_width(self, figure):
+        text = render_figure(figure, width=40)
+        bar_line = next(line for line in text.splitlines()
+                        if "openwhisk" in line)
+        bar = bar_line.split("|")[1]
+        assert len(bar.rstrip()) in (39, 40)  # rounding may drop one char
+
+    def test_small_width_rejected(self, figure):
+        with pytest.raises(ValueError):
+            render_figure(figure, width=5)
+
+    def test_empty_figure(self):
+        text = render_figure(FigureResult("figx", "empty"))
+        assert "(no rows)" in text
+
+    def test_relative_lengths_track_totals(self, figure):
+        text = render_figure(figure, width=50)
+        lines = [line for line in text.splitlines() if "|" in line]
+        ow_bar = lines[0].split("|")[1].strip()
+        fw_bar = lines[1].split("|")[1].strip()
+        assert len(ow_bar) > 3 * len(fw_bar)

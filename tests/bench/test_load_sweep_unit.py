@@ -1,0 +1,46 @@
+"""Unit tests for the sustained-load sweep."""
+
+import pytest
+
+from repro.bench.concurrency import LoadPoint, run_load_sweep
+from repro.bench.stats import LatencyStats
+from repro.core.fireworks import FireworksPlatform
+from repro.platforms.firecracker import FirecrackerPlatform
+
+
+class TestLoadPoint:
+    def test_saturation_flag(self):
+        stats = LatencyStats.from_samples([10.0, 10.0, 10.0])
+        calm = LoadPoint(10.0, 10.0, stats, mean_queue_wait_ms=1.0)
+        stressed = LoadPoint(10.0, 5.0, stats, mean_queue_wait_ms=50.0)
+        assert not calm.saturated
+        assert stressed.saturated
+
+
+class TestSweep:
+    def test_fireworks_flat_under_load(self):
+        points = run_load_sweep(FireworksPlatform,
+                                rates_rps=(30.0, 300.0),
+                                duration_ms=4000.0)
+        assert points[30.0].latency.p50_ms == \
+            pytest.approx(points[300.0].latency.p50_ms, rel=0.10)
+
+    def test_firecracker_saturates(self):
+        points = run_load_sweep(FirecrackerPlatform, rates_rps=(200.0,),
+                                duration_ms=4000.0)
+        point = points[200.0]
+        assert point.saturated
+        # Throughput ~ cores / boot-dominated service time.
+        assert point.achieved_rps < 50
+
+    def test_achieved_tracks_offered_when_unsaturated(self):
+        points = run_load_sweep(FireworksPlatform, rates_rps=(100.0,),
+                                duration_ms=6000.0)
+        assert points[100.0].achieved_rps == pytest.approx(100.0, rel=0.3)
+
+    def test_deterministic(self):
+        a = run_load_sweep(FireworksPlatform, rates_rps=(50.0,),
+                           duration_ms=3000.0, seed=5)
+        b = run_load_sweep(FireworksPlatform, rates_rps=(50.0,),
+                           duration_ms=3000.0, seed=5)
+        assert a[50.0].latency.p99_ms == b[50.0].latency.p99_ms

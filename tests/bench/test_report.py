@@ -1,0 +1,47 @@
+"""Tests for the one-shot report and the CLI's report command."""
+
+import pytest
+
+from repro.bench.report import full_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return full_report(include_extensions=False)
+
+
+class TestFullReport:
+    def test_every_artifact_present(self, report):
+        for needle in ("Table 1", "Table 2", "§5.1", "Figure 6",
+                       "Figure 7", "Figure 9", "Figure 10", "Figure 11",
+                       "Figure 12", "Scorecard"):
+            assert needle in report, needle
+
+    def test_all_claims_hold(self, report):
+        assert "claims holding: 15/15" in report
+        assert "[DEV]" not in report
+
+    def test_extensions_toggle(self, report):
+        assert "Extensions" not in report
+        with_extensions = full_report(include_extensions=True)
+        assert "Extensions" in with_extensions
+        assert "burst:" in with_extensions
+
+    def test_platform_rows_rendered(self, report):
+        assert "fireworks" in report
+        assert "openwhisk (c)" in report
+
+
+class TestCliReport:
+    def test_report_command(self, capsys):
+        from repro.cli import main
+        assert main(["report", "--no-extensions"]) == 0
+        out = capsys.readouterr().out
+        assert "claims holding: 15/15" in out
+
+    def test_chart_flag(self, capsys):
+        from repro.cli import main
+        assert main(["run", "fig9", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "S=start-up" in out
+        assert "|" in out

@@ -1,0 +1,79 @@
+"""Unit tests for result containers and rendering."""
+
+import pytest
+
+from repro.bench.results import (FigureResult, LatencyRow, MemoryPoint,
+                                 MemorySeries, PaperComparison,
+                                 format_comparisons, geometric_mean)
+
+
+class TestLatencyRow:
+    def test_total(self):
+        row = LatencyRow("fw", "snapshot", 10.0, 20.0, 5.0)
+        assert row.total_ms == 35.0
+
+    def test_labels(self):
+        assert LatencyRow("fw", "cold", 1, 1, 1).label() == "fw (c)"
+        assert LatencyRow("fw", "warm", 1, 1, 1).label() == "fw (w)"
+        assert LatencyRow("fw", "snapshot", 1, 1, 1).label() == "fw (both)"
+
+
+class TestFigureResult:
+    def test_row_lookup(self):
+        figure = FigureResult("fig6a", "t")
+        row = LatencyRow("fw", "snapshot", 1, 2, 3)
+        figure.rows.append(row)
+        assert figure.row("fw", "snapshot") is row
+        with pytest.raises(KeyError):
+            figure.row("fw", "cold")
+
+    def test_as_table_contains_rows_and_notes(self):
+        figure = FigureResult("fig6a", "fact breakdown")
+        figure.rows.append(LatencyRow("fw", "snapshot", 1, 2, 3))
+        figure.notes.append("a note")
+        table = figure.as_table()
+        assert "fig6a" in table
+        assert "fw (both)" in table
+        assert "a note" in table
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_below_arithmetic_mean(self):
+        values = [3.0, 5.0, 50.0]
+        assert geometric_mean(values) < sum(values) / len(values)
+
+
+class TestMemorySeries:
+    def test_as_table(self):
+        series = MemorySeries("fireworks", max_vms_before_swap=553)
+        series.points.append(MemoryPoint(50, 10000.0, 140.0))
+        table = series.as_table()
+        assert "553" in table and "n=50" in table
+
+
+class TestPaperComparison:
+    def test_line_marks(self):
+        ok = PaperComparison("x", "10x", "9.5x", holds=True)
+        dev = PaperComparison("y", "2x", "8x", holds=False, comment="why")
+        assert ok.as_line().startswith("[OK ]")
+        assert dev.as_line().startswith("[DEV]")
+        assert "why" in dev.as_line()
+
+    def test_format_block(self):
+        block = format_comparisons("fig6", [
+            PaperComparison("a", "1", "1", True)])
+        assert "fig6" in block

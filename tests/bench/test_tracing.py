@@ -1,0 +1,108 @@
+"""Unit tests for Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.bench import fresh_platform, install_chain, invoke_once
+from repro.bench.tracing import to_chrome_trace_json, trace_events
+from repro.core import FireworksPlatform
+from repro.platforms.base import InvocationRecord
+from repro.workloads import alexa_skills_chain
+
+
+def _record(function="fn", submitted=100.0, startup=10.0, exec_ms=20.0,
+            other=5.0, queue=0.0):
+    record = InvocationRecord(function=function, platform="fireworks",
+                              mode="snapshot", submitted_ms=submitted)
+    record.startup_ms = startup
+    record.exec_ms = exec_ms
+    record.other_ms = other
+    record.queue_wait_ms = queue
+    return record
+
+
+class TestTraceEvents:
+    def test_phases_become_spans(self):
+        events = trace_events([_record()])
+        names = {event["name"] for event in events}
+        assert names == {"fn:frontend", "fn:startup", "fn:exec"}
+
+    def test_zero_phases_omitted(self):
+        events = trace_events([_record(other=0.0)])
+        names = {event["name"] for event in events}
+        assert "fn:frontend" not in names
+
+    def test_queue_span_present_when_waited(self):
+        events = trace_events([_record(other=8.0, queue=3.0)])
+        spans = {event["name"]: event for event in events}
+        assert spans["fn:queue"]["dur"] == pytest.approx(3000.0)
+        assert spans["fn:frontend"]["dur"] == pytest.approx(5000.0)
+
+    def test_spans_are_sequential(self):
+        events = trace_events([_record()])
+        ordered = sorted(events, key=lambda e: e["ts"])
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert later["ts"] == pytest.approx(
+                earlier["ts"] + earlier["dur"])
+
+    def test_children_on_deeper_lanes(self):
+        parent = _record(function="parent")
+        parent.children.append(_record(function="child", submitted=120.0))
+        events = trace_events([parent])
+        tids = {event["name"].split(":")[0]: event["tid"]
+                for event in events}
+        assert tids["child"] == tids["parent"] + 1
+
+    def test_timestamps_in_microseconds(self):
+        events = trace_events([_record(submitted=100.0)])
+        assert min(event["ts"] for event in events) == \
+            pytest.approx(100000.0)
+
+
+class TestInstallSpans:
+    def test_install_phase_spans(self):
+        from repro.bench import install_all
+        from repro.bench.tracing import install_trace_events
+        from repro.workloads import faasdom_spec
+        platform = fresh_platform(FireworksPlatform)
+        install_all(platform, [faasdom_spec("faas-fact", "python")])
+        events = install_trace_events(platform.install_reports.values())
+        phases = {event["name"].rsplit(":", 1)[1] for event in events}
+        assert phases == {"annotate", "boot+load", "jit", "snapshot"}
+        # Back-to-back layout.
+        ordered = sorted(events, key=lambda e: e["ts"])
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert later["ts"] == pytest.approx(
+                earlier["ts"] + earlier["dur"])
+
+    def test_combined_document(self):
+        from repro.bench import install_all, invoke_once
+        from repro.bench.tracing import to_chrome_trace_json
+        from repro.workloads import faasdom_spec
+        platform = fresh_platform(FireworksPlatform)
+        install_all(platform, [faasdom_spec("faas-fact", "python")])
+        invoke_once(platform, "faas-fact-python")
+        document = json.loads(to_chrome_trace_json(
+            platform.records,
+            install_reports=platform.install_reports.values()))
+        categories = {event["cat"] for event in document["traceEvents"]}
+        assert "install" in categories
+        assert "fireworks" in categories
+
+
+class TestChromeJson:
+    def test_valid_json_document(self):
+        document = json.loads(to_chrome_trace_json([_record()]))
+        assert document["displayTimeUnit"] == "ms"
+        assert len(document["traceEvents"]) == 3
+
+    def test_real_chain_trace(self):
+        platform = fresh_platform(FireworksPlatform)
+        chain = alexa_skills_chain()
+        install_chain(platform, chain)
+        invoke_once(platform, chain.entry, payload={"skill": "reminder"})
+        document = json.loads(to_chrome_trace_json(platform.records))
+        names = {event["name"] for event in document["traceEvents"]}
+        assert any(name.startswith("alexa-frontend") for name in names)
+        assert any(name.startswith("alexa-reminder") for name in names)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import default_parameters
+from repro.mem.host_memory import HostMemory
+from repro.sim.kernel import Simulation
+
+
+@pytest.fixture
+def params():
+    """The calibrated default parameters."""
+    return default_parameters()
+
+
+@pytest.fixture
+def sim():
+    """A fresh deterministic simulation."""
+    return Simulation(seed=2022)
+
+
+@pytest.fixture
+def host(params):
+    """A fresh host memory of the paper's evaluation machine."""
+    return HostMemory(params.host)
+
+
+def run(sim: Simulation, generator, name: str = "test"):
+    """Run *generator* as a process to completion; return its value."""
+    return sim.run(sim.process(generator, name=name))

@@ -1,0 +1,88 @@
+"""Edge-case tests for the annotators: async, classes, nesting, unicode."""
+
+import ast
+
+import pytest
+
+from repro.core.annotator import annotate_nodejs, annotate_python
+from repro.errors import AnnotationError
+
+
+class TestPythonAsync:
+    def test_async_helper_skipped_not_annotated(self):
+        source = (
+            "async def fetch(url):\n    return url\n\n"
+            "def main(params):\n    return params\n")
+        result = annotate_python(source)
+        assert result.functions == ("main",)
+        tree = ast.parse(result.annotated)
+        fetch = next(node for node in tree.body
+                     if isinstance(node, ast.AsyncFunctionDef))
+        assert not fetch.decorator_list  # left interpreted
+
+    def test_async_entry_point_rejected_with_reason(self):
+        source = "async def main(params):\n    return params\n"
+        with pytest.raises(AnnotationError, match="coroutines"):
+            annotate_python(source)
+
+
+class TestPythonScoping:
+    def test_class_methods_not_directly_annotated(self):
+        source = (
+            "class Parser:\n"
+            "    def parse(self, text):\n        return text\n\n"
+            "def main(params):\n    return Parser().parse(params)\n")
+        result = annotate_python(source)
+        assert result.functions == ("main",)
+        tree = ast.parse(result.annotated)
+        cls = next(node for node in tree.body
+                   if isinstance(node, ast.ClassDef))
+        method = cls.body[0]
+        assert not method.decorator_list
+
+    def test_nested_functions_not_directly_annotated(self):
+        source = (
+            "def main(params):\n"
+            "    def helper(x):\n        return x\n"
+            "    return helper(params)\n")
+        result = annotate_python(source)
+        assert result.functions == ("main",)
+        # Only one @jit in the output: on main.
+        assert result.annotated.count("@jit(cache=True)") == 1
+
+    def test_module_level_statements_preserved(self):
+        source = ("TABLE = {'a': 1}\n\n"
+                  "def main(params):\n    return TABLE\n")
+        result = annotate_python(source)
+        namespace_probe = ast.parse(result.annotated)
+        names = {node.targets[0].id for node in namespace_probe.body
+                 if isinstance(node, ast.Assign)
+                 and isinstance(node.targets[0], ast.Name)}
+        assert "TABLE" in names
+
+    def test_unicode_source_round_trips(self):
+        source = ("def main(params):\n"
+                  "    return {'grüße': 'こんにちは'}\n")
+        result = annotate_python(source)
+        ast.parse(result.annotated)
+        assert "こんにちは" in result.annotated
+
+
+class TestNodeEdgeCases:
+    def test_async_arrow_found(self):
+        source = ("const fetchData = async (url) => url;\n"
+                  "function main(p) { return fetchData(p); }\n")
+        result = annotate_nodejs(source)
+        assert set(result.functions) == {"fetchData", "main"}
+
+    def test_exports_main_counts_as_entry(self):
+        source = "exports.main = function (params) { return params; };\n"
+        result = annotate_nodejs(source)
+        assert result.entry_point == "main"
+
+    def test_regex_literal_braces_tolerated(self):
+        # A '}' inside a string must not unbalance the scanner.
+        source = ("function main(p) {\n"
+                  "    const s = 'literal } brace';\n"
+                  "    return s;\n}\n")
+        annotate_nodejs(source)  # must not raise

@@ -1,0 +1,130 @@
+"""Unit tests for the Node.js source annotator (§3.2)."""
+
+import pytest
+
+from repro.core.annotator import annotate_nodejs
+from repro.core.annotator.nodejs_annotator import find_function_names
+from repro.errors import AnnotationError
+
+SIMPLE = '''\
+function main(params) {
+    return { body: 'hello world ' + params };
+}
+'''
+
+MIXED = '''\
+const helper = (x) => x * 2;
+
+async function fetchData(url) {
+    return url;
+}
+
+exports.main = function (params) {
+    return helper(params.n);
+};
+
+function main(params) {
+    return fetchData(params.url);
+}
+'''
+
+
+class TestScanner:
+    def test_finds_declarations(self):
+        names = find_function_names(MIXED)
+        assert set(names) == {"helper", "fetchData", "main"}
+
+    def test_ignores_functions_in_strings(self):
+        source = ("const s = 'function fake(x) {';\n"
+                  "function real(x) { return x; }\n")
+        assert find_function_names(source) == ["real"]
+
+    def test_ignores_functions_in_comments(self):
+        source = ("// function ghost(x) {}\n"
+                  "/* function phantom() {} */\n"
+                  "function real(x) { return x; }\n")
+        assert find_function_names(source) == ["real"]
+
+    def test_ignores_template_literals(self):
+        source = ("const t = `function tpl(x) {`;\n"
+                  "function real(x) { return x; }\n")
+        assert find_function_names(source) == ["real"]
+
+
+class TestTransform:
+    def test_v8_hooks_for_every_function(self):
+        """§3.2: V8 offers comparable annotation opportunities."""
+        result = annotate_nodejs(SIMPLE)
+        assert "%PrepareFunctionForOptimization(main)" in result.annotated
+        assert "%OptimizeFunctionOnNextCall(main)" in result.annotated
+
+    def test_scaffolding_present(self):
+        annotated = annotate_nodejs(SIMPLE).annotated
+        for needle in ("__fireworks_jit", "__fireworks_snapshot",
+                       "__fireworks_main", "kafkacat", "169.254.169.254"):
+            assert needle in annotated, needle
+
+    def test_ordering_jit_snapshot_params(self):
+        annotated = annotate_nodejs(SIMPLE).annotated
+        body = annotated[annotated.index("function __fireworks_main"):]
+        assert body.index("__fireworks_jit()") < \
+            body.index("__fireworks_snapshot()") < \
+            body.index("kafkacat")
+
+    def test_entry_invoked_with_params(self):
+        annotated = annotate_nodejs(SIMPLE).annotated
+        assert "main(userParams);" in annotated
+
+    def test_natives_syntax_banner(self):
+        assert annotate_nodejs(SIMPLE).annotated.startswith(
+            "// Run with --allow-natives-syntax")
+
+    def test_functions_recorded(self):
+        result = annotate_nodejs(MIXED)
+        assert "main" in result.functions
+        assert result.entry_point == "main"
+
+
+class TestValidation:
+    def test_unbalanced_braces_raise(self):
+        with pytest.raises(AnnotationError, match="unbalanced"):
+            annotate_nodejs("function main() { {\n")
+
+    def test_braces_in_strings_do_not_count(self):
+        source = "function main(p) { return '}}}'; }\n"
+        annotate_nodejs(source)  # must not raise
+
+    def test_no_functions_raises(self):
+        with pytest.raises(AnnotationError, match="no functions"):
+            annotate_nodejs("const x = 1;\n")
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(AnnotationError, match="entry point"):
+            annotate_nodejs("function handler(p) { return p; }\n")
+
+    def test_custom_entry(self):
+        result = annotate_nodejs("function handler(p) { return p; }\n",
+                                 entry_point="handler")
+        assert "handler(userParams);" in result.annotated
+
+    def test_fireworks_collision_raises(self):
+        source = ("function __fireworks_jit() {}\n"
+                  "function main(p) { return p; }\n")
+        with pytest.raises(AnnotationError, match="__fireworks"):
+            annotate_nodejs(source)
+
+
+class TestDispatch:
+    def test_language_dispatch(self):
+        from repro.core.annotator import annotate
+        assert annotate(SIMPLE, "nodejs").language == "nodejs"
+        assert annotate("def main(p):\n    pass\n",
+                        "python").language == "python"
+        with pytest.raises(AnnotationError):
+            annotate(SIMPLE, "rust")
+
+    def test_entry_must_be_among_functions(self):
+        from repro.core.annotator.common import AnnotatedSource
+        with pytest.raises(AnnotationError):
+            AnnotatedSource(language="nodejs", original="", annotated="",
+                            functions=("a",), entry_point="main")

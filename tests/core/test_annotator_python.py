@@ -1,0 +1,121 @@
+"""Unit tests for the Python source annotator (Figure 3)."""
+
+import ast
+
+import pytest
+
+from repro.core.annotator import annotate_python
+from repro.errors import AnnotationError
+
+SIMPLE = '''\
+def main(params):
+    print("hello world", params)
+'''
+
+MULTI = '''\
+def helper(x):
+    return x * 2
+
+def main(params):
+    return helper(len(params))
+'''
+
+
+class TestTransform:
+    def test_output_is_valid_python(self):
+        result = annotate_python(SIMPLE)
+        ast.parse(result.annotated)  # must not raise
+
+    def test_jit_decorator_added(self):
+        result = annotate_python(SIMPLE)
+        tree = ast.parse(result.annotated)
+        main = next(node for node in tree.body
+                    if isinstance(node, ast.FunctionDef)
+                    and node.name == "main")
+        decorator = main.decorator_list[0]
+        assert isinstance(decorator, ast.Call)
+        assert decorator.func.id == "jit"
+        assert decorator.keywords[0].arg == "cache"
+        assert decorator.keywords[0].value.value is True
+
+    def test_all_functions_annotated(self):
+        """§3.2: Fireworks adds the JIT annotation for ALL methods."""
+        result = annotate_python(MULTI)
+        assert result.functions == ("helper", "main")
+        tree = ast.parse(result.annotated)
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef) and \
+                    not node.name.startswith("__fireworks"):
+                assert node.decorator_list, node.name
+
+    def test_scaffolding_functions_present(self):
+        result = annotate_python(SIMPLE)
+        tree = ast.parse(result.annotated)
+        names = {node.name for node in tree.body
+                 if isinstance(node, ast.FunctionDef)}
+        assert {"__fireworks_jit", "__fireworks_snapshot",
+                "__fireworks_main"} <= names
+
+    def test_jit_called_before_snapshot_before_params(self):
+        """Figure 3's ordering: JIT, then snapshot, then fetch params."""
+        annotated = annotate_python(SIMPLE).annotated
+        jit_pos = annotated.index("__fireworks_jit()")
+        snap_pos = annotated.index("__fireworks_snapshot()",
+                                   annotated.index("def __fireworks_main"))
+        kafka_pos = annotated.index("kafkacat")
+        main_call_pos = annotated.rindex("main(user_params)")
+        assert jit_pos < snap_pos < kafka_pos < main_call_pos
+
+    def test_kafka_fetch_uses_fcid_topic(self):
+        annotated = annotate_python(SIMPLE).annotated
+        assert "-t topic' + str(fc_id)" in annotated
+        assert "-o -1 -c 1" in annotated
+
+    def test_snapshot_request_targets_host_gateway(self):
+        annotated = annotate_python(SIMPLE).annotated
+        assert "http://172.17.0.1" in annotated
+
+    def test_existing_jit_decorator_not_duplicated(self):
+        source = "@jit(cache=True)\ndef main(p):\n    return p\n"
+        result = annotate_python(source)
+        tree = ast.parse(result.annotated)
+        main = next(node for node in tree.body
+                    if isinstance(node, ast.FunctionDef)
+                    and node.name == "main")
+        assert len(main.decorator_list) == 1
+
+    def test_imports_added(self):
+        annotated = annotate_python(SIMPLE).annotated
+        assert "from numba import jit" in annotated
+        assert "import requests" in annotated
+        assert "import subprocess" in annotated
+
+
+class TestValidation:
+    def test_syntax_error_raises(self):
+        with pytest.raises(AnnotationError, match="does not parse"):
+            annotate_python("def main(:\n")
+
+    def test_no_functions_raises(self):
+        with pytest.raises(AnnotationError, match="no top-level"):
+            annotate_python("x = 1\n")
+
+    def test_missing_entry_point_raises(self):
+        with pytest.raises(AnnotationError, match="entry point"):
+            annotate_python("def handler(p):\n    return p\n")
+
+    def test_custom_entry_point(self):
+        result = annotate_python("def handler(p):\n    return p\n",
+                                 entry_point="handler")
+        assert result.entry_point == "handler"
+        assert "handler(user_params)" in result.annotated
+
+    def test_fireworks_namespace_collision_raises(self):
+        source = "def __fireworks_jit():\n    pass\ndef main(p):\n    pass\n"
+        with pytest.raises(AnnotationError, match="collides"):
+            annotate_python(source)
+
+    def test_original_preserved(self):
+        result = annotate_python(SIMPLE)
+        assert result.original == SIMPLE
+        assert result.language == "python"

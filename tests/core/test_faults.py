@@ -1,0 +1,107 @@
+"""Fault-injection tests: the control plane's recovery paths."""
+
+import pytest
+
+from repro.bench import fresh_platform, install_all, invoke_once
+from repro.core import FireworksPlatform
+from repro.errors import ReproError
+from repro.faults import (FaultInjector, InjectedFault,
+                          SnapshotCorruptedError)
+from repro.workloads import faasdom_spec
+
+
+@pytest.fixture
+def faulty_platform():
+    faults = FaultInjector()
+    platform = fresh_platform(FireworksPlatform, faults=faults)
+    spec = faasdom_spec("faas-fact", "nodejs")
+    install_all(platform, [spec])
+    return platform, spec, faults
+
+
+class TestInjector:
+    def test_unarmed_never_fails(self):
+        injector = FaultInjector()
+        assert not injector.should_fail("restore", "fn")
+        injector.check("restore", "fn")  # no raise
+
+    def test_budget_consumed(self):
+        injector = FaultInjector()
+        injector.arm("restore", "fn", count=2)
+        assert injector.should_fail("restore", "fn")
+        assert injector.should_fail("restore", "fn")
+        assert not injector.should_fail("restore", "fn")
+        assert injector.fired[("restore", "fn")] == 2
+
+    def test_check_raises_typed_errors(self):
+        injector = FaultInjector()
+        injector.arm("restore", "fn")
+        with pytest.raises(SnapshotCorruptedError):
+            injector.check("restore", "fn")
+        injector.arm("db", "wages")
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.check("db", "wages")
+        assert excinfo.value.kind == "db"
+
+    def test_bad_count_raises(self):
+        with pytest.raises(ReproError):
+            FaultInjector().arm("restore", "fn", count=0)
+
+    def test_keys_are_independent(self):
+        injector = FaultInjector()
+        injector.arm("restore", "a")
+        assert not injector.should_fail("restore", "b")
+        assert injector.should_fail("restore", "a")
+
+
+class TestRestoreRecovery:
+    def test_one_corruption_is_recovered(self, faulty_platform):
+        platform, spec, faults = faulty_platform
+        faults.arm("restore", spec.name, count=1)
+        record = invoke_once(platform, spec.name)
+        assert record.mode == "snapshot"
+        assert platform.restore_failures == 1
+        # Recovery regenerated the snapshot (bumped generation).
+        assert platform.image_for(spec.name).generation == 2
+
+    def test_recovery_pays_regeneration_time(self, faulty_platform):
+        platform, spec, faults = faulty_platform
+        clean = invoke_once(platform, spec.name)
+        faults.arm("restore", spec.name, count=1)
+        recovered = invoke_once(platform, spec.name)
+        assert recovered.startup_ms > clean.startup_ms + 300
+
+    def test_persistent_corruption_propagates(self, faulty_platform):
+        platform, spec, faults = faulty_platform
+        faults.arm("restore", spec.name, count=5)
+        with pytest.raises(SnapshotCorruptedError):
+            invoke_once(platform, spec.name)
+
+    def test_no_network_leak_on_failure(self, faulty_platform):
+        platform, spec, faults = faulty_platform
+        faults.arm("restore", spec.name, count=5)
+        with pytest.raises(SnapshotCorruptedError):
+            invoke_once(platform, spec.name)
+        assert platform.bridge.endpoint_count() == 0
+
+
+class TestParamFetchRecovery:
+    def test_transient_fetch_failures_retried(self, faulty_platform):
+        platform, spec, faults = faulty_platform
+        faults.arm("param-fetch", spec.name, count=2)
+        record = invoke_once(platform, spec.name)
+        assert record.mode == "snapshot"
+        assert platform.param_fetch_retries == 2
+
+    def test_persistent_fetch_failure_propagates(self, faulty_platform):
+        platform, spec, faults = faulty_platform
+        faults.arm("param-fetch", spec.name, count=10)
+        with pytest.raises(InjectedFault):
+            invoke_once(platform, spec.name)
+
+    def test_retries_cost_time(self, faulty_platform):
+        platform, spec, faults = faulty_platform
+        clean = invoke_once(platform, spec.name)
+        faults.arm("param-fetch", spec.name, count=2)
+        retried = invoke_once(platform, spec.name)
+        assert retried.startup_ms > clean.startup_ms

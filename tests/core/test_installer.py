@@ -1,0 +1,78 @@
+"""Unit tests for the Fireworks installation phase."""
+
+import pytest
+
+from repro.core.installer import Installer
+from repro.errors import AnnotationError
+from repro.net.bridge import HostBridge
+from repro.snapshot.image import STAGE_POST_JIT
+from repro.workloads import faasdom_spec
+from repro.workloads.base import FunctionSpec
+from tests.helpers import run
+
+
+@pytest.fixture
+def installer(sim, params, host):
+    return Installer(sim, params, host, HostBridge())
+
+
+class TestInstall:
+    def test_produces_post_jit_image(self, sim, installer):
+        spec = faasdom_spec("faas-fact", "python")
+        report = run(sim, installer.install(spec))
+        assert report.image.stage == STAGE_POST_JIT
+        assert report.image.jit_state["main"].tier == "optimized"
+        assert report.image.app is spec.app
+
+    def test_report_decomposition_sums(self, sim, installer):
+        spec = faasdom_spec("faas-fact", "python")
+        report = run(sim, installer.install(spec))
+        assert report.total_ms == pytest.approx(
+            report.annotate_ms + report.boot_ms + report.jit_ms
+            + report.snapshot_ms)
+        assert sim.now == pytest.approx(
+            report.total_ms + 30.0)  # + installer VM teardown
+
+    def test_installer_vm_released(self, sim, host, installer):
+        spec = faasdom_spec("faas-fact", "nodejs")
+        run(sim, installer.install(spec))
+        # Only the image page cache (if materialized later) may remain;
+        # right after install nothing is resident.
+        assert host.used_mb == 0
+
+    def test_snapshot_time_in_paper_band(self, sim, installer):
+        """§5.1: 0.36-0.47 s (Node.js), 0.38-0.44 s (Python)."""
+        for language in ("nodejs", "python"):
+            spec = faasdom_spec("faas-matrix-mult", language)
+            report = run(sim, installer.install(spec))
+            assert 360 <= report.snapshot_ms <= 470, language
+
+    def test_python_jit_cost_exceeds_node(self, sim, installer):
+        """§5.1: Python install time depends on Numba compilation; Node's
+        TurboFan hook compile is cheaper."""
+        node = run(sim, installer.install(faasdom_spec("faas-fact",
+                                                       "nodejs")))
+        python = run(sim, installer.install(faasdom_spec("faas-fact",
+                                                         "python")))
+        assert python.jit_ms > node.jit_ms
+
+    def test_source_is_annotated(self, sim, installer):
+        spec = faasdom_spec("faas-diskio", "python")
+        report = run(sim, installer.install(spec))
+        assert "__fireworks_main" in report.annotated.annotated
+        assert report.annotated.entry_point == "main"
+
+    def test_missing_source_raises(self, sim, installer):
+        spec = faasdom_spec("faas-fact", "nodejs")
+        bare = FunctionSpec(name="bare", language="nodejs", app=spec.app,
+                            make_program=spec.make_program, source="")
+        with pytest.raises(AnnotationError, match="no source"):
+            run(sim, installer.install(bare))
+
+    def test_annotation_cost_scales_with_functions(self, sim, params,
+                                                   installer):
+        one = run(sim, installer.install(faasdom_spec("faas-fact",
+                                                      "python")))
+        two = run(sim, installer.install(faasdom_spec("faas-matrix-mult",
+                                                      "python")))
+        assert two.annotate_ms == pytest.approx(2 * one.annotate_ms)

@@ -1,0 +1,93 @@
+"""Unit tests for the Fireworks microVM manager."""
+
+import pytest
+
+from repro.config import default_parameters
+from repro.core.microvm_manager import MicroVMManager
+from repro.mem.host_memory import HostMemory
+from repro.net.address import IpAddress, MacAddress
+from repro.net.bridge import HostBridge
+from repro.runtime import make_runtime
+from repro.runtime.interpreter import AppCode, GuestFunction
+from repro.sandbox.microvm import MicroVM
+from repro.sandbox.worker import Worker
+from repro.sim import Simulation
+from repro.snapshot.image import STAGE_POST_JIT
+from repro.snapshot.snapshotter import Snapshotter
+from tests.helpers import run
+
+
+@pytest.fixture
+def setup():
+    sim = Simulation()
+    params = default_parameters()
+    host = HostMemory(params.host)
+    bridge = HostBridge()
+    manager = MicroVMManager(sim, params, host, bridge)
+    return sim, params, host, bridge, manager
+
+
+@pytest.fixture
+def image(setup):
+    sim, params, host, bridge, _manager = setup
+    vm = MicroVM(sim, params, host, "nodejs")
+    vm.assign_guest_addresses(IpAddress.parse("10.0.0.2"),
+                              MacAddress(0x02F17E000001))
+    worker = Worker(sim, vm, make_runtime(sim, params, "nodejs"))
+    app = AppCode(name="app", language="nodejs",
+                  guest_functions=(GuestFunction("main", 500.0, 3.0),))
+    run(sim, worker.cold_start(app))
+    run(sim, worker.force_jit())
+    snapshotter = Snapshotter(sim, params.snapshot)
+    img = run(sim, snapshotter.create(worker, "fn", STAGE_POST_JIT))
+    run(sim, worker.stop())
+    return img
+
+
+class TestLaunchClone:
+    def test_clone_gets_identity_via_mmds(self, setup, image):
+        sim, _params, _host, _bridge, manager = setup
+        fc_id = manager.next_fc_id()
+        worker = run(sim, manager.launch_clone(image, fc_id))
+        assert worker.sandbox.mmds.get("fcID") == fc_id
+        assert worker.sandbox.mmds.get("srcfcID") == "fn"
+        assert manager.launched_clones == 1
+
+    def test_fc_ids_are_unique(self, setup):
+        _sim, _params, _host, _bridge, manager = setup
+        ids = {manager.next_fc_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_clone_is_network_connected(self, setup, image):
+        sim, _params, _host, bridge, manager = setup
+        worker = run(sim, manager.launch_clone(image, "fc1"))
+        assert worker.endpoint is not None
+        assert bridge.endpoint_count() == 1
+
+    def test_launch_cost_is_netns_plus_mmds_plus_restore(self, setup,
+                                                         image):
+        sim, params, _host, _bridge, manager = setup
+        before = sim.now
+        run(sim, manager.launch_clone(image, "fc1"))
+        elapsed = sim.now - before
+        fw = params.fireworks
+        restore = manager.restorer.restore_ms(image)
+        assert elapsed == pytest.approx(
+            fw.netns_setup_ms + fw.mmds_write_ms + restore)
+
+    def test_retire_releases_everything(self, setup, image):
+        sim, _params, host, bridge, manager = setup
+        image.materialize(host)
+        base_mb = host.used_mb
+        worker = run(sim, manager.launch_clone(image, "fc1"))
+        run(sim, manager.retire(worker))
+        assert bridge.endpoint_count() == 0
+        assert host.used_mb == pytest.approx(base_mb)
+
+    def test_retire_without_endpoint_still_stops(self, setup, image):
+        sim, _params, _host, bridge, manager = setup
+        worker = run(sim, manager.launch_clone(image, "fc1"))
+        bridge.disconnect(worker.endpoint)
+        worker.endpoint = None
+        run(sim, manager.retire(worker))
+        assert worker.sandbox.state == "stopped"

@@ -1,0 +1,65 @@
+"""Unit tests for the Kafka-based parameter passer (§3.6)."""
+
+import pytest
+
+from repro.config import default_parameters
+from repro.core.parameter_passer import ParameterPasser, topic_for
+from repro.errors import BusError
+from repro.platforms.bus import MessageBus
+from repro.sim import Simulation
+from tests.helpers import run
+
+
+@pytest.fixture
+def passer():
+    sim = Simulation()
+    return sim, ParameterPasser(sim, MessageBus(),
+                                default_parameters().fireworks)
+
+
+class TestTopics:
+    def test_topic_naming_matches_figure3(self):
+        assert topic_for("fc42") == "topicfc42"
+
+
+class TestPublishFetch:
+    def test_round_trip(self, passer):
+        sim, parameter_passer = passer
+        run(sim, parameter_passer.publish("fc1", {"n": 7}))
+        params = run(sim, parameter_passer.fetch("fc1"))
+        assert params == {"n": 7}
+
+    def test_fetch_takes_latest(self, passer):
+        sim, parameter_passer = passer
+        run(sim, parameter_passer.publish("fc1", {"stale": True}))
+        run(sim, parameter_passer.publish("fc1", {"fresh": True}))
+        assert run(sim, parameter_passer.fetch("fc1")) == {"fresh": True}
+
+    def test_fetch_without_publish_raises(self, passer):
+        sim, parameter_passer = passer
+        with pytest.raises(BusError):
+            run(sim, parameter_passer.fetch("fc-ghost"))
+
+    def test_instances_are_isolated(self, passer):
+        """Two clones resumed concurrently read their own arguments."""
+        sim, parameter_passer = passer
+        run(sim, parameter_passer.publish("fc1", {"for": 1}))
+        run(sim, parameter_passer.publish("fc2", {"for": 2}))
+        assert run(sim, parameter_passer.fetch("fc2")) == {"for": 2}
+        assert run(sim, parameter_passer.fetch("fc1")) == {"for": 1}
+
+    def test_costs_charged(self, passer):
+        sim, parameter_passer = passer
+        cfg = default_parameters().fireworks
+        run(sim, parameter_passer.publish("fc1", {}))
+        assert sim.now == pytest.approx(cfg.param_publish_ms)
+        run(sim, parameter_passer.fetch("fc1"))
+        assert sim.now == pytest.approx(
+            cfg.param_publish_ms + cfg.param_fetch_ms)
+
+    def test_publish_copies_params(self, passer):
+        sim, parameter_passer = passer
+        payload = {"n": 1}
+        run(sim, parameter_passer.publish("fc1", payload))
+        payload["n"] = 999
+        assert run(sim, parameter_passer.fetch("fc1")) == {"n": 1}

@@ -1,0 +1,102 @@
+"""Unit tests for the CouchDB substrate."""
+
+import pytest
+
+from repro.db.couchdb import CouchDatabase, CouchServer, DbLatency
+from repro.errors import DatabaseError, DocumentConflictError
+
+
+@pytest.fixture
+def db():
+    return CouchDatabase("reminders")
+
+
+class TestDocuments:
+    def test_put_and_get(self, db):
+        doc = db.put("r1", {"item": "dentist", "place": "downtown"})
+        assert doc.rev == 1
+        assert db.get("r1").body["item"] == "dentist"
+
+    def test_update_needs_current_rev(self, db):
+        db.put("r1", {"v": 1})
+        doc = db.put("r1", {"v": 2}, rev=1)
+        assert doc.rev == 2
+        with pytest.raises(DocumentConflictError):
+            db.put("r1", {"v": 3}, rev=1)  # stale
+
+    def test_new_document_with_rev_rejected(self, db):
+        with pytest.raises(DocumentConflictError):
+            db.put("r1", {"v": 1}, rev=5)
+
+    def test_get_missing_raises(self, db):
+        with pytest.raises(DatabaseError):
+            db.get("ghost")
+
+    def test_delete_with_current_rev(self, db):
+        db.put("r1", {"v": 1})
+        db.delete("r1", rev=1)
+        assert not db.contains("r1")
+
+    def test_delete_with_stale_rev_raises(self, db):
+        db.put("r1", {"v": 1})
+        db.put("r1", {"v": 2}, rev=1)
+        with pytest.raises(DocumentConflictError):
+            db.delete("r1", rev=1)
+
+    def test_put_copies_body(self, db):
+        body = {"v": 1}
+        db.put("r1", body)
+        body["v"] = 99
+        assert db.get("r1").body["v"] == 1
+
+    def test_all_docs_sorted(self, db):
+        for doc_id in ("c", "a", "b"):
+            db.put(doc_id, {})
+        assert [d.doc_id for d in db.all_docs()] == ["a", "b", "c"]
+        assert len(db) == 3
+
+
+class TestChangeFeed:
+    def test_changes_are_sequenced(self, db):
+        db.put("a", {})
+        db.put("b", {})
+        db.put("a", {}, rev=1)
+        changes = db.changes_since(0)
+        assert [c.seq for c in changes] == [1, 2, 3]
+        assert changes[2].doc_id == "a"
+        assert changes[2].rev == 2
+
+    def test_changes_since_filters(self, db):
+        db.put("a", {})
+        db.put("b", {})
+        assert [c.doc_id for c in db.changes_since(1)] == ["b"]
+        assert db.last_seq == 2
+
+    def test_delete_emits_deleted_change(self, db):
+        db.put("a", {})
+        db.delete("a", rev=1)
+        assert db.changes_since(1)[0].deleted
+
+    def test_listener_fires_on_every_write(self, db):
+        """The Fig 8(b) trigger: analysis chain runs on db update."""
+        seen = []
+        db.subscribe(lambda database, change: seen.append(change.doc_id))
+        db.put("w1", {"base": 7000})
+        db.put("w2", {"base": 8000})
+        assert seen == ["w1", "w2"]
+
+
+class TestServer:
+    def test_database_get_or_create(self):
+        server = CouchServer()
+        db1 = server.database("wages")
+        db2 = server.database("wages")
+        assert db1 is db2
+        assert server.has_database("wages")
+        assert server.database_names() == ("wages",)
+
+    def test_latency_model(self):
+        latency = DbLatency(get_ms=1.0, put_ms=2.0, per_kb_ms=0.1)
+        assert latency.get_cost(10) == pytest.approx(2.0)
+        assert latency.put_cost(10) == pytest.approx(3.0)
+        assert latency.put_cost(0) > latency.get_cost(0)

@@ -1,0 +1,72 @@
+"""Unit tests for the host core pool."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.host.cpu import HostCpu
+from repro.sim import Simulation
+
+
+@pytest.fixture
+def sim():
+    return Simulation()
+
+
+class TestHostCpu:
+    def test_needs_at_least_one_core(self, sim):
+        with pytest.raises(SimulationError):
+            HostCpu(sim, cores=0)
+
+    def test_parallel_up_to_capacity(self, sim):
+        cpu = HostCpu(sim, cores=2)
+        finish = []
+
+        def job(duration):
+            claim = yield from cpu.acquire()
+            try:
+                yield sim.timeout(duration)
+                finish.append(sim.now)
+            finally:
+                cpu.release(claim)
+
+        for _ in range(4):
+            sim.process(job(10))
+        sim.run()
+        # 4 jobs, 2 cores, 10 ms each -> two waves.
+        assert finish == [10.0, 10.0, 20.0, 20.0]
+
+    def test_queue_statistics(self, sim):
+        cpu = HostCpu(sim, cores=1)
+
+        def job():
+            claim = yield from cpu.acquire()
+            try:
+                yield sim.timeout(5)
+            finally:
+                cpu.release(claim)
+
+        for _ in range(3):
+            sim.process(job())
+        sim.run()
+        assert cpu.total_claims == 3
+        # Waits: 0, 5, 10 ms -> mean 5 ms.
+        assert cpu.mean_queue_wait_ms == pytest.approx(5.0)
+        assert cpu.peak_queue_length == 2
+
+    def test_busy_and_queue_length(self, sim):
+        cpu = HostCpu(sim, cores=1)
+        held = []
+
+        def holder():
+            claim = yield from cpu.acquire()
+            held.append(claim)
+            yield sim.timeout(100)
+
+        sim.process(holder())
+        sim.process(holder())
+        sim.run(until=1)
+        assert cpu.busy_cores == 1
+        assert cpu.queue_length == 1
+
+    def test_no_claims_mean_wait_zero(self, sim):
+        assert HostCpu(sim).mean_queue_wait_ms == 0.0

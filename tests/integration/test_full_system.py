@@ -1,0 +1,108 @@
+"""Full-system scenario: everything wired together at once.
+
+One Fireworks deployment serving: an authenticated gateway, the data-
+analysis chain with its CouchDB trigger, a timer-triggered health check,
+injected faults mid-stream, retained-worker memory accounting, and billing
+— the kind of day a real deployment has.
+"""
+
+import pytest
+
+from repro.billing import bill_records
+from repro.bench import drain, fresh_platform, install_all, invoke_once
+from repro.core import FireworksPlatform
+from repro.faults import FaultInjector
+from repro.platforms.gateway import STATUS_SUCCESS, ApiGateway
+from repro.workloads import (WAGES_DB, data_analysis_chain, faasdom_spec)
+from tests.helpers import run
+
+
+@pytest.fixture
+def system():
+    faults = FaultInjector()
+    platform = fresh_platform(FireworksPlatform, faults=faults)
+    chain = data_analysis_chain()
+    install_all(platform, chain.functions)
+    install_all(platform, [faasdom_spec("faas-netlatency", "nodejs")])
+    platform.register_db_trigger(WAGES_DB, "da-analyze")
+    gateway = ApiGateway(platform)
+    api_key = gateway.create_namespace("payroll")
+    return platform, gateway, api_key, faults
+
+
+class TestFullScenario:
+    def test_a_day_in_production(self, system):
+        platform, gateway, api_key, faults = system
+        sim = platform.sim
+
+        # A timer-triggered health check runs alongside everything.
+        platform.register_timer_trigger("faas-netlatency-nodejs",
+                                        every_ms=30000.0, count=3)
+
+        # Three wage insertions through the gateway; the second hits a
+        # corrupted snapshot and a broker hiccup and must still succeed.
+        activations = []
+        for index in range(3):
+            if index == 1:
+                faults.arm("restore", "da-input", count=1)
+                faults.arm("param-fetch", "da-format", count=1)
+            activation = run(sim, gateway.handle_request(
+                api_key, "da-input",
+                payload={"name": f"user{index}", "id": str(index)}))
+            activations.append(activation)
+        drain(platform)
+
+        # Every gateway request succeeded despite the injected faults.
+        assert all(a.status == STATUS_SUCCESS for a in activations)
+        assert platform.restore_failures == 1
+        assert platform.param_fetch_retries == 1
+
+        # Each insertion fired the db-triggered analysis chain.
+        analyze_runs = [r for r in platform.records
+                        if r.function == "da-analyze"]
+        stats_runs = [r for r in platform.records
+                      if r.function == "da-stats"]
+        assert len(analyze_runs) == 3
+        assert len(stats_runs) == 3
+
+        # The timer fired its three health checks.
+        health_runs = [r for r in platform.records
+                       if r.function == "faas-netlatency-nodejs"]
+        assert len(health_runs) == 3
+
+        # The analysis chain wrote its statistics back to CouchDB.
+        assert len(platform.couch.database("wage-stats")) >= 1
+
+        # No leaked network wiring or sandboxes after the dust settles.
+        # (The store's *current* images — including da-input's fault-
+        # recovery regeneration — are the only resident memory left.)
+        assert platform.bridge.endpoint_count() == 0
+        assert platform.image_for("da-input").generation == 2
+        image_cache_mb = sum(
+            platform.image_for(key).size_mb
+            for key in list(platform.store.keys())
+            if platform.image_for(key).materialized)
+        assert platform.host_memory.used_mb == pytest.approx(
+            image_cache_mb)
+
+        # Billing: even with several near-trivial executions (the health
+        # checks bill ~3 ms against ~20 ms of restore), the deployment
+        # bills the majority of its resource time.
+        report = bill_records(platform.name, platform.records)
+        assert report.billable_efficiency > 0.5
+        assert len(report.lines) == len(platform.records) + sum(
+            len(r.children) for r in platform.records)
+
+    def test_gateway_activations_match_platform_records(self, system):
+        platform, gateway, api_key, _faults = system
+        sim = platform.sim
+        for _ in range(2):
+            run(sim, gateway.handle_request(api_key, "da-input",
+                                            payload={"name": "x",
+                                                     "id": "1"}))
+        drain(platform)
+        activations = gateway.list_activations("payroll")
+        assert len(activations) == 2
+        entry_records = [r for r in platform.records
+                         if r.function == "da-input"]
+        assert len(entry_records) == 2

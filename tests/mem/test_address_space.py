@@ -1,0 +1,124 @@
+"""Unit tests for guest address spaces."""
+
+import pytest
+
+from repro.config import HostConfig
+from repro.errors import MemoryError_
+from repro.mem.address_space import AddressSpace
+from repro.mem.host_memory import HostMemory
+
+
+@pytest.fixture
+def host():
+    return HostMemory(HostConfig(dram_mb=8192))
+
+
+class TestPrivateRegions:
+    def test_map_and_measure(self, host):
+        space = AddressSpace(host, "vm1")
+        space.map_private("kernel", 60)
+        space.map_private("heap", 20)
+        assert space.rss_mb() == pytest.approx(80)
+        assert space.pss_mb() == pytest.approx(80)
+        assert space.uss_mb() == pytest.approx(80)
+
+    def test_duplicate_region_raises(self, host):
+        space = AddressSpace(host, "vm1")
+        space.map_private("kernel", 60)
+        with pytest.raises(MemoryError_):
+            space.map_private("kernel", 60)
+
+    def test_dirty_private_is_noop(self, host):
+        space = AddressSpace(host, "vm1")
+        space.map_private("heap", 20)
+        space.dirty_fraction("heap", 1.0)
+        assert space.pss_mb() == pytest.approx(20)
+
+    def test_grow_private(self, host):
+        space = AddressSpace(host, "vm1")
+        space.map_private("heap", 20)
+        space.grow_mb("heap", 5)
+        assert space.rss_mb() == pytest.approx(25)
+
+    def test_unknown_region_raises(self, host):
+        space = AddressSpace(host, "vm1")
+        with pytest.raises(MemoryError_):
+            space.dirty_mb("nope", 1)
+
+    def test_unmap_all_idempotent(self, host):
+        space = AddressSpace(host, "vm1")
+        space.map_private("heap", 20)
+        space.unmap_all()
+        space.unmap_all()
+        assert host.used_mb == 0
+
+    def test_map_after_close_raises(self, host):
+        space = AddressSpace(host, "vm1")
+        space.unmap_all()
+        with pytest.raises(MemoryError_):
+            space.map_private("heap", 10)
+
+
+class TestSharedRegions:
+    def test_clones_share_pss(self, host):
+        segment = host.create_segment(100, "kernel")
+        spaces = [AddressSpace(host, f"vm{i}") for i in range(4)]
+        for space in spaces:
+            space.map_segment("kernel", segment)
+        for space in spaces:
+            assert space.pss_mb() == pytest.approx(25)
+        assert host.used_mb == pytest.approx(100)
+
+    def test_dirty_breaks_sharing(self, host):
+        segment = host.create_segment(100, "heap")
+        a = AddressSpace(host, "a")
+        b = AddressSpace(host, "b")
+        a.map_segment("heap", segment)
+        b.map_segment("heap", segment)
+        a.dirty_fraction("heap", 0.5)
+        assert a.uss_mb() == pytest.approx(50)
+        assert host.used_mb == pytest.approx(150)
+        # b remains clean; its PSS rises as fewer pages are co-mapped.
+        assert b.uss_mb() == 0
+
+    def test_dirty_overflow_spills_to_anon(self, host):
+        segment = host.create_segment(10, "heap")
+        space = AddressSpace(host, "a")
+        space.map_segment("heap", segment)
+        space.dirty_mb("heap", 15)  # 10 CoW + 5 fresh anon
+        assert space.rss_mb() == pytest.approx(15)
+        assert space.uss_mb() == pytest.approx(15)
+
+    def test_grow_shared_region(self, host):
+        segment = host.create_segment(10, "heap")
+        space = AddressSpace(host, "a")
+        space.map_segment("heap", segment)
+        space.grow_mb("heap", 7)
+        assert space.rss_mb() == pytest.approx(17)
+
+    def test_unmap_releases_overflow_and_copies(self, host):
+        segment = host.create_segment(10, "heap")
+        segment.pin()
+        space = AddressSpace(host, "a")
+        space.map_segment("heap", segment)
+        space.dirty_mb("heap", 15)
+        space.unmap_all()
+        assert host.used_mb == pytest.approx(10)  # only the pinned segment
+
+    def test_region_pss_mb(self, host):
+        segment = host.create_segment(60, "kernel")
+        a = AddressSpace(host, "a")
+        b = AddressSpace(host, "b")
+        a.map_segment("kernel", segment)
+        b.map_segment("kernel", segment)
+        assert a.region_pss_mb("kernel") == pytest.approx(30)
+
+    def test_mixed_private_and_shared(self, host):
+        segment = host.create_segment(50, "kernel")
+        space = AddressSpace(host, "vm")
+        space.map_segment("kernel", segment)
+        space.map_private("vmm", 8)
+        other = AddressSpace(host, "vm2")
+        other.map_segment("kernel", segment)
+        assert space.pss_mb() == pytest.approx(25 + 8)
+        assert space.rss_mb() == pytest.approx(58)

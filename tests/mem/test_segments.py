@@ -1,0 +1,143 @@
+"""Unit tests for private blocks and shared CoW segments."""
+
+import pytest
+
+from repro.config import HostConfig
+from repro.errors import MemoryError_
+from repro.mem.host_memory import HostMemory
+
+
+@pytest.fixture
+def host():
+    return HostMemory(HostConfig(dram_mb=4096))
+
+
+class TestPrivateBlock:
+    def test_allocation_accounted(self, host):
+        block = host.allocate_block(100, "heap")
+        assert host.used_mb == pytest.approx(100)
+        assert block.pages == 100 * 256
+
+    def test_free_returns_pages(self, host):
+        block = host.allocate_block(100, "heap")
+        block.free()
+        assert host.used_mb == 0
+
+    def test_double_free_raises(self, host):
+        block = host.allocate_block(10, "heap")
+        block.free()
+        with pytest.raises(MemoryError_):
+            block.free()
+
+    def test_grow(self, host):
+        block = host.allocate_block(10, "heap")
+        block.grow(256)  # 1 MiB
+        assert host.used_mb == pytest.approx(11)
+
+    def test_grow_after_free_raises(self, host):
+        block = host.allocate_block(10, "heap")
+        block.free()
+        with pytest.raises(MemoryError_):
+            block.grow(1)
+
+    def test_negative_size_raises(self, host):
+        with pytest.raises(MemoryError_):
+            host.allocate_block(-1, "heap")
+
+
+class TestSharedSegment:
+    def test_segment_resident_once(self, host):
+        segment = host.create_segment(100, "kernel")
+        segment.attach()
+        segment.attach()
+        assert host.used_mb == pytest.approx(100)
+
+    def test_dirty_allocates_private_copies(self, host):
+        segment = host.create_segment(100, "kernel")
+        mapper = segment.attach()
+        segment.dirty(mapper, 256 * 10)  # 10 MiB
+        assert host.used_mb == pytest.approx(110)
+        assert segment.dirty_pages(mapper) == 2560
+
+    def test_dirty_saturates_at_segment_size(self, host):
+        segment = host.create_segment(10, "kernel")
+        mapper = segment.attach()
+        segment.dirty(mapper, 10**9)
+        assert segment.dirty_pages(mapper) == segment.pages
+        assert host.used_mb == pytest.approx(20)
+
+    def test_detach_frees_copies(self, host):
+        segment = host.create_segment(10, "kernel")
+        mapper = segment.attach()
+        segment.dirty(mapper, 256)
+        segment.detach(mapper)
+        assert host.used_mb == 0  # no pins, no mappers -> released
+
+    def test_pin_keeps_segment_resident(self, host):
+        segment = host.create_segment(10, "kernel")
+        segment.pin()
+        mapper = segment.attach()
+        segment.detach(mapper)
+        assert host.used_mb == pytest.approx(10)
+        segment.unpin()
+        assert host.used_mb == 0
+
+    def test_unpin_unpinned_raises(self, host):
+        segment = host.create_segment(10, "kernel")
+        with pytest.raises(MemoryError_):
+            segment.unpin()
+
+    def test_detach_unknown_mapper_raises(self, host):
+        segment = host.create_segment(10, "kernel")
+        with pytest.raises(MemoryError_):
+            segment.detach(99)
+
+    def test_released_segment_refaults_on_attach(self, host):
+        segment = host.create_segment(10, "kernel")
+        mapper = segment.attach()
+        segment.detach(mapper)
+        assert host.used_mb == 0
+        segment.attach()
+        assert host.used_mb == pytest.approx(10)
+
+
+class TestPssAccounting:
+    def test_single_mapper_pss_is_full_size(self, host):
+        segment = host.create_segment(100, "kernel")
+        mapper = segment.attach()
+        assert segment.pss_pages(mapper) == pytest.approx(segment.pages)
+
+    def test_two_clean_mappers_split_pss(self, host):
+        segment = host.create_segment(100, "kernel")
+        m1, m2 = segment.attach(), segment.attach()
+        assert segment.pss_pages(m1) == pytest.approx(segment.pages / 2)
+        assert segment.pss_pages(m2) == pytest.approx(segment.pages / 2)
+
+    def test_n_mappers_each_get_1_over_n(self, host):
+        segment = host.create_segment(100, "kernel")
+        mappers = [segment.attach() for _ in range(10)]
+        for mapper in mappers:
+            assert segment.pss_pages(mapper) == \
+                pytest.approx(segment.pages / 10)
+
+    def test_dirty_pages_charged_fully(self, host):
+        segment = host.create_segment(100, "kernel")
+        m1, m2 = segment.attach(), segment.attach()
+        segment.dirty(m1, segment.pages)  # m1 fully private
+        assert segment.pss_pages(m1) == pytest.approx(segment.pages)
+        # m2's clean pages are now shared only with the page cache copy.
+        assert segment.pss_pages(m2) == pytest.approx(segment.pages)
+
+    def test_uss_is_dirty_pages(self, host):
+        segment = host.create_segment(100, "kernel")
+        mapper = segment.attach()
+        segment.dirty(mapper, 512)
+        assert segment.uss_pages(mapper) == 512
+
+    def test_pss_sums_to_at_most_resident(self, host):
+        segment = host.create_segment(64, "kernel")
+        mappers = [segment.attach() for _ in range(4)]
+        for index, mapper in enumerate(mappers):
+            segment.dirty(mapper, index * 500)
+        total_pss = sum(segment.pss_pages(m) for m in mappers)
+        assert total_pss <= segment.resident_pages() + 1e-6

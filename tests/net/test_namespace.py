@@ -1,0 +1,83 @@
+"""Unit tests for network namespaces — §3.5's conflict-isolation property."""
+
+import pytest
+
+from repro.errors import AddressConflictError, NetworkError
+from repro.net.address import IpAddress, MacAddress
+from repro.net.namespace import NamespaceManager, NetworkNamespace
+
+GUEST_IP = IpAddress.parse("10.0.0.2")
+GUEST_MAC = MacAddress(0x02F17E000001)
+
+
+class TestNamespace:
+    def test_duplicate_tap_in_one_namespace_conflicts(self):
+        ns = NetworkNamespace("ns1")
+        ns.create_tap("tap0")
+        with pytest.raises(AddressConflictError):
+            ns.create_tap("tap0")
+
+    def test_same_tap_name_across_namespaces_ok(self):
+        """§3.5: every clone names its device tap0 — no conflict across
+        namespaces."""
+        ns1, ns2 = NetworkNamespace("ns1"), NetworkNamespace("ns2")
+        ns1.create_tap("tap0")
+        ns2.create_tap("tap0")  # must not raise
+
+    def test_duplicate_ip_in_one_namespace_conflicts(self):
+        ns = NetworkNamespace("ns1")
+        ns.create_tap("tap0")
+        ns.create_tap("tap1")
+        ns.bind("tap0", GUEST_IP, GUEST_MAC)
+        with pytest.raises(AddressConflictError):
+            ns.bind("tap1", GUEST_IP, MacAddress(0x02F17E000002))
+
+    def test_duplicate_mac_in_one_namespace_conflicts(self):
+        ns = NetworkNamespace("ns1")
+        ns.create_tap("tap0")
+        ns.create_tap("tap1")
+        ns.bind("tap0", GUEST_IP, GUEST_MAC)
+        with pytest.raises(AddressConflictError):
+            ns.bind("tap1", IpAddress.parse("10.0.0.3"), GUEST_MAC)
+
+    def test_same_guest_identity_across_namespaces_ok(self):
+        """The core §3.5 property: identical snapshotted IP+MAC coexist."""
+        for name in ("ns1", "ns2", "ns3"):
+            ns = NetworkNamespace(name)
+            ns.create_tap("tap0")
+            ns.bind("tap0", GUEST_IP, GUEST_MAC)  # must not raise
+            assert ns.is_bound(GUEST_IP)
+
+    def test_bind_to_missing_device_raises(self):
+        ns = NetworkNamespace("ns1")
+        with pytest.raises(NetworkError):
+            ns.bind("tap9", GUEST_IP, GUEST_MAC)
+
+
+class TestNamespaceManager:
+    def test_auto_names_are_unique(self):
+        manager = NamespaceManager()
+        names = {manager.create().name for _ in range(10)}
+        assert len(names) == 10
+        assert len(manager) == 10
+
+    def test_explicit_duplicate_name_raises(self):
+        manager = NamespaceManager()
+        manager.create("x")
+        with pytest.raises(NetworkError):
+            manager.create("x")
+
+    def test_destroy(self):
+        manager = NamespaceManager()
+        manager.create("x")
+        manager.destroy("x")
+        assert len(manager) == 0
+        with pytest.raises(NetworkError):
+            manager.destroy("x")
+
+    def test_get(self):
+        manager = NamespaceManager()
+        ns = manager.create("x")
+        assert manager.get("x") is ns
+        with pytest.raises(NetworkError):
+            manager.get("y")

@@ -1,0 +1,71 @@
+"""Unit tests for NAT tables (Figure 5 packet rewriting)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.address import IpAddress
+from repro.net.nat import NatTable, Packet
+
+GUEST = IpAddress.parse("10.0.0.2")       # A.A.A.A
+EXTERNAL = IpAddress.parse("10.128.0.2")  # B.B.B.B
+CLIENT = IpAddress.parse("192.168.1.9")
+
+
+@pytest.fixture
+def nat():
+    table = NatTable("ns1")
+    table.add_rule(EXTERNAL, GUEST)
+    return table
+
+
+class TestTranslation:
+    def test_ingress_dnat(self, nat):
+        packet = Packet(src=CLIENT, dst=EXTERNAL)
+        translated = nat.translate_ingress(packet)
+        assert translated.dst == GUEST
+        assert translated.src == CLIENT
+
+    def test_egress_snat(self, nat):
+        reply = Packet(src=GUEST, dst=CLIENT)
+        translated = nat.translate_egress(reply)
+        assert translated.src == EXTERNAL
+        assert translated.dst == CLIENT
+
+    def test_round_trip_preserves_payload(self, nat):
+        packet = Packet(src=CLIENT, dst=EXTERNAL, payload_kb=1.5,
+                        note="req")
+        inbound = nat.translate_ingress(packet)
+        reply = Packet(src=GUEST, dst=inbound.src, payload_kb=1.5,
+                       note="req")
+        outbound = nat.translate_egress(reply)
+        assert outbound.payload_kb == 1.5
+        assert outbound.note == "req"
+
+    def test_unknown_destination_raises(self, nat):
+        with pytest.raises(NetworkError):
+            nat.translate_ingress(Packet(src=CLIENT, dst=CLIENT))
+
+    def test_unknown_source_raises(self, nat):
+        with pytest.raises(NetworkError):
+            nat.translate_egress(Packet(src=CLIENT, dst=CLIENT))
+
+
+class TestRules:
+    def test_duplicate_external_raises(self, nat):
+        with pytest.raises(NetworkError):
+            nat.add_rule(EXTERNAL, IpAddress.parse("10.0.0.3"))
+
+    def test_duplicate_internal_raises(self, nat):
+        with pytest.raises(NetworkError):
+            nat.add_rule(IpAddress.parse("10.128.0.3"), GUEST)
+
+    def test_remove_rule(self, nat):
+        nat.remove_rule(EXTERNAL)
+        assert nat.rule_count() == 0
+        with pytest.raises(NetworkError):
+            nat.remove_rule(EXTERNAL)
+
+    def test_external_for(self, nat):
+        assert nat.external_for(GUEST) == EXTERNAL
+        with pytest.raises(NetworkError):
+            nat.external_for(CLIENT)

@@ -1,0 +1,64 @@
+"""Unit tests for warm-pool management."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platforms.pooling import WarmEntry, WarmPool, require_warm
+
+
+class FakeWorker:
+    pass
+
+
+@pytest.fixture
+def pool():
+    return WarmPool()
+
+
+class TestWarmPool:
+    def test_take_from_empty_is_none(self, pool):
+        assert pool.take("fn", now_ms=0.0) is None
+
+    def test_add_and_take(self, pool):
+        worker = FakeWorker()
+        pool.add("fn", WarmEntry(worker, expires_at_ms=100.0, paused=True))
+        entry = pool.take("fn", now_ms=50.0)
+        assert entry.worker is worker
+        assert pool.take("fn", now_ms=50.0) is None  # consumed
+
+    def test_expired_entries_not_returned(self, pool):
+        pool.add("fn", WarmEntry(FakeWorker(), 100.0, paused=True))
+        assert pool.take("fn", now_ms=100.0) is None
+
+    def test_expired_entries_drained_for_teardown(self, pool):
+        worker = FakeWorker()
+        pool.add("fn", WarmEntry(worker, 100.0, paused=False))
+        pool.take("fn", now_ms=200.0)
+        expired = pool.drain_expired()
+        assert [e.worker for e in expired] == [worker]
+        assert pool.drain_expired() == []  # drained once
+
+    def test_freshest_entry_taken_first(self, pool):
+        old, new = FakeWorker(), FakeWorker()
+        pool.add("fn", WarmEntry(old, 1000.0, paused=True))
+        pool.add("fn", WarmEntry(new, 2000.0, paused=True))
+        assert pool.take("fn", 0.0).worker is new
+
+    def test_pools_are_per_function(self, pool):
+        pool.add("a", WarmEntry(FakeWorker(), 100.0, paused=True))
+        assert pool.take("b", 0.0) is None
+        assert pool.size("a", 0.0) == 1
+
+    def test_size_expires_lazily(self, pool):
+        pool.add("fn", WarmEntry(FakeWorker(), 100.0, paused=True))
+        assert pool.size("fn", now_ms=150.0) == 0
+
+
+class TestRequireWarm:
+    def test_passes_through_entry(self):
+        entry = WarmEntry(FakeWorker(), 1.0, paused=True)
+        assert require_warm(entry, "fn", "p") is entry
+
+    def test_none_raises_clear_error(self):
+        with pytest.raises(PlatformError, match="warm pool is empty"):
+            require_warm(None, "fn", "p")

@@ -1,0 +1,61 @@
+"""Unit tests for pool sweeping and the periodic reaper."""
+
+import pytest
+
+from repro.bench import fresh_platform, install_all, invoke_once
+from repro.platforms.openwhisk import OpenWhiskPlatform
+from repro.platforms.pooling import WarmEntry, WarmPool
+from repro.workloads import faasdom_spec
+
+
+class FakeWorker:
+    pass
+
+
+class TestExpireAll:
+    def test_sweeps_every_pool(self):
+        pool = WarmPool()
+        pool.add("a", WarmEntry(FakeWorker(), 100.0, paused=False))
+        pool.add("b", WarmEntry(FakeWorker(), 100.0, paused=False))
+        pool.add("b", WarmEntry(FakeWorker(), 9999.0, paused=False))
+        pool.expire_all(now_ms=500.0)
+        expired = pool.drain_expired()
+        assert len(expired) == 2
+        assert len(pool.live_entries(500.0)) == 1
+
+    def test_live_entries_across_pools(self):
+        pool = WarmPool()
+        for function in ("a", "b", "c"):
+            pool.add(function, WarmEntry(FakeWorker(), 1000.0,
+                                         paused=False))
+        assert len(pool.live_entries(0.0)) == 3
+
+
+class TestReapIdle:
+    def test_reaper_frees_memory(self):
+        platform = fresh_platform(OpenWhiskPlatform)
+        spec = faasdom_spec("faas-netlatency", "nodejs")
+        install_all(platform, [spec])
+        invoke_once(platform, spec.name)
+        assert platform.host_memory.used_mb > 50  # idle container
+
+        # Inside the keep-alive window the reaper takes nothing.
+        assert platform.reap_idle() == 0
+
+        # Past the window it reclaims the container.
+        keepalive = platform.params.control_plane.warm_keepalive_ms
+        platform.sim.run(until=platform.sim.now + keepalive + 1)
+        assert platform.reap_idle() == 1
+        platform.sim.run()
+        assert platform.host_memory.used_mb == pytest.approx(0.0)
+
+    def test_reaped_function_cold_starts_next(self):
+        platform = fresh_platform(OpenWhiskPlatform)
+        spec = faasdom_spec("faas-netlatency", "nodejs")
+        install_all(platform, [spec])
+        invoke_once(platform, spec.name)
+        keepalive = platform.params.control_plane.warm_keepalive_ms
+        platform.sim.run(until=platform.sim.now + keepalive + 1)
+        platform.reap_idle()
+        record = invoke_once(platform, spec.name)
+        assert record.mode == "cold"

@@ -1,0 +1,112 @@
+"""Unit tests for the invoker pool and scheduling policies."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platforms.scheduler import (POLICY_HASH, POLICY_LEAST_LOADED,
+                                       POLICY_ROUND_ROBIN, InvokerNode,
+                                       InvokerPool)
+
+
+class TestInvokerNode:
+    def test_assign_release_cycle(self):
+        node = InvokerNode(node_id=0, capacity=2)
+        node.assign("fn")
+        assert node.active == 1
+        assert node.per_function["fn"] == 1
+        node.release()
+        assert node.active == 0
+
+    def test_over_capacity_raises(self):
+        node = InvokerNode(node_id=0, capacity=1)
+        node.assign("fn")
+        with pytest.raises(PlatformError):
+            node.assign("fn")
+
+    def test_release_below_zero_raises(self):
+        with pytest.raises(PlatformError):
+            InvokerNode(node_id=0).release()
+
+
+class TestPoolConstruction:
+    def test_needs_nodes(self):
+        with pytest.raises(PlatformError):
+            InvokerPool(nodes=0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(PlatformError):
+            InvokerPool(policy="random-ish")
+
+
+class TestRoundRobin:
+    def test_cycles_through_nodes(self):
+        pool = InvokerPool(nodes=3, policy=POLICY_ROUND_ROBIN)
+        picks = [pool.pick("fn").node_id for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_full_nodes(self):
+        pool = InvokerPool(nodes=2, capacity_per_node=1,
+                           policy=POLICY_ROUND_ROBIN)
+        first = pool.pick("fn")
+        second = pool.pick("fn")
+        assert {first.node_id, second.node_id} == {0, 1}
+        with pytest.raises(PlatformError, match="capacity"):
+            pool.pick("fn")
+
+
+class TestLeastLoaded:
+    def test_prefers_idle_node(self):
+        pool = InvokerPool(nodes=3, policy=POLICY_LEAST_LOADED)
+        a = pool.pick("fn")
+        b = pool.pick("fn")
+        assert a.node_id != b.node_id
+        a.release()
+        c = pool.pick("fn")
+        assert c.node_id == a.node_id  # back to the now-idle node
+
+    def test_all_full_raises(self):
+        pool = InvokerPool(nodes=1, capacity_per_node=1,
+                           policy=POLICY_LEAST_LOADED)
+        pool.pick("fn")
+        with pytest.raises(PlatformError):
+            pool.pick("fn")
+
+
+class TestHash:
+    def test_same_function_same_home(self):
+        pool = InvokerPool(nodes=4, policy=POLICY_HASH)
+        homes = {pool.pick("my-fn").node_id for _ in range(5)}
+        assert len(homes) == 1
+
+    def test_different_functions_spread(self):
+        pool = InvokerPool(nodes=4, policy=POLICY_HASH)
+        homes = {pool.pick(f"fn-{i}").node_id for i in range(40)}
+        assert len(homes) > 1
+
+    def test_overflow_probes_next_node(self):
+        pool = InvokerPool(nodes=2, capacity_per_node=1,
+                           policy=POLICY_HASH)
+        first = pool.pick("fn")
+        second = pool.pick("fn")
+        assert second.node_id == (first.node_id + 1) % 2
+
+    def test_deterministic_home(self):
+        a = InvokerPool(nodes=4, policy=POLICY_HASH)
+        b = InvokerPool(nodes=4, policy=POLICY_HASH)
+        assert a.pick("fn").node_id == b.pick("fn").node_id
+
+
+class TestStats:
+    def test_total_active(self):
+        pool = InvokerPool(nodes=2, policy=POLICY_ROUND_ROBIN)
+        pool.pick("a")
+        pool.pick("b")
+        assert pool.total_active() == 2
+
+    def test_load_spread(self):
+        pool = InvokerPool(nodes=2, policy=POLICY_LEAST_LOADED)
+        node = pool.pick("a")
+        node.release()
+        node2 = pool.pick("b")
+        node2.release()
+        assert pool.load_spread() <= 2

@@ -1,0 +1,69 @@
+"""Unit tests for platform triggers (db change feed + timers)."""
+
+import pytest
+
+from repro.bench import drain, fresh_platform, install_all, invoke_once
+from repro.core import FireworksPlatform
+from repro.errors import FunctionNotFoundError, PlatformError
+from repro.workloads import faasdom_spec
+
+
+@pytest.fixture
+def platform():
+    platform = fresh_platform(FireworksPlatform)
+    install_all(platform, [faasdom_spec("faas-netlatency", "nodejs")])
+    return platform
+
+
+FN = "faas-netlatency-nodejs"
+
+
+class TestTimerTriggers:
+    def test_fires_count_times(self, platform):
+        platform.register_timer_trigger(FN, every_ms=1000.0, count=3)
+        platform.sim.run()
+        assert len(platform.records) == 3
+        # First firing one period in, then evenly spaced.
+        starts = [record.submitted_ms for record in platform.records]
+        assert starts[0] >= 1000.0
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert all(gap == pytest.approx(1000.0, abs=1e-6) for gap in gaps)
+
+    def test_unknown_function_rejected(self, platform):
+        with pytest.raises(FunctionNotFoundError):
+            platform.register_timer_trigger("ghost", 1000.0, 1)
+
+    def test_bad_period_rejected(self, platform):
+        with pytest.raises(PlatformError):
+            platform.register_timer_trigger(FN, 0.0, 1)
+
+    def test_bad_count_rejected(self, platform):
+        with pytest.raises(PlatformError):
+            platform.register_timer_trigger(FN, 1000.0, 0)
+
+    def test_timer_coexists_with_direct_invocations(self, platform):
+        platform.register_timer_trigger(FN, every_ms=5000.0, count=1)
+        invoke_once(platform, FN)
+        drain(platform)
+        assert len(platform.records) == 2
+
+
+class TestDbTriggerRegistration:
+    def test_unknown_function_rejected(self, platform):
+        with pytest.raises(FunctionNotFoundError):
+            platform.register_db_trigger("wages", "ghost")
+
+    def test_multiple_triggers_per_database(self, platform):
+        spec2 = faasdom_spec("faas-fact", "nodejs")
+        install_all(platform, [spec2])
+        platform.register_db_trigger("events", FN)
+        platform.register_db_trigger("events", spec2.name)
+        platform.note_db_write("events")
+        drain(platform)
+        functions = sorted(record.function for record in platform.records)
+        assert functions == sorted([FN, spec2.name])
+
+    def test_write_to_untriggered_db_is_quiet(self, platform):
+        platform.note_db_write("nobody-cares")
+        drain(platform)
+        assert platform.records == []

@@ -1,0 +1,105 @@
+"""Property-based tests: the annotators on generated sources."""
+
+import ast
+import keyword
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.annotator import annotate_nodejs, annotate_python
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: not keyword.iskeyword(s) and not s.startswith("__fireworks"))
+
+
+@st.composite
+def python_sources(draw):
+    """A module with a `main` plus a few extra functions."""
+    names = draw(st.lists(identifiers, min_size=0, max_size=4,
+                          unique=True).filter(lambda ns: "main" not in ns))
+    lines = []
+    for name in names:
+        lines.append(f"def {name}(x):\n    return x + 1\n")
+    lines.append("def main(params):\n    return len(params)\n")
+    return "\n".join(lines), names + ["main"]
+
+
+@st.composite
+def nodejs_sources(draw):
+    names = draw(st.lists(identifiers, min_size=0, max_size=4,
+                          unique=True).filter(lambda ns: "main" not in ns))
+    lines = []
+    for name in names:
+        lines.append(f"function {name}(x) {{ return x + 1; }}\n")
+    lines.append("function main(params) { return params; }\n")
+    return "\n".join(lines), names + ["main"]
+
+
+class TestPythonAnnotatorProperties:
+    @given(python_sources())
+    @settings(max_examples=60)
+    def test_output_always_valid_python(self, case):
+        source, _names = case
+        result = annotate_python(source)
+        ast.parse(result.annotated)
+
+    @given(python_sources())
+    @settings(max_examples=60)
+    def test_every_function_gets_jit_decorator(self, case):
+        """§3.2: the JIT annotation is added for ALL methods."""
+        source, names = case
+        result = annotate_python(source)
+        assert set(result.functions) == set(names)
+        tree = ast.parse(result.annotated)
+        decorated = {node.name for node in tree.body
+                     if isinstance(node, ast.FunctionDef)
+                     and node.decorator_list}
+        assert set(names) <= decorated
+
+    @given(python_sources())
+    @settings(max_examples=40)
+    def test_annotation_is_idempotent_in_decorators(self, case):
+        """Annotating already-annotated user code never stacks @jit."""
+        source, names = case
+        once = annotate_python(source)
+        # Strip the scaffolding, re-annotate just the decorated defs.
+        tree = ast.parse(once.annotated)
+        user_defs = [node for node in tree.body
+                     if isinstance(node, ast.FunctionDef)
+                     and node.name in names]
+        user_module = ast.Module(body=user_defs, type_ignores=[])
+        twice = annotate_python(ast.unparse(user_module))
+        retree = ast.parse(twice.annotated)
+        for node in retree.body:
+            if isinstance(node, ast.FunctionDef) and node.name in names:
+                jit_decorators = [
+                    d for d in node.decorator_list
+                    if (isinstance(d, ast.Call)
+                        and getattr(d.func, "id", "") == "jit")]
+                assert len(jit_decorators) == 1
+
+
+class TestNodeAnnotatorProperties:
+    @given(nodejs_sources())
+    @settings(max_examples=60)
+    def test_all_functions_get_v8_hooks(self, case):
+        source, names = case
+        result = annotate_nodejs(source)
+        for name in names:
+            assert f"%OptimizeFunctionOnNextCall({name})" in \
+                result.annotated
+
+    @given(nodejs_sources())
+    @settings(max_examples=60)
+    def test_braces_stay_balanced(self, case):
+        from repro.core.annotator.nodejs_annotator import _balanced_braces
+        source, _names = case
+        result = annotate_nodejs(source)
+        assert _balanced_braces(result.annotated)
+
+    @given(nodejs_sources())
+    @settings(max_examples=40)
+    def test_original_source_embedded_verbatim(self, case):
+        source, _names = case
+        result = annotate_nodejs(source)
+        assert source in result.annotated

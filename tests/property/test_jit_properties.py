@@ -1,0 +1,104 @@
+"""Property-based tests: JIT tiering invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NODEJS_RUNTIME, PYTHON_RUNTIME
+from repro.runtime.jit import INTERPRETED, OPTIMIZED, JitEngine
+
+units_lists = st.lists(st.floats(min_value=0.0, max_value=50000.0,
+                                 allow_nan=False),
+                       min_size=1, max_size=15)
+
+
+class TestTieringInvariants:
+    @given(units_lists)
+    @settings(max_examples=80)
+    def test_cost_components_non_negative(self, workloads):
+        engine = JitEngine(NODEJS_RUNTIME)
+        engine.register("main")
+        for units in workloads:
+            cost = engine.execute("main", units)
+            assert cost.exec_ms >= 0
+            assert cost.jit_compile_ms >= 0
+            assert cost.deopt_ms >= 0
+
+    @given(units_lists)
+    @settings(max_examples=80)
+    def test_tiering_never_slower_than_pure_interpretation(self, workloads):
+        """Tier-up pays compile once, then wins — total time across any
+        invocation sequence stays within one compile of pure interp."""
+        engine = JitEngine(NODEJS_RUNTIME)
+        state = engine.register("main")
+        total = sum(engine.execute("main", units).total_ms
+                    for units in workloads)
+        pure_interp = sum(workloads) / NODEJS_RUNTIME.interp_units_per_ms
+        max_compile = (state.code_units / 1000.0) * \
+            NODEJS_RUNTIME.jit_compile_ms_per_kunit
+        assert total <= pure_interp + max_compile + 1e-6
+
+    @given(units_lists)
+    @settings(max_examples=80)
+    def test_optimized_is_monotone_state(self, workloads):
+        """Once optimized (and without deopts), a function never falls
+        back to the interpreter."""
+        engine = JitEngine(NODEJS_RUNTIME)
+        engine.register("main")
+        was_optimized = False
+        for units in workloads:
+            engine.execute("main", units)
+            tier = engine.state("main").tier
+            if was_optimized:
+                assert tier == OPTIMIZED
+            was_optimized = tier == OPTIMIZED
+
+    @given(units_lists)
+    @settings(max_examples=50)
+    def test_cpython_stays_interpreted(self, workloads):
+        engine = JitEngine(PYTHON_RUNTIME)
+        engine.register("main")
+        for units in workloads:
+            engine.execute("main", units)
+        assert engine.state("main").tier == INTERPRETED
+
+    @given(st.floats(1.0, 200.0), st.floats(100.0, 100000.0))
+    @settings(max_examples=60)
+    def test_speedup_scales_optimized_exec(self, speedup, units):
+        engine = JitEngine(PYTHON_RUNTIME)
+        engine.register("main", jit_speedup=speedup)
+        engine.force_compile("main")
+        cost = engine.execute("main", units)
+        expected = units / (PYTHON_RUNTIME.interp_units_per_ms * speedup)
+        assert cost.exec_ms == pytest.approx(expected)
+
+
+class TestDeoptInvariants:
+    @given(st.lists(st.sampled_from([("int",), ("str",), ("float",),
+                                     ("int", "str")]),
+                    min_size=1, max_size=20))
+    @settings(max_examples=60)
+    def test_each_shape_deopts_at_most_once(self, shapes):
+        engine = JitEngine(NODEJS_RUNTIME)
+        engine.register("main")
+        engine.force_compile("main")
+        for shape in shapes:
+            engine.execute("main", 100.0, arg_shape=shape)
+        assert engine.state("main").deopt_count <= len(set(shapes))
+        # All seen shapes end up trained.
+        assert set(shapes) <= engine.state("main").trained_shapes
+
+    @given(st.lists(st.sampled_from([("a",), ("b",)]), min_size=1,
+                    max_size=10))
+    @settings(max_examples=40)
+    def test_export_import_preserves_behaviour(self, shapes):
+        engine = JitEngine(NODEJS_RUNTIME)
+        engine.register("main")
+        engine.force_compile("main")
+        for shape in shapes:
+            engine.execute("main", 50.0, arg_shape=shape)
+        clone = JitEngine(NODEJS_RUNTIME)
+        clone.import_state(engine.export_state())
+        # A shape the original trained must not deopt in the clone.
+        cost = clone.execute("main", 50.0, arg_shape=shapes[-1])
+        assert cost.deopt_ms == 0

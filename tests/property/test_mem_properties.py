@@ -1,0 +1,105 @@
+"""Property-based tests: memory-model invariants under arbitrary workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import HostConfig
+from repro.mem.address_space import AddressSpace
+from repro.mem.host_memory import HostMemory
+
+# Generous host so random workloads never hit the OOM ceiling.
+_HOST = HostConfig(dram_mb=1 << 20)
+
+
+@st.composite
+def dirty_sequences(draw):
+    """A segment size plus a sequence of (mapper, pages) dirty operations."""
+    pages = draw(st.integers(min_value=1, max_value=50000))
+    n_mappers = draw(st.integers(min_value=1, max_value=8))
+    ops = draw(st.lists(
+        st.tuples(st.integers(0, n_mappers - 1),
+                  st.integers(0, 60000)),
+        max_size=20))
+    return pages, n_mappers, ops
+
+
+class TestSegmentInvariants:
+    @given(dirty_sequences())
+    @settings(max_examples=100)
+    def test_accounting_invariants(self, case):
+        pages, n_mappers, ops = case
+        host = HostMemory(_HOST)
+        segment = host.create_segment(pages / 256, "x")
+        segment_pages = segment.pages
+        mappers = [segment.attach() for _ in range(n_mappers)]
+        for mapper_index, dirty_pages in ops:
+            segment.dirty(mappers[mapper_index], dirty_pages)
+
+        # Invariant 1: dirty never exceeds the segment size.
+        for mapper in mappers:
+            assert 0 <= segment.dirty_pages(mapper) <= segment_pages
+
+        # Invariant 2: resident = segment + sum of private copies.
+        expected = segment_pages + sum(segment.dirty_pages(m)
+                                       for m in mappers)
+        assert segment.resident_pages() == expected
+
+        # Invariant 3: PSS of each mapper is between USS and RSS.
+        for mapper in mappers:
+            pss = segment.pss_pages(mapper)
+            assert segment.uss_pages(mapper) - 1e-9 <= pss \
+                <= segment_pages + segment.dirty_pages(mapper) + 1e-9
+
+        # Invariant 4: total PSS never exceeds resident memory.
+        total_pss = sum(segment.pss_pages(m) for m in mappers)
+        assert total_pss <= segment.resident_pages() + 1e-6
+
+        # Invariant 5: detaching everyone frees everything (no pins).
+        for mapper in mappers:
+            segment.detach(mapper)
+        assert host.used_pages == 0
+
+    @given(st.integers(1, 64), st.integers(1, 500))
+    @settings(max_examples=50)
+    def test_clean_sharing_splits_evenly(self, n_mappers, mb):
+        host = HostMemory(_HOST)
+        segment = host.create_segment(mb, "x")
+        mappers = [segment.attach() for _ in range(n_mappers)]
+        for mapper in mappers:
+            assert segment.pss_pages(mapper) == \
+                pytest.approx(segment.pages / n_mappers)
+
+
+class TestAddressSpaceInvariants:
+    @given(st.lists(st.tuples(st.sampled_from(["private", "shared"]),
+                              st.integers(1, 200)),
+                    min_size=1, max_size=6),
+           st.floats(0.0, 1.0))
+    @settings(max_examples=60)
+    def test_pss_bounded_by_rss(self, regions, fraction):
+        host = HostMemory(_HOST)
+        space = AddressSpace(host, "vm")
+        other = AddressSpace(host, "other")
+        for index, (kind, mb) in enumerate(regions):
+            name = f"r{index}"
+            if kind == "private":
+                space.map_private(name, mb)
+            else:
+                segment = host.create_segment(mb, name)
+                space.map_segment(name, segment)
+                other.map_segment(name, segment)
+        for index, _ in enumerate(regions):
+            space.dirty_fraction(f"r{index}", fraction)
+        assert space.uss_mb() - 1e-9 <= space.pss_mb() \
+            <= space.rss_mb() + 1e-9
+
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=5))
+    @settings(max_examples=50)
+    def test_unmap_restores_host(self, sizes):
+        host = HostMemory(_HOST)
+        space = AddressSpace(host, "vm")
+        for index, mb in enumerate(sizes):
+            space.map_private(f"r{index}", mb)
+        space.unmap_all()
+        assert host.used_pages == 0

@@ -1,0 +1,48 @@
+"""Property-based tests: NAT translation is a bijection per namespace."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.address import IpAddress, MacAddress
+from repro.net.bridge import HostBridge
+from repro.net.nat import Packet
+
+guest_ips = st.integers(min_value=0x0A000002,
+                        max_value=0x0A0000FF).map(IpAddress)
+client_ips = st.integers(min_value=0xC0A80001,
+                         max_value=0xC0A800FF).map(IpAddress)
+
+
+class TestNatBijection:
+    @given(st.lists(guest_ips, min_size=1, max_size=20), client_ips)
+    @settings(max_examples=50)
+    def test_clones_always_reachable_and_distinct(self, ips, client):
+        """Any number of clones, any (possibly identical) guest IPs:
+        external IPs stay unique and routing reaches the right clone."""
+        bridge = HostBridge()
+        mac = MacAddress(0x02F17E000001)
+        endpoints = [bridge.connect_guest(ip, mac) for ip in ips]
+
+        externals = [e.external_ip for e in endpoints]
+        assert len(set(externals)) == len(externals)
+
+        for endpoint in endpoints:
+            packet = Packet(src=client, dst=endpoint.external_ip)
+            delivered = bridge.deliver(packet)
+            assert delivered.dst == endpoint.guest_ip
+            reply = Packet(src=endpoint.guest_ip, dst=client)
+            outbound = bridge.emit(endpoint.external_ip, reply)
+            assert outbound.src == endpoint.external_ip
+            assert outbound.dst == client
+
+    @given(st.integers(1, 40))
+    @settings(max_examples=30)
+    def test_connect_disconnect_is_clean(self, n):
+        bridge = HostBridge()
+        mac = MacAddress(0x02F17E000001)
+        guest = IpAddress.parse("10.0.0.2")
+        endpoints = [bridge.connect_guest(guest, mac) for _ in range(n)]
+        for endpoint in endpoints:
+            bridge.disconnect(endpoint)
+        assert bridge.endpoint_count() == 0
+        assert len(bridge.namespaces) == 0

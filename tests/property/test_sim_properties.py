@@ -1,0 +1,72 @@
+"""Property-based tests: the discrete-event kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulation
+
+delays = st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                            allow_nan=False),
+                  min_size=1, max_size=30)
+
+
+class TestClockMonotonicity:
+    @given(delays)
+    @settings(max_examples=80)
+    def test_event_processing_is_time_ordered(self, delay_list):
+        sim = Simulation()
+        seen = []
+        sim.add_trace_hook(lambda t, e: seen.append(t))
+        for delay in delay_list:
+            sim.timeout(delay)
+        sim.run()
+        assert seen == sorted(seen)
+        assert sim.now == max(delay_list)
+
+    @given(delays)
+    @settings(max_examples=80)
+    def test_sequential_process_sums_delays(self, delay_list):
+        sim = Simulation()
+
+        def proc():
+            for delay in delay_list:
+                yield sim.timeout(delay)
+            return sim.now
+
+        total = sim.run(sim.process(proc()))
+        assert abs(total - sum(delay_list)) < 1e-6
+
+    @given(st.lists(delays, min_size=1, max_size=5))
+    @settings(max_examples=40)
+    def test_parallel_processes_finish_at_their_own_sums(self, groups):
+        sim = Simulation()
+        finishes = {}
+
+        def proc(tag, my_delays):
+            for delay in my_delays:
+                yield sim.timeout(delay)
+            finishes[tag] = sim.now
+
+        for tag, group in enumerate(groups):
+            sim.process(proc(tag, group))
+        sim.run()
+        for tag, group in enumerate(groups):
+            assert abs(finishes[tag] - sum(group)) < 1e-6
+
+    @given(delays, st.integers(0, 3))
+    @settings(max_examples=50)
+    def test_determinism_across_runs(self, delay_list, seed):
+        def trace(seed_value):
+            sim = Simulation(seed=seed_value)
+            order = []
+
+            def proc(tag, delay):
+                yield sim.timeout(delay)
+                order.append((tag, sim.now))
+
+            for tag, delay in enumerate(delay_list):
+                sim.process(proc(tag, delay))
+            sim.run()
+            return order
+
+        assert trace(seed) == trace(seed)

@@ -1,0 +1,76 @@
+"""Property-based tests: the LRU snapshot store against a model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.disk import BlockDevice
+from repro.storage.snapshot_store import SnapshotStore
+
+
+class FakeImage:
+    def __init__(self, size_mb: float) -> None:
+        self.size_mb = size_mb
+        self.evicted = False
+
+    def on_evicted(self) -> None:
+        self.evicted = True
+
+
+keys = st.sampled_from([f"fn{i}" for i in range(6)])
+ops = st.lists(st.tuples(st.sampled_from(["put", "get"]), keys),
+               min_size=1, max_size=40)
+
+
+class TestLruModel:
+    @given(ops, st.integers(1, 4))
+    @settings(max_examples=80)
+    def test_matches_reference_lru(self, operations, capacity):
+        """The store behaves exactly like a textbook LRU of `capacity`."""
+        store = SnapshotStore(BlockDevice(10**6),
+                              capacity_images=capacity)
+        model: "OrderedDict[str, FakeImage]" = OrderedDict()
+
+        for op, key in operations:
+            if op == "put":
+                image = FakeImage(10.0)
+                store.put(key, image)
+                if key in model:
+                    del model[key]
+                model[key] = image
+                while len(model) > capacity:
+                    model.popitem(last=False)
+            else:
+                if key in model:
+                    assert store.get(key) is model[key]
+                    model.move_to_end(key)
+                else:
+                    assert not store.contains(key)
+
+            assert list(store.keys()) == list(model)
+
+    @given(ops, st.integers(1, 4))
+    @settings(max_examples=60)
+    def test_evicted_images_always_notified(self, operations, capacity):
+        store = SnapshotStore(BlockDevice(10**6),
+                              capacity_images=capacity)
+        all_images = []
+        for op, key in operations:
+            if op == "put":
+                image = FakeImage(10.0)
+                all_images.append((key, image))
+                store.put(key, image)
+        resident = {id(store.get(key)) for key in list(store.keys())}
+        for _key, image in all_images:
+            assert image.evicted == (id(image) not in resident)
+
+    @given(ops)
+    @settings(max_examples=40)
+    def test_disk_usage_matches_resident_set(self, operations):
+        store = SnapshotStore(BlockDevice(10**6), capacity_images=3)
+        for op, key in operations:
+            if op == "put":
+                store.put(key, FakeImage(10.0))
+        assert store.disk_used_mb == 10.0 * len(store)
+        assert store.device.used_mb == store.disk_used_mb

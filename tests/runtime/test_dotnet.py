@@ -1,0 +1,68 @@
+"""Unit tests for the .NET AOT runtime model (extension)."""
+
+import pytest
+
+from repro.config import default_parameters
+from repro.errors import RuntimeModelError
+from repro.runtime import make_runtime
+from repro.runtime.dotnet import DotnetRuntime
+from repro.runtime.interpreter import AppCode, GuestFunction
+from repro.runtime.ops import Compute, program
+from repro.sim import Simulation
+from repro.storage.filesystem import IoPathModel
+from tests.helpers import run
+
+
+@pytest.fixture
+def params():
+    return default_parameters()
+
+
+@pytest.fixture
+def sim():
+    return Simulation()
+
+
+def _ready(sim, params):
+    runtime = make_runtime(sim, params, "dotnet")
+    run(sim, runtime.launch())
+    app = AppCode(name="aot", language="dotnet",
+                  guest_functions=(GuestFunction("main", 500.0, 1.0),))
+    run(sim, runtime.load_app(app))
+    return runtime
+
+
+class TestDotnetRuntime:
+    def test_factory_builds_dotnet(self, sim, params):
+        assert isinstance(make_runtime(sim, params, "dotnet"),
+                          DotnetRuntime)
+
+    def test_execution_is_top_tier_from_first_instruction(self, sim,
+                                                          params):
+        """AOT: no interpreter tier, no JIT cost, ever."""
+        runtime = _ready(sim, params)
+        io = IoPathModel(params.latency("microvm"))
+        breakdown = run(sim, runtime.run_program(
+            program(Compute(27000)), io))
+        assert breakdown.jit_compile_ms == 0
+        # 27000 units at the machine-code rate (54 u/ms) = 500 ms.
+        assert breakdown.compute_ms == pytest.approx(500.0)
+
+    def test_matches_v8_top_tier_throughput(self, sim, params):
+        """§3.1: post-JIT is conceptually similar to AOT — same code speed."""
+        assert params.runtime("dotnet").interp_units_per_ms == \
+            pytest.approx(params.runtime("nodejs").interp_units_per_ms
+                          * 3.0)
+
+    def test_annotation_jit_rejected(self, sim, params):
+        runtime = _ready(sim, params)
+        with pytest.raises(RuntimeModelError, match="AOT"):
+            run(sim, runtime.force_jit_all())
+
+    def test_launch_heavier_than_scripting_runtimes(self, params):
+        dotnet = params.runtime("dotnet")
+        assert dotnet.launch_ms > params.runtime("nodejs").launch_ms
+        assert dotnet.launch_ms > params.runtime("python").launch_ms
+
+    def test_no_jit_region_in_layout(self, params):
+        assert params.memory_layout("dotnet").jit_code_mb == 0

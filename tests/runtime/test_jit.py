@@ -1,0 +1,170 @@
+"""Unit tests for the tiered JIT model."""
+
+import pytest
+
+from repro.config import NODEJS_RUNTIME, PYTHON_RUNTIME
+from repro.errors import RuntimeModelError
+from repro.runtime.jit import INTERPRETED, OPTIMIZED, JitEngine
+
+
+@pytest.fixture
+def v8():
+    return JitEngine(NODEJS_RUNTIME)
+
+
+@pytest.fixture
+def cpython():
+    return JitEngine(PYTHON_RUNTIME)
+
+
+class TestRegistry:
+    def test_register_and_state(self, v8):
+        state = v8.register("main", code_units=500, jit_speedup=3.0)
+        assert state.tier == INTERPRETED
+        assert v8.state("main") is state
+
+    def test_duplicate_register_raises(self, v8):
+        v8.register("main")
+        with pytest.raises(RuntimeModelError):
+            v8.register("main")
+
+    def test_unknown_function_raises(self, v8):
+        with pytest.raises(RuntimeModelError):
+            v8.state("ghost")
+
+    def test_speedup_below_one_raises(self, v8):
+        with pytest.raises(RuntimeModelError):
+            v8.register("main", jit_speedup=0.5)
+
+
+class TestV8Tiering:
+    def test_small_function_stays_interpreted(self, v8):
+        """§5.5.1: I/O-heavy code never reaches the hotness threshold."""
+        v8.register("main")
+        cost = v8.execute("main", 300.0)
+        assert cost.jit_compile_ms == 0
+        assert v8.state("main").tier == INTERPRETED
+        assert cost.exec_ms == pytest.approx(
+            300.0 / NODEJS_RUNTIME.interp_units_per_ms)
+
+    def test_hot_function_tiers_up_mid_run(self, v8):
+        v8.register("main", code_units=500)
+        units = NODEJS_RUNTIME.hotness_threshold_units + 10000
+        cost = v8.execute("main", units)
+        assert cost.jit_compile_ms == pytest.approx(
+            0.5 * NODEJS_RUNTIME.jit_compile_ms_per_kunit)
+        assert v8.state("main").tier == OPTIMIZED
+
+    def test_tiered_run_is_faster_than_pure_interp(self, v8):
+        v8.register("main")
+        units = 27000.0
+        cost = v8.execute("main", units)
+        pure_interp = units / NODEJS_RUNTIME.interp_units_per_ms
+        assert cost.total_ms < pure_interp
+
+    def test_optimized_is_jit_speedup_faster(self, v8):
+        v8.register("main", jit_speedup=3.0)
+        v8.force_compile("main")
+        cost = v8.execute("main", 2700.0)
+        assert cost.exec_ms == pytest.approx(
+            2700.0 / (NODEJS_RUNTIME.interp_units_per_ms * 3.0))
+
+    def test_hotness_accumulates_across_invocations(self, v8):
+        """A function can warm up over several short invocations."""
+        v8.register("main")
+        per_call = NODEJS_RUNTIME.hotness_threshold_units / 2 + 1
+        v8.execute("main", per_call)
+        assert v8.state("main").tier == INTERPRETED
+        v8.execute("main", per_call)
+        assert v8.state("main").tier == OPTIMIZED
+
+
+class TestPythonNoJit:
+    def test_cpython_never_tiers_up(self, cpython):
+        """§5.5.1: the Python interpreter never JITs on its own."""
+        cpython.register("main")
+        cost = cpython.execute("main", 1e6)
+        assert cost.jit_compile_ms == 0
+        assert cpython.state("main").tier == INTERPRETED
+
+    def test_numba_annotation_compiles(self, cpython):
+        cpython.register("main", jit_speedup=20.0)
+        compile_ms = cpython.force_compile("main")
+        assert compile_ms > 0
+        assert cpython.state("main").tier == OPTIMIZED
+
+    def test_numba_speedup_applies(self, cpython):
+        cpython.register("main", jit_speedup=20.0)
+        interpreted = cpython.execute("main", 8000.0).total_ms
+        cpython.force_compile("main")
+        optimized = cpython.execute("main", 8000.0).total_ms
+        assert interpreted / optimized == pytest.approx(20.0, rel=0.01)
+
+
+class TestDeoptimization:
+    def test_unseen_shape_deopts_and_respecializes(self, v8):
+        v8.register("main")
+        v8.force_compile("main", shape=("str",))
+        cost = v8.execute("main", 1000.0, arg_shape=("int",))
+        assert cost.deopt_ms == NODEJS_RUNTIME.deopt_penalty_ms
+        assert cost.jit_compile_ms > 0  # immediate re-specialization
+        state = v8.state("main")
+        assert state.deopt_count == 1
+        assert ("int",) in state.trained_shapes
+
+    def test_trained_shape_does_not_deopt(self, v8):
+        v8.register("main")
+        v8.force_compile("main", shape=("str",))
+        cost = v8.execute("main", 1000.0, arg_shape=("str",))
+        assert cost.deopt_ms == 0
+
+    def test_generic_shape_never_deopts(self, v8):
+        v8.register("main")
+        v8.force_compile("main", shape=("str",))
+        cost = v8.execute("main", 1000.0)
+        assert cost.deopt_ms == 0
+
+    def test_second_call_with_same_new_shape_is_clean(self, v8):
+        v8.register("main")
+        v8.force_compile("main")
+        v8.execute("main", 100.0, arg_shape=("int",))
+        cost = v8.execute("main", 100.0, arg_shape=("int",))
+        assert cost.deopt_ms == 0
+        assert v8.total_deopts() == 1
+
+
+class TestAnnotationSupport:
+    def test_force_compile_on_unsupported_runtime(self):
+        from dataclasses import replace
+        no_numba = replace(PYTHON_RUNTIME, annotation_jit=False)
+        engine = JitEngine(no_numba)
+        engine.register("main")
+        with pytest.raises(RuntimeModelError):
+            engine.force_compile("main")
+
+
+class TestSnapshotState:
+    def test_export_import_round_trip(self, v8):
+        v8.register("main", jit_speedup=4.0)
+        v8.force_compile("main", shape=("str",))
+        exported = v8.export_state()
+
+        fresh = JitEngine(NODEJS_RUNTIME)
+        fresh.import_state(exported)
+        assert fresh.state("main").tier == OPTIMIZED
+        assert ("str",) in fresh.state("main").trained_shapes
+        assert fresh.optimized_functions() == ("main",)
+
+    def test_export_is_deep_copy(self, v8):
+        v8.register("main")
+        exported = v8.export_state()
+        v8.force_compile("main")
+        assert exported["main"].tier == INTERPRETED
+
+    def test_imported_state_is_independent(self, v8):
+        v8.register("main")
+        exported = v8.export_state()
+        fresh = JitEngine(NODEJS_RUNTIME)
+        fresh.import_state(exported)
+        fresh.force_compile("main")
+        assert exported["main"].tier == INTERPRETED

@@ -1,0 +1,62 @@
+"""Unit tests for the op-stream types."""
+
+import pytest
+
+from repro.errors import RuntimeModelError
+from repro.runtime.ops import (Compute, DbGet, DbPut, DiskRead, DiskWrite,
+                               InvokeNext, NetSend, Program, Respond,
+                               program)
+
+
+class TestValidation:
+    def test_negative_compute_raises(self):
+        with pytest.raises(RuntimeModelError):
+            Compute(-1)
+
+    def test_negative_disk_raises(self):
+        with pytest.raises(RuntimeModelError):
+            DiskRead(-1)
+        with pytest.raises(RuntimeModelError):
+            DiskWrite(1, times=-1)
+
+    def test_negative_net_raises(self):
+        with pytest.raises(RuntimeModelError):
+            NetSend(-1)
+
+
+class TestProgram:
+    def test_iteration_and_len(self):
+        prog = program(Compute(10), Respond())
+        assert len(prog) == 2
+        assert isinstance(list(prog)[0], Compute)
+
+    def test_total_compute_units(self):
+        prog = program(Compute(10), DiskRead(1), Compute(5))
+        assert prog.total_compute_units() == 15
+
+    def test_io_op_count_expands_times(self):
+        prog = program(DiskRead(10, times=100), DiskWrite(10, times=100),
+                       Respond())
+        assert prog.io_op_count() == 201
+
+    def test_functions_in_order(self):
+        prog = program(Compute(1, function="b"), Compute(1, function="a"),
+                       Compute(1, function="b"))
+        assert prog.functions() == ("b", "a")
+
+    def test_functions_default_main(self):
+        assert program(Respond()).functions() == ("main",)
+
+    def test_program_is_immutable(self):
+        prog = program(Compute(1))
+        with pytest.raises(AttributeError):
+            prog.ops = ()
+
+    def test_chain_and_db_ops(self):
+        prog = Program((InvokeNext("next-fn"), DbGet("db"), DbPut("db")))
+        assert prog.io_op_count() == 2  # the two db ops
+        assert prog.total_compute_units() == 0
+
+    def test_respond_default_size_matches_paper(self):
+        """§5.2.1(3): 79-byte body + ~500-byte header ~= 0.57 KiB."""
+        assert Respond().kb == pytest.approx(0.57)

@@ -1,0 +1,101 @@
+"""Unit tests for the worker composite (sandbox + runtime + app)."""
+
+import pytest
+
+from repro.errors import SandboxError
+from repro.runtime import make_runtime
+from repro.runtime.interpreter import AppCode, GuestFunction
+from repro.runtime.ops import Compute, Respond, program
+from repro.sandbox.microvm import MicroVM
+from repro.sandbox.worker import Worker
+from tests.helpers import run
+
+
+@pytest.fixture
+def app():
+    return AppCode(name="app", language="nodejs",
+                   guest_functions=(GuestFunction("main", 500.0, 3.0),))
+
+
+@pytest.fixture
+def worker(sim, params, host):
+    vm = MicroVM(sim, params, host, "nodejs")
+    return Worker(sim, vm, make_runtime(sim, params, "nodejs"))
+
+
+class TestColdStart:
+    def test_cold_start_full_cost(self, sim, params, worker, app):
+        run(sim, worker.cold_start(app))
+        latency = params.latency("microvm")
+        runtime_cfg = params.runtime("nodejs")
+        assert sim.now == pytest.approx(
+            latency.create_ms + latency.os_boot_ms + runtime_cfg.launch_ms
+            + runtime_cfg.app_load_base_ms)
+        assert worker.app is app
+
+    def test_cold_start_maps_all_stage_memory(self, sim, worker, app):
+        run(sim, worker.cold_start(app))
+        space = worker.sandbox.space
+        for region in ("vmm", "kernel", "runtime", "app", "heap"):
+            assert space.has_region(region), region
+        assert not space.has_region("jit_code")  # nothing compiled yet
+
+
+class TestInvoke:
+    def test_invoke_before_running_raises(self, sim, worker):
+        with pytest.raises(SandboxError):
+            run(sim, worker.invoke(program(Compute(1))))
+
+    def test_invoke_returns_breakdown(self, sim, worker, app):
+        run(sim, worker.cold_start(app))
+        breakdown = run(sim, worker.invoke(program(Compute(1800),
+                                                   Respond())))
+        assert breakdown.compute_ms == pytest.approx(100)
+        assert worker.invocations == 1
+
+    def test_first_tier_up_maps_jit_memory(self, sim, params, worker, app):
+        run(sim, worker.cold_start(app))
+        hot_units = params.runtime("nodejs").hotness_threshold_units + 5000
+        run(sim, worker.invoke(program(Compute(hot_units))))
+        assert worker.sandbox.space.has_region("jit_code")
+
+    def test_cold_worker_exec_dirties_memory_once(self, sim, worker, app):
+        run(sim, worker.cold_start(app))
+        rss_before = worker.sandbox.rss_mb()
+        run(sim, worker.invoke(program(Compute(10))))
+        rss_after_first = worker.sandbox.rss_mb()
+        assert rss_after_first > rss_before  # exec_extra_anon growth
+        run(sim, worker.invoke(program(Compute(10))))
+        assert worker.sandbox.rss_mb() == pytest.approx(rss_after_first)
+
+    def test_force_jit_maps_jit_region(self, sim, worker, app):
+        run(sim, worker.cold_start(app))
+        run(sim, worker.force_jit())
+        assert worker.sandbox.space.has_region("jit_code")
+        assert worker.runtime.jit.optimized_functions() == ("main",)
+
+
+class TestSteadyState:
+    def test_enter_steady_state_grows_memory(self, sim, worker, app):
+        run(sim, worker.cold_start(app))
+        run(sim, worker.invoke(program(Compute(10))))
+        before = worker.sandbox.rss_mb()
+        worker.enter_steady_state()
+        assert worker.sandbox.rss_mb() > before
+
+    def test_steady_state_idempotent(self, sim, worker, app):
+        run(sim, worker.cold_start(app))
+        run(sim, worker.invoke(program(Compute(10))))
+        worker.enter_steady_state()
+        once = worker.sandbox.rss_mb()
+        worker.enter_steady_state()
+        assert worker.sandbox.rss_mb() == pytest.approx(once)
+
+
+class TestPassthrough:
+    def test_pause_resume_stop(self, sim, worker, app):
+        run(sim, worker.cold_start(app))
+        run(sim, worker.pause())
+        run(sim, worker.resume())
+        run(sim, worker.stop())
+        assert worker.pss_mb() == 0

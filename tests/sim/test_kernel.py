@@ -1,0 +1,131 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulation
+from tests.helpers import run
+
+
+@pytest.fixture
+def sim():
+    return Simulation()
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_run_until_time(self, sim):
+        sim.timeout(100)
+        sim.run(until=50)
+        assert sim.now == 50.0
+
+    def test_run_until_past_raises(self, sim):
+        sim.timeout(10)
+        sim.run(until=20)
+        with pytest.raises(SimulationError):
+            sim.run(until=5)
+
+    def test_peek_reports_next_event_time(self, sim):
+        sim.timeout(30)
+        sim.timeout(10)
+        assert sim.peek() == 10.0
+
+    def test_peek_empty_is_inf(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_step_empty_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()
+
+
+class TestRun:
+    def test_run_until_event_returns_value(self, sim):
+        def proc():
+            yield sim.timeout(5)
+            return "done"
+
+        assert run(sim, proc()) == "done"
+        assert sim.now == 5.0
+
+    def test_run_drains_everything(self, sim):
+        times = []
+
+        def proc(delay):
+            yield sim.timeout(delay)
+            times.append(sim.now)
+
+        sim.process(proc(3))
+        sim.process(proc(7))
+        sim.run()
+        assert times == [3.0, 7.0]
+
+    def test_run_until_foreign_event_raises(self, sim):
+        other = Simulation()
+        event = other.event()
+        with pytest.raises(SimulationError):
+            sim.run(until=event)
+
+    def test_deadlock_detected(self, sim):
+        def proc():
+            yield sim.event()  # never triggered
+
+        process = sim.process(proc())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(until=process)
+
+    def test_run_until_already_processed_event(self, sim):
+        event = sim.event()
+        event.succeed("early")
+        sim.run()
+        assert sim.run(until=event) == "early"
+
+
+class TestOrdering:
+    def test_same_time_events_fifo(self, sim):
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(10)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.process(proc(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_nested_process_spawning(self, sim):
+        def child(n):
+            yield sim.timeout(n)
+            return n * 2
+
+        def parent():
+            results = []
+            for n in (1, 2, 3):
+                value = yield sim.process(child(n))
+                results.append(value)
+            return results
+
+        assert run(sim, parent()) == [2, 4, 6]
+        assert sim.now == 6.0
+
+    def test_trace_hook_sees_events(self, sim):
+        seen = []
+        sim.add_trace_hook(lambda t, e: seen.append(t))
+        sim.timeout(1)
+        sim.timeout(2)
+        sim.run()
+        assert seen == [1.0, 2.0]
+
+
+class TestDeterminism:
+    def test_same_seed_same_jitter(self):
+        a = Simulation(seed=7).rng.jitter("x", 100.0, 0.1)
+        b = Simulation(seed=7).rng.jitter("x", 100.0, 0.1)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = Simulation(seed=7).rng.jitter("x", 100.0, 0.1)
+        b = Simulation(seed=8).rng.jitter("x", 100.0, 0.1)
+        assert a != b

@@ -1,0 +1,148 @@
+"""Deeper kernel edge cases: interrupts vs resources, condition mixing,
+lenient mode, and heavy interleavings."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (AllOf, Interrupt, Resource, Simulation, Store)
+from tests.helpers import run
+
+
+@pytest.fixture
+def sim():
+    return Simulation()
+
+
+class TestInterruptResourceInterplay:
+    def test_interrupted_waiter_with_cleanup(self, sim):
+        """A process interrupted while queued must release nothing it
+        never held."""
+        cpu = Resource(sim, capacity=1)
+        outcomes = []
+
+        def holder():
+            req = cpu.request()
+            yield req
+            try:
+                yield sim.timeout(100)
+            finally:
+                cpu.release(req)
+
+        def waiter():
+            req = cpu.request()
+            try:
+                yield req
+                outcomes.append("granted")
+                cpu.release(req)
+            except Interrupt:
+                outcomes.append("interrupted-while-queued")
+
+        sim.process(holder())
+        waiting = sim.process(waiter())
+
+        def interrupter():
+            yield sim.timeout(10)
+            waiting.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert outcomes == ["interrupted-while-queued"]
+        # The holder still finished and released cleanly.
+        assert cpu.count == 0
+
+    def test_interrupt_then_rewait(self, sim):
+        store = Store(sim)
+        values = []
+
+        def consumer():
+            try:
+                value = yield store.get()
+                values.append(("first", value))
+            except Interrupt:
+                value = yield store.get()
+                values.append(("after-interrupt", value))
+
+        consumer_process = sim.process(consumer())
+
+        def driver():
+            yield sim.timeout(5)
+            consumer_process.interrupt()
+            yield sim.timeout(5)
+            store.put("payload")
+
+        sim.process(driver())
+        sim.run()
+        assert values == [("after-interrupt", "payload")]
+
+
+class TestConditions:
+    def test_condition_rejects_foreign_events(self, sim):
+        other = Simulation()
+        with pytest.raises(SimulationError, match="mixes"):
+            AllOf(sim, [sim.timeout(1), other.timeout(1)])
+
+    def test_all_of_with_pretriggered_members(self, sim):
+        done = sim.event()
+        done.succeed("x")
+
+        def proc():
+            values = yield sim.all_of([done, sim.timeout(3, value="y")])
+            return values
+
+        assert run(sim, proc()) == ["x", "y"]
+
+    def test_nested_conditions(self, sim):
+        def proc():
+            inner = sim.all_of([sim.timeout(1), sim.timeout(2)])
+            value = yield sim.any_of([inner, sim.timeout(50)])
+            return sim.now, value
+
+        now, _value = run(sim, proc())
+        assert now == 2.0
+
+
+class TestLenientMode:
+    def test_failed_process_does_not_kill_simulation(self):
+        sim = Simulation(strict=False)
+        survived = []
+
+        def failing():
+            yield sim.timeout(1)
+            raise RuntimeError("dies quietly")
+
+        def healthy():
+            yield sim.timeout(5)
+            survived.append(sim.now)
+
+        failed = sim.process(failing())
+        sim.process(healthy())
+        sim.run()
+        assert survived == [5.0]
+        assert failed.triggered and not failed.ok
+
+
+class TestHeavyInterleaving:
+    def test_thousand_processes_complete(self, sim):
+        finished = []
+
+        def worker(index):
+            yield sim.timeout(index % 17 + 1)
+            finished.append(index)
+
+        for index in range(1000):
+            sim.process(worker(index))
+        sim.run()
+        assert len(finished) == 1000
+        # Completion order is by timeout then FIFO — deterministic.
+        assert finished == sorted(
+            range(1000), key=lambda i: (i % 17, i))
+
+    def test_process_chain_of_depth_200(self, sim):
+        def nested(depth):
+            if depth == 0:
+                yield sim.timeout(1)
+                return 0
+            value = yield sim.process(nested(depth - 1))
+            return value + 1
+
+        assert run(sim, nested(200)) == 200

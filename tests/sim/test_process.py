@@ -1,0 +1,140 @@
+"""Unit tests for generator processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Interrupt, Simulation
+from tests.helpers import run
+
+
+@pytest.fixture
+def sim():
+    return Simulation()
+
+
+class TestProcessBasics:
+    def test_process_is_event(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            return 99
+
+        process = sim.process(proc())
+        assert process.is_alive
+        sim.run()
+        assert not process.is_alive
+        assert process.value == 99
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)
+
+    def test_yielding_non_event_raises(self, sim):
+        def proc():
+            yield 42
+
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="must yield events"):
+            sim.run()
+
+    def test_exception_propagates_in_strict_mode(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            raise ValueError("kaboom")
+
+        sim.process(proc())
+        with pytest.raises(ValueError, match="kaboom"):
+            sim.run()
+
+    def test_exception_fails_process_in_lenient_mode(self):
+        sim = Simulation(strict=False)
+
+        def proc():
+            yield sim.timeout(1)
+            raise ValueError("kaboom")
+
+        process = sim.process(proc())
+        sim.run()
+        assert process.triggered
+        assert not process.ok
+
+    def test_yield_already_processed_event_resumes(self, sim):
+        event = sim.event()
+        event.succeed("cached")
+        sim.run()
+
+        def proc():
+            value = yield event
+            return value
+
+        assert run(sim, proc()) == "cached"
+
+    def test_process_waits_on_another_process(self, sim):
+        def child():
+            yield sim.timeout(10)
+            return "child-result"
+
+        def parent():
+            value = yield sim.process(child())
+            return value
+
+        assert run(sim, parent()) == "child-result"
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeper(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(1000)
+                return "overslept"
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, sim.now)
+
+        def interrupter(target):
+            yield sim.timeout(5)
+            target.interrupt("wake up")
+
+        target = sim.process(sleeper())
+        sim.process(interrupter(target))
+        sim.run()
+        assert target.value == ("interrupted", "wake up", 5.0)
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def quick():
+            yield sim.timeout(1)
+
+        process = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_interrupted_process_can_continue(self, sim):
+        def resilient():
+            total = 0.0
+            try:
+                yield sim.timeout(100)
+            except Interrupt:
+                pass
+            yield sim.timeout(10)
+            total = sim.now
+            return total
+
+        def interrupter(target):
+            yield sim.timeout(3)
+            target.interrupt()
+
+        target = sim.process(resilient())
+        sim.process(interrupter(target))
+        sim.run()
+        assert target.value == 13.0
+
+    def test_active_process_visible_during_step(self, sim):
+        observed = []
+
+        def proc():
+            observed.append(sim.active_process)
+            yield sim.timeout(1)
+
+        process = sim.process(proc())
+        sim.run()
+        assert observed == [process]
+        assert sim.active_process is None

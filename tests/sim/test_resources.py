@@ -1,0 +1,118 @@
+"""Unit tests for resources and stores."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Simulation, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulation()
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_grants_up_to_capacity(self, sim):
+        resource = Resource(sim, capacity=2)
+        r1, r2, r3 = resource.request(), resource.request(), \
+            resource.request()
+        assert r1.triggered and r2.triggered
+        assert not r3.triggered
+        assert resource.count == 2
+        assert resource.queue_length == 1
+
+    def test_release_grants_waiter(self, sim):
+        resource = Resource(sim, capacity=1)
+        r1 = resource.request()
+        r2 = resource.request()
+        resource.release(r1)
+        assert r2.triggered
+
+    def test_release_unheld_raises(self, sim):
+        resource = Resource(sim, capacity=1)
+        r1 = resource.request()
+        r2 = resource.request()  # queued, not held
+        del r1
+        with pytest.raises(SimulationError):
+            resource.release(r2)
+
+    def test_single_vcpu_serializes_work(self, sim):
+        """The paper's single-vCPU contention: work is sequential."""
+        cpu = Resource(sim, capacity=1, name="vcpu")
+        finish_times = []
+
+        def job(duration):
+            req = cpu.request()
+            yield req
+            try:
+                yield sim.timeout(duration)
+                finish_times.append(sim.now)
+            finally:
+                cpu.release(req)
+
+        sim.process(job(10))
+        sim.process(job(10))
+        sim.run()
+        assert finish_times == [10.0, 20.0]
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("x")
+        event = store.get()
+        assert event.triggered
+        assert event.value == "x"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        results = []
+
+        def getter():
+            value = yield store.get()
+            results.append((sim.now, value))
+
+        def putter():
+            yield sim.timeout(7)
+            store.put("late")
+
+        sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert results == [(7.0, "late")]
+
+    def test_fifo_ordering(self, sim):
+        store = Store(sim)
+        for item in (1, 2, 3):
+            store.put(item)
+        assert [store.get().value for _ in range(3)] == [1, 2, 3]
+
+    def test_concurrent_getters_served_fifo(self, sim):
+        store = Store(sim)
+        results = []
+
+        def getter(tag):
+            value = yield store.get()
+            results.append((tag, value))
+
+        sim.process(getter("first"))
+        sim.process(getter("second"))
+        store.put("a")
+        store.put("b")
+        sim.run()
+        assert results == [("first", "a"), ("second", "b")]
+
+    def test_try_get_empty_raises(self, sim):
+        store = Store(sim)
+        with pytest.raises(SimulationError):
+            store.try_get()
+
+    def test_len_counts_items(self, sim):
+        store = Store(sim)
+        assert len(store) == 0
+        store.put(1)
+        assert len(store) == 1

@@ -1,0 +1,66 @@
+"""Unit tests for named RNG streams."""
+
+import pytest
+
+from repro.sim.rng import RngStreams
+
+
+class TestStreams:
+    def test_same_name_same_stream(self):
+        rng = RngStreams(1)
+        assert rng.stream("a") is rng.stream("a")
+
+    def test_streams_are_independent(self):
+        """Drawing from one stream must not perturb another."""
+        rng1 = RngStreams(1)
+        baseline = [rng1.stream("a").random() for _ in range(5)]
+
+        rng2 = RngStreams(1)
+        rng2.stream("b").random()  # interleaved draw from another stream
+        interleaved = [rng2.stream("a").random() for _ in range(5)]
+        assert baseline == interleaved
+
+    def test_different_names_different_sequences(self):
+        rng = RngStreams(1)
+        assert rng.stream("a").random() != rng.stream("b").random()
+
+    def test_reproducible_across_instances(self):
+        assert RngStreams(42).stream("x").random() == \
+            RngStreams(42).stream("x").random()
+
+
+class TestJitter:
+    def test_zero_stddev_returns_mean(self):
+        assert RngStreams(1).jitter("a", 100.0, rel_stddev=0.0) == 100.0
+
+    def test_zero_mean_returns_floor(self):
+        assert RngStreams(1).jitter("a", 0.0, floor=3.0) == 3.0
+
+    def test_negative_mean_raises(self):
+        with pytest.raises(ValueError):
+            RngStreams(1).jitter("a", -1.0)
+
+    def test_floor_clamps(self):
+        rng = RngStreams(1)
+        values = [rng.jitter("a", 1.0, rel_stddev=5.0, floor=0.5)
+                  for _ in range(100)]
+        assert all(v >= 0.5 for v in values)
+
+    def test_jitter_is_near_mean(self):
+        rng = RngStreams(1)
+        values = [rng.jitter("a", 100.0, rel_stddev=0.05)
+                  for _ in range(200)]
+        mean = sum(values) / len(values)
+        assert 95.0 < mean < 105.0
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = RngStreams(1).fork("child").stream("x").random()
+        b = RngStreams(1).fork("child").stream("x").random()
+        assert a == b
+
+    def test_fork_differs_from_parent(self):
+        parent = RngStreams(1)
+        child = parent.fork("child")
+        assert parent.stream("x").random() != child.stream("x").random()

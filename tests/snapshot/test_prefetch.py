@@ -1,0 +1,86 @@
+"""Unit tests for REAP working-set recording."""
+
+import pytest
+
+from repro.bench import fresh_platform, install_all, invoke_once
+from repro.core import FireworksPlatform
+from repro.errors import SnapshotNotFoundError
+from repro.snapshot.prefetch import ReapRecorder
+from repro.snapshot.restorer import POLICY_DEMAND, POLICY_REAP
+from repro.workloads import faasdom_spec
+
+
+@pytest.fixture
+def reap_platform():
+    platform = fresh_platform(FireworksPlatform,
+                              restore_policy=POLICY_REAP)
+    spec = faasdom_spec("faas-fact", "nodejs")
+    install_all(platform, [spec])
+    return platform, spec
+
+
+class TestRecording:
+    def test_profile_recorded_after_invocation(self, reap_platform):
+        platform, spec = reap_platform
+        assert len(platform.recorder) == 0
+        invoke_once(platform, spec.name)
+        assert len(platform.recorder) == 1
+        profile = platform.recorder.profile_for(
+            platform.image_for(spec.name))
+        assert profile is not None
+        assert profile.working_set_mb > 0
+
+    def test_second_restore_prefetches_less(self, reap_platform):
+        platform, spec = reap_platform
+        first = invoke_once(platform, spec.name)
+        second = invoke_once(platform, spec.name)
+        assert second.startup_ms < first.startup_ms
+
+    def test_recorded_ws_smaller_than_image(self, reap_platform):
+        platform, spec = reap_platform
+        invoke_once(platform, spec.name)
+        image = platform.image_for(spec.name)
+        profile = platform.recorder.profile_for(image)
+        assert profile.working_set_mb < image.size_mb / 2
+
+    def test_regeneration_invalidates_profile(self, reap_platform):
+        """§6 ASLR regeneration changes the page layout: a stale profile
+        must not be used for the new generation."""
+        platform, spec = reap_platform
+        invoke_once(platform, spec.name)
+        sim = platform.sim
+        new_image = sim.run(sim.process(
+            platform.regenerate_snapshot(spec.name)))
+        assert platform.recorder.profile_for(new_image) is None
+        # The next invocation falls back to full prefetch, then re-records.
+        record = invoke_once(platform, spec.name)
+        assert record.mode == "snapshot"
+        assert platform.recorder.profile_for(new_image) is not None
+
+    def test_record_before_invocation_raises(self, reap_platform):
+        platform, spec = reap_platform
+        platform.retain_workers = True
+        record = invoke_once(platform, spec.name)
+        fresh = ReapRecorder()
+        worker = record.worker
+        worker.invocations = 0
+        with pytest.raises(SnapshotNotFoundError):
+            fresh.record(platform.image_for(spec.name), worker, 0.0)
+
+    def test_invalidate(self, reap_platform):
+        platform, spec = reap_platform
+        invoke_once(platform, spec.name)
+        platform.recorder.invalidate(spec.name)
+        assert platform.recorder.profile_for(
+            platform.image_for(spec.name)) is None
+
+
+class TestPolicyInteraction:
+    def test_demand_policy_ignores_profiles(self):
+        platform = fresh_platform(FireworksPlatform,
+                                  restore_policy=POLICY_DEMAND)
+        spec = faasdom_spec("faas-fact", "nodejs")
+        install_all(platform, [spec])
+        first = invoke_once(platform, spec.name)
+        second = invoke_once(platform, spec.name)
+        assert second.startup_ms == pytest.approx(first.startup_ms)

@@ -1,0 +1,119 @@
+"""Unit tests for snapshot creation."""
+
+import pytest
+
+from repro.errors import SandboxError, SnapshotNotFoundError
+from repro.net.address import IpAddress, MacAddress
+from repro.runtime import make_runtime
+from repro.runtime.interpreter import AppCode, GuestFunction
+from repro.sandbox.container import Container
+from repro.sandbox.microvm import MicroVM
+from repro.sandbox.worker import Worker
+from repro.snapshot.image import STAGE_OS, STAGE_POST_JIT, STAGE_POST_LOAD
+from repro.snapshot.snapshotter import Snapshotter
+from tests.helpers import run
+
+GUEST_IP = IpAddress.parse("10.0.0.2")
+GUEST_MAC = MacAddress(0x02F17E000001)
+
+
+@pytest.fixture
+def app():
+    return AppCode(name="app", language="nodejs",
+                   guest_functions=(GuestFunction("main", 500.0, 3.0),))
+
+
+@pytest.fixture
+def snapshotter(sim, params):
+    return Snapshotter(sim, params.snapshot)
+
+
+def _installed_worker(sim, params, host, app):
+    vm = MicroVM(sim, params, host, "nodejs")
+    vm.assign_guest_addresses(GUEST_IP, GUEST_MAC)
+    worker = Worker(sim, vm, make_runtime(sim, params, "nodejs"))
+    run(sim, worker.cold_start(app))
+    return worker
+
+
+class TestCreate:
+    def test_post_jit_snapshot_contents(self, sim, params, host, app,
+                                        snapshotter):
+        worker = _installed_worker(sim, params, host, app)
+        run(sim, worker.force_jit())
+        image = run(sim, snapshotter.create(worker, "fn", STAGE_POST_JIT))
+        assert image.stage == STAGE_POST_JIT
+        assert set(image.regions_mb) == {"kernel", "runtime", "app",
+                                         "heap", "jit_code"}
+        assert image.guest_ip == GUEST_IP
+        assert image.jit_state["main"].tier == "optimized"
+        assert image.app is app
+
+    def test_creation_time_scales_with_size(self, sim, params, host, app,
+                                            snapshotter):
+        worker = _installed_worker(sim, params, host, app)
+        run(sim, worker.force_jit())
+        before = sim.now
+        image = run(sim, snapshotter.create(worker, "fn", STAGE_POST_JIT))
+        elapsed = sim.now - before
+        cfg = params.snapshot
+        assert elapsed == pytest.approx(
+            cfg.create_base_ms + image.size_mb * cfg.create_per_mb_ms)
+
+    def test_paper_creation_time_band(self, sim, params, host, app,
+                                      snapshotter):
+        """§5.1: making a snapshot takes 0.36-0.47 s."""
+        worker = _installed_worker(sim, params, host, app)
+        run(sim, worker.force_jit())
+        before = sim.now
+        run(sim, snapshotter.create(worker, "fn", STAGE_POST_JIT))
+        assert 360 <= sim.now - before <= 470
+
+    def test_post_jit_without_jit_raises(self, sim, params, host, app,
+                                         snapshotter):
+        worker = _installed_worker(sim, params, host, app)
+        with pytest.raises(SnapshotNotFoundError, match="post-JIT"):
+            run(sim, snapshotter.create(worker, "fn", STAGE_POST_JIT))
+
+    def test_post_load_allows_unjitted(self, sim, params, host, app,
+                                       snapshotter):
+        worker = _installed_worker(sim, params, host, app)
+        image = run(sim, snapshotter.create(worker, "fn", STAGE_POST_LOAD))
+        assert image.stage == STAGE_POST_LOAD
+        assert "jit_code" not in image.regions_mb
+
+    def test_os_stage_has_no_app(self, sim, params, host, snapshotter):
+        vm = MicroVM(sim, params, host, "nodejs")
+        vm.assign_guest_addresses(GUEST_IP, GUEST_MAC)
+        worker = Worker(sim, vm, make_runtime(sim, params, "nodejs"))
+        run(sim, vm.boot())
+        run(sim, worker.runtime.launch())
+        vm.map_runtime_memory()
+        image = run(sim, snapshotter.create(worker, "fn", STAGE_OS))
+        assert image.app is None
+        assert image.jit_state == {}
+        assert set(image.regions_mb) == {"kernel", "runtime"}
+
+    def test_container_snapshot_rejected(self, sim, params, host, app,
+                                         snapshotter):
+        container = Container(sim, params, host, "nodejs")
+        worker = Worker(sim, container, make_runtime(sim, params, "nodejs"))
+        run(sim, worker.cold_start(app))
+        with pytest.raises(SandboxError, match="non-VM"):
+            run(sim, snapshotter.create(worker, "fn", STAGE_POST_LOAD))
+
+    def test_snapshot_without_network_identity_raises(self, sim, params,
+                                                      host, app,
+                                                      snapshotter):
+        vm = MicroVM(sim, params, host, "nodejs")
+        worker = Worker(sim, vm, make_runtime(sim, params, "nodejs"))
+        run(sim, worker.cold_start(app))
+        with pytest.raises(SandboxError, match="network"):
+            run(sim, snapshotter.create(worker, "fn", STAGE_POST_LOAD))
+
+    def test_snapshot_of_stopped_vm_raises(self, sim, params, host, app,
+                                           snapshotter):
+        worker = _installed_worker(sim, params, host, app)
+        run(sim, worker.stop())
+        with pytest.raises(SandboxError):
+            run(sim, snapshotter.create(worker, "fn", STAGE_POST_LOAD))

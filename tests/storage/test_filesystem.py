@@ -1,0 +1,57 @@
+"""Unit tests for per-sandbox I/O path models (Fig 6(c)'s ordering)."""
+
+import pytest
+
+from repro.config import (CONTAINER_LATENCY, GVISOR_LATENCY,
+                          MICROVM_LATENCY)
+from repro.errors import StorageError
+from repro.storage.filesystem import IoPathModel
+
+
+@pytest.fixture
+def paths():
+    return {
+        "container": IoPathModel(CONTAINER_LATENCY),
+        "microvm": IoPathModel(MICROVM_LATENCY),
+        "gvisor": IoPathModel(GVISOR_LATENCY),
+    }
+
+
+class TestDiskOrdering:
+    def test_paper_io_ordering(self, paths):
+        """§5.2.1(2): OverlayFS container < virtio microVM << gVisor."""
+        costs = {name: path.disk_read_ms(10.0)
+                 for name, path in paths.items()}
+        assert costs["container"] < costs["microvm"] < costs["gvisor"]
+
+    def test_gvisor_pays_sentry_gofer_per_op(self, paths):
+        base = paths["microvm"].disk_read_ms(10.0)
+        gvisor = paths["gvisor"].disk_read_ms(10.0)
+        assert gvisor - base >= GVISOR_LATENCY.syscall_overhead_ms
+
+    def test_cost_scales_with_size(self, paths):
+        small = paths["microvm"].disk_read_ms(1.0)
+        large = paths["microvm"].disk_read_ms(100.0)
+        assert large > small
+
+    def test_write_equals_read_path(self, paths):
+        assert paths["microvm"].disk_write_ms(10.0) == \
+            pytest.approx(paths["microvm"].disk_read_ms(10.0))
+
+    def test_negative_size_raises(self, paths):
+        with pytest.raises(StorageError):
+            paths["microvm"].disk_read_ms(-1)
+
+
+class TestNetPath:
+    def test_send_recv_symmetry(self, paths):
+        assert paths["container"].net_send_ms(1.0) == \
+            pytest.approx(paths["container"].net_recv_ms(1.0))
+
+    def test_gvisor_network_also_intercepted(self, paths):
+        assert paths["gvisor"].net_send_ms(0.5) > \
+            paths["microvm"].net_send_ms(0.5)
+
+    def test_negative_message_raises(self, paths):
+        with pytest.raises(StorageError):
+            paths["microvm"].net_send_ms(-0.1)

@@ -1,0 +1,94 @@
+"""Unit tests for the LRU snapshot store (§6 replacement policy)."""
+
+import pytest
+
+from repro.errors import SnapshotNotFoundError, StorageError
+from repro.storage.disk import BlockDevice
+from repro.storage.snapshot_store import SnapshotStore
+
+
+class FakeImage:
+    """Minimal StorableImage."""
+
+    def __init__(self, size_mb: float) -> None:
+        self.size_mb = size_mb
+        self.evicted = False
+
+    def on_evicted(self) -> None:
+        self.evicted = True
+
+
+@pytest.fixture
+def store():
+    return SnapshotStore(BlockDevice(1000), capacity_images=3)
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self, store):
+        image = FakeImage(100)
+        write_ms = store.put("fn", image)
+        assert write_ms > 0
+        assert store.get("fn") is image
+        assert store.contains("fn")
+
+    def test_missing_key_raises_and_counts_miss(self, store):
+        with pytest.raises(SnapshotNotFoundError):
+            store.get("nope")
+        assert store.misses == 1
+
+    def test_hits_counted(self, store):
+        store.put("fn", FakeImage(10))
+        store.get("fn")
+        store.get("fn")
+        assert store.hits == 2
+
+    def test_overwrite_same_key(self, store):
+        first = FakeImage(10)
+        store.put("fn", first)
+        store.put("fn", FakeImage(20))
+        assert first.evicted
+        assert len(store) == 1
+
+    def test_remove(self, store):
+        image = FakeImage(10)
+        store.put("fn", image)
+        store.remove("fn")
+        assert image.evicted
+        assert not store.contains("fn")
+        with pytest.raises(SnapshotNotFoundError):
+            store.remove("fn")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StorageError):
+            SnapshotStore(BlockDevice(100), capacity_images=0)
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self, store):
+        images = {key: FakeImage(10) for key in ("a", "b", "c")}
+        for key, image in images.items():
+            store.put(key, image)
+        store.get("a")  # refresh a; b becomes LRU
+        store.put("d", FakeImage(10))
+        assert images["b"].evicted
+        assert store.contains("a")
+        assert store.evictions == 1
+
+    def test_evicts_for_disk_space(self):
+        store = SnapshotStore(BlockDevice(250), capacity_images=100)
+        first = FakeImage(170)
+        store.put("a", first)
+        store.put("b", FakeImage(170))
+        assert first.evicted
+        assert store.contains("b")
+
+    def test_disk_usage_tracks_images(self, store):
+        store.put("a", FakeImage(100))
+        store.put("b", FakeImage(50))
+        assert store.disk_used_mb == pytest.approx(150)
+
+    def test_keys_in_lru_order(self, store):
+        for key in ("a", "b", "c"):
+            store.put(key, FakeImage(1))
+        store.get("a")
+        assert list(store.keys()) == ["b", "c", "a"]

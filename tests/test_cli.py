@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+
+class TestCommands:
+    def test_figures_lists_everything(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(FIGURES)
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "fireworks" in out
+        assert "High (VM)" in out
+
+    def test_run_fig11(self, capsys):
+        assert main(["run", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "faas-fact-nodejs" in out
+        assert "+post-jit" in out
+
+    def test_run_snapshot_creation(self, capsys):
+        assert main(["run", "snapshot-creation"]) == 0
+        assert "snapshot=" in capsys.readouterr().out
+
+    def test_annotate_python_file(self, tmp_path, capsys):
+        handler = tmp_path / "handler.py"
+        handler.write_text("def main(params):\n    return params\n")
+        assert main(["annotate", str(handler)]) == 0
+        out = capsys.readouterr().out
+        assert "@jit(cache=True)" in out
+        assert "__fireworks_main" in out
+
+    def test_annotate_js_file(self, tmp_path, capsys):
+        handler = tmp_path / "handler.js"
+        handler.write_text("function main(p) { return p; }\n")
+        assert main(["annotate", str(handler)]) == 0
+        assert "%OptimizeFunctionOnNextCall" in capsys.readouterr().out
+
+    def test_burst(self, capsys):
+        assert main(["burst", "-n", "16", "-c", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "fireworks" in out and "p99" in out
+
+    def test_trace_writes_valid_json(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", str(out_path)]) == 0
+        document = json.loads(out_path.read_text())
+        assert document["traceEvents"]
+        categories = {event["cat"] for event in document["traceEvents"]}
+        assert "install" in categories  # install-phase spans included
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        assert "ServerlessBench" in capsys.readouterr().out
+
+    def test_run_fig12(self, capsys):
+        assert main(["run", "fig12"]) == 0
+        out = capsys.readouterr().out
+        assert "os-snap" in out
+        assert "faas-fact-python" in out
+
+    def test_run_fig10(self, capsys):
+        assert main(["run", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "max" in out and "before swapping" in out
+
+    def test_export_command(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path), "--only", "fig11"]) == 0
+        assert (tmp_path / "fig11.csv").exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_validate_command(self, capsys):
+        assert main(["validate"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_run_scorecard(self, capsys):
+        assert main(["run", "scorecard"]) == 0
+        out = capsys.readouterr().out
+        assert "[OK ]" in out
+        assert "[DEV]" not in out

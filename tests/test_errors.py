@@ -1,0 +1,57 @@
+"""Tests for the exception hierarchy: every error is catchable as
+ReproError, and subsystem groupings hold."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_cls", [
+        errors.SimulationError,
+        errors.MemoryError_,
+        errors.OutOfMemoryError,
+        errors.StorageError,
+        errors.SnapshotNotFoundError,
+        errors.NetworkError,
+        errors.AddressConflictError,
+        errors.RuntimeModelError,
+        errors.DeoptimizationError,
+        errors.SandboxError,
+        errors.PlatformError,
+        errors.FunctionNotFoundError,
+        errors.AnnotationError,
+        errors.BusError,
+        errors.DatabaseError,
+        errors.DocumentConflictError,
+    ])
+    def test_everything_is_a_repro_error(self, exc_cls):
+        assert issubclass(exc_cls, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc_cls("boom")
+
+    def test_subsystem_groupings(self):
+        assert issubclass(errors.OutOfMemoryError, errors.MemoryError_)
+        assert issubclass(errors.SnapshotNotFoundError, errors.StorageError)
+        assert issubclass(errors.AddressConflictError, errors.NetworkError)
+        assert issubclass(errors.FunctionNotFoundError,
+                          errors.PlatformError)
+        assert issubclass(errors.DocumentConflictError,
+                          errors.DatabaseError)
+
+    def test_injected_faults_are_repro_errors(self):
+        from repro.faults import InjectedFault, SnapshotCorruptedError
+        assert issubclass(InjectedFault, errors.ReproError)
+        assert issubclass(SnapshotCorruptedError, InjectedFault)
+
+    def test_fault_carries_kind_and_key(self):
+        from repro.faults import InjectedFault
+        fault = InjectedFault("db", "wages")
+        assert fault.kind == "db"
+        assert fault.key == "wages"
+        assert "wages" in str(fault)
+
+    def test_repro_errors_are_not_builtin_shadows(self):
+        """MemoryError_ deliberately does not subclass builtin MemoryError
+        (which is not an Exception subclass pattern we want to catch)."""
+        assert not issubclass(errors.MemoryError_, MemoryError)

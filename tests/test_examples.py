@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs clean and says what it should.
+
+Examples are documentation; these tests keep them from rotting.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> a string its output must contain
+EXPECTED_OUTPUT = {
+    "quickstart.py": "invocation phase",
+    "faasdom_comparison.py": "fireworks (both)",
+    "alexa_chain.py": "deopts",
+    "consolidation.py": "microVMs vs Firecracker",
+    "annotate_source.py": "__fireworks_main",
+    "custom_function.py": "act-acme-shop",
+    "fault_tolerance.py": "invocation still succeeded",
+    "sensitivity_analysis.py": "cold_start_speedup_x",
+}
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_OUTPUT), (
+        "examples/ and EXPECTED_OUTPUT drifted apart")
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=120)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert EXPECTED_OUTPUT[script] in completed.stdout
+    assert not completed.stderr.strip()

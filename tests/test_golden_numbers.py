@@ -1,0 +1,81 @@
+"""Golden numbers: the exact values the calibrated model produces.
+
+The scorecard (tests/integration, benchmarks/) asserts *bands*; this module
+pins *exact* values so an accidental model change — a reordered timeout, a
+changed constant, a different RNG draw — is caught even when it stays
+inside a band.  If you change the model deliberately, update these numbers
+and EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro.bench import (cold_and_warm, fireworks_invocation)
+from repro.platforms import FirecrackerPlatform, OpenWhiskPlatform
+from repro.workloads import faasdom_spec
+
+ABS = 1e-6
+
+
+class TestGoldenFireworks:
+    def test_node_fact(self):
+        record = fireworks_invocation(faasdom_spec("faas-fact", "nodejs"))
+        assert record.startup_ms == pytest.approx(18.35, abs=0.01)
+        assert record.exec_ms == pytest.approx(500.60, abs=0.01)
+        assert record.other_ms == pytest.approx(3.3, abs=0.01)
+
+    def test_python_fact(self):
+        record = fireworks_invocation(faasdom_spec("faas-fact", "python"))
+        assert record.startup_ms == pytest.approx(33.93, abs=0.01)
+        assert record.exec_ms == pytest.approx(125.60, abs=0.01)
+
+    def test_python_matmul(self):
+        record = fireworks_invocation(
+            faasdom_spec("faas-matrix-mult", "python"))
+        assert record.exec_ms == pytest.approx(40.60, abs=0.01)
+
+
+class TestGoldenBaselines:
+    def test_firecracker_node_fact(self):
+        cold, warm = cold_and_warm(FirecrackerPlatform,
+                                   faasdom_spec("faas-fact", "nodejs"))
+        assert cold.startup_ms == pytest.approx(2320.0, abs=ABS)
+        assert cold.exec_ms == pytest.approx(801.39, abs=0.01)
+        assert warm.startup_ms == pytest.approx(68.0, abs=ABS)
+
+    def test_firecracker_python_fact(self):
+        cold, _warm = cold_and_warm(FirecrackerPlatform,
+                                    faasdom_spec("faas-fact", "python"))
+        assert cold.startup_ms == pytest.approx(1920.0, abs=ABS)
+        assert cold.exec_ms == pytest.approx(2500.60, abs=0.01)
+
+    def test_openwhisk_node_fact(self):
+        cold, warm = cold_and_warm(OpenWhiskPlatform,
+                                   faasdom_spec("faas-fact", "nodejs"))
+        assert cold.startup_ms == pytest.approx(1520.0, abs=ABS)
+        assert warm.startup_ms == pytest.approx(55.0, abs=ABS)
+        # Warm OpenWhisk reuses the JITted process.
+        assert warm.exec_ms == pytest.approx(500.40, abs=0.01)
+
+
+class TestGoldenInstall:
+    def test_install_decomposition_node(self):
+        from repro.bench import fresh_platform, install_all
+        from repro.core import FireworksPlatform
+        platform = fresh_platform(FireworksPlatform)
+        install_all(platform, [faasdom_spec("faas-fact", "nodejs")])
+        report = platform.install_reports["faas-fact-nodejs"]
+        assert report.annotate_ms == pytest.approx(35.0, abs=ABS)
+        assert report.boot_ms == pytest.approx(2320.0, abs=ABS)
+        assert report.jit_ms == pytest.approx(4.5, abs=ABS)
+        assert report.snapshot_ms == pytest.approx(392.0, abs=ABS)
+
+
+class TestGoldenDeterminism:
+    def test_bitwise_repeatability(self):
+        """Two identical runs produce identical floats, not just close."""
+        spec = faasdom_spec("faas-diskio", "python")
+        first = fireworks_invocation(spec)
+        second = fireworks_invocation(spec)
+        assert first.startup_ms == second.startup_ms
+        assert first.exec_ms == second.exec_ms
+        assert first.other_ms == second.other_ms

@@ -1,0 +1,100 @@
+"""Unit tests for parameter validation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import HostConfig, default_parameters
+from repro.validation import (InvalidParametersError, validate,
+                              validate_or_raise)
+
+
+@pytest.fixture
+def params():
+    return default_parameters()
+
+
+def _override_runtime(params, language, **fields):
+    runtimes = dict(params.runtimes)
+    runtimes[language] = replace(runtimes[language], **fields)
+    return params.with_overrides(runtimes=runtimes)
+
+
+def _override_layout(params, language, **fields):
+    layouts = dict(params.memory_layouts)
+    layouts[language] = replace(layouts[language], **fields)
+    return params.with_overrides(memory_layouts=layouts)
+
+
+class TestDefaultsAreValid:
+    def test_no_problems(self, params):
+        assert validate(params) == []
+
+    def test_validate_or_raise_passes(self, params):
+        validate_or_raise(params)  # no exception
+
+
+class TestHostProblems:
+    def test_zero_cores(self, params):
+        bad = params.with_overrides(host=HostConfig(cores=0))
+        assert any("cores" in problem for problem in validate(bad))
+
+    def test_swappiness_out_of_range(self, params):
+        bad = params.with_overrides(
+            host=HostConfig(swappiness_threshold=1.5))
+        assert any("swappiness" in problem for problem in validate(bad))
+
+
+class TestRuntimeProblems:
+    def test_zero_interp_rate(self, params):
+        bad = _override_runtime(params, "nodejs", interp_units_per_ms=0.0)
+        assert any("interp_units_per_ms" in problem
+                   for problem in validate(bad))
+
+    def test_negative_launch(self, params):
+        bad = _override_runtime(params, "python", launch_ms=-1.0)
+        assert any("launch" in problem for problem in validate(bad))
+
+
+class TestLayoutProblems:
+    def test_fraction_out_of_range(self, params):
+        bad = _override_layout(params, "nodejs",
+                               exec_dirty_heap_fraction=1.5)
+        assert any("exec_dirty_heap_fraction" in problem
+                   for problem in validate(bad))
+
+    def test_guest_larger_than_vm(self, params):
+        bad = _override_layout(params, "nodejs", kernel_mb=1000)
+        assert any("exceeds the microVM" in problem
+                   for problem in validate(bad))
+
+
+class TestSnapshotProblems:
+    def test_cold_faster_than_warm_rejected(self, params):
+        bad = params.with_overrides(snapshot=replace(
+            params.snapshot, restore_per_working_mb_cold_ms=0.01))
+        assert any("cold" in problem.lower() for problem in validate(bad))
+
+    def test_zero_store_capacity(self, params):
+        bad = params.with_overrides(snapshot=replace(
+            params.snapshot, store_capacity_images=0))
+        assert any("store_capacity" in problem
+                   for problem in validate(bad))
+
+
+class TestOrderingProblems:
+    def test_gvisor_io_cheaper_than_container_rejected(self, params):
+        latencies = dict(params.sandbox_latency)
+        latencies["gvisor"] = replace(latencies["gvisor"],
+                                      disk_io_base_ms=0.0,
+                                      syscall_overhead_ms=0.0)
+        bad = params.with_overrides(sandbox_latency=latencies)
+        assert any("Sentry" in problem for problem in validate(bad))
+
+
+class TestRaise:
+    def test_collects_all_problems(self, params):
+        bad = params.with_overrides(host=HostConfig(cores=0, dram_mb=-1))
+        with pytest.raises(InvalidParametersError) as excinfo:
+            validate_or_raise(bad)
+        assert len(excinfo.value.problems) >= 2

@@ -1,0 +1,90 @@
+"""Unit tests for the FaaSdom workload definitions."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.runtime.ops import Compute, DiskRead, DiskWrite, Respond
+from repro.workloads.faasdom import (BENCHMARK_NAMES, LANGUAGES,
+                                     all_faasdom_specs, faasdom_spec)
+
+
+class TestRegistry:
+    def test_four_benchmarks_two_languages(self):
+        assert len(BENCHMARK_NAMES) == 4
+        assert len(LANGUAGES) == 2
+        assert len(all_faasdom_specs()) == 8
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(PlatformError):
+            faasdom_spec("faas-quantum", "nodejs")
+
+    def test_unknown_language_raises(self):
+        with pytest.raises(PlatformError):
+            faasdom_spec("faas-fact", "rust")
+
+    def test_specs_have_source(self):
+        for spec in all_faasdom_specs():
+            assert spec.source.strip()
+            assert "main" in spec.source
+
+    def test_node_sources_parse_for_annotator(self):
+        from repro.core.annotator import annotate
+        for spec in all_faasdom_specs():
+            result = annotate(spec.source, spec.language)
+            assert "main" in result.functions
+
+
+class TestPrograms:
+    def test_diskio_matches_paper_shape(self):
+        """§5.2.1(2): 10 KB reads and writes, 100 times each."""
+        spec = faasdom_spec("faas-diskio", "nodejs")
+        ops = list(spec.program())
+        reads = [op for op in ops if isinstance(op, DiskRead)]
+        writes = [op for op in ops if isinstance(op, DiskWrite)]
+        assert reads[0].kb == 10.0 and reads[0].times == 100
+        assert writes[0].kb == 10.0 and writes[0].times == 100
+
+    def test_netlatency_is_compute_light(self):
+        spec = faasdom_spec("faas-netlatency", "nodejs")
+        prog = spec.program()
+        assert prog.total_compute_units() < 500
+        assert any(isinstance(op, Respond) for op in prog)
+
+    def test_compute_benchmarks_are_compute_heavy(self):
+        for name in ("faas-fact", "faas-matrix-mult"):
+            prog = faasdom_spec(name, "nodejs").program()
+            assert prog.total_compute_units() > 20000
+
+    def test_python_numba_speedups(self):
+        """Fig 7: fact ~20x, matmul ~80x (vectorizable)."""
+        fact = faasdom_spec("faas-fact", "python")
+        matmul = faasdom_spec("faas-matrix-mult", "python")
+        assert fact.app.guest_functions[0].jit_speedup == 20.0
+        assert matmul.app.guest_functions[0].jit_speedup == 80.0
+
+    def test_node_npm_load_dominates(self):
+        """§5.1: npm installation dominates Node install time."""
+        node = faasdom_spec("faas-fact", "nodejs")
+        python = faasdom_spec("faas-fact", "python")
+        assert node.app.extra_load_ms > python.app.extra_load_ms
+
+    def test_program_factory_is_stable(self):
+        spec = faasdom_spec("faas-fact", "nodejs")
+        assert spec.program() is spec.program({"anything": 1})
+
+
+class TestSpecValidation:
+    def test_language_mismatch_rejected(self):
+        from repro.workloads.base import FunctionSpec
+        spec = faasdom_spec("faas-fact", "nodejs")
+        with pytest.raises(PlatformError):
+            FunctionSpec(name="bad", language="python", app=spec.app,
+                         make_program=spec.make_program)
+
+    def test_unsupported_language_rejected(self):
+        from repro.runtime.interpreter import AppCode
+        from repro.workloads.base import FunctionSpec
+        with pytest.raises(PlatformError):
+            FunctionSpec(name="bad", language="cobol",
+                         app=AppCode(name="a", language="cobol"),
+                         make_program=lambda p: None)

@@ -1,0 +1,50 @@
+"""Tests for the extra (appendix) FaaSdom workloads."""
+
+import pytest
+
+from repro.workloads import (BENCHMARK_NAMES, EXTRA_BENCHMARK_NAMES,
+                             all_faasdom_specs, faasdom_spec)
+
+
+def test_paper_set_unchanged():
+    """The paper's four benchmarks stay exactly as Table 2 lists them."""
+    assert BENCHMARK_NAMES == ("faas-fact", "faas-matrix-mult",
+                               "faas-diskio", "faas-netlatency")
+    assert set(EXTRA_BENCHMARK_NAMES).isdisjoint(BENCHMARK_NAMES)
+
+
+def test_all_specs_excludes_extras_by_default():
+    assert len(all_faasdom_specs()) == 8
+    assert len(all_faasdom_specs(include_extras=True)) == 12
+
+
+def test_extra_specs_build_and_annotate():
+    from repro.core.annotator import annotate
+    for name in EXTRA_BENCHMARK_NAMES:
+        for language in ("nodejs", "python"):
+            spec = faasdom_spec(name, language)
+            assert "extra" in spec.description
+            result = annotate(spec.source, spec.language)
+            assert "main" in result.functions
+
+
+def test_gzip_python_handler_actually_compresses():
+    source = faasdom_spec("faas-gzip", "python").source
+    namespace: dict = {}
+    exec(compile(source, "<handler>", "exec"), namespace)  # noqa: S102
+    result = namespace["main"]({"text": "aaaa", "level": 9})
+    assert result["out"] < result["in"] / 10  # repetitive text compresses
+
+
+def test_image_resize_python_handler_quarters_pixels():
+    source = faasdom_spec("faas-image-resize", "python").source
+    namespace: dict = {}
+    exec(compile(source, "<handler>", "exec"), namespace)  # noqa: S102
+    result = namespace["main"]({"w": 8, "h": 8})
+    assert result["pixels"] == 16  # 8x8 -> 4x4
+
+
+def test_gzip_program_includes_disk_write():
+    from repro.runtime.ops import DiskWrite
+    prog = faasdom_spec("faas-gzip", "nodejs").program()
+    assert any(isinstance(op, DiskWrite) for op in prog)

@@ -1,0 +1,87 @@
+"""Unit tests for the Azure-like trace generator."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.sim.rng import RngStreams
+from repro.workloads.generator import (POPULAR_FRACTION, assign_popularity,
+                                       poisson_trace, trace_stats)
+
+
+@pytest.fixture
+def rng():
+    return RngStreams(42)
+
+
+class TestPopularity:
+    def test_split_matches_shahrad(self, rng):
+        """[48]: 18.6% of functions are called more than once a minute."""
+        functions = [f"fn{i}" for i in range(100)]
+        pops = assign_popularity(functions, rng)
+        popular = [p for p in pops if p.popular]
+        assert len(popular) == round(100 * POPULAR_FRACTION)
+
+    def test_at_least_one_popular(self, rng):
+        pops = assign_popularity(["only"], rng)
+        assert pops[0].popular
+
+    def test_empty_functions_raise(self, rng):
+        with pytest.raises(PlatformError):
+            assign_popularity([], rng)
+
+    def test_popular_rate_faster(self, rng):
+        pops = assign_popularity([f"fn{i}" for i in range(10)], rng)
+        popular = [p for p in pops if p.popular]
+        rare = [p for p in pops if not p.popular]
+        assert all(p.mean_interarrival_ms < r.mean_interarrival_ms
+                   for p in popular for r in rare)
+
+    def test_deterministic(self):
+        a = assign_popularity([f"fn{i}" for i in range(20)], RngStreams(1))
+        b = assign_popularity([f"fn{i}" for i in range(20)], RngStreams(1))
+        assert [p.function for p in a if p.popular] == \
+            [p.function for p in b if p.popular]
+
+
+class TestTrace:
+    def test_sorted_by_time(self, rng):
+        pops = assign_popularity([f"fn{i}" for i in range(5)], rng)
+        trace = poisson_trace(pops, 600000.0, rng)
+        times = [e.at_ms for e in trace]
+        assert times == sorted(times)
+        assert all(0 <= t < 600000.0 for t in times)
+
+    def test_popular_functions_fire_more(self, rng):
+        pops = assign_popularity([f"fn{i}" for i in range(10)], rng)
+        trace = poisson_trace(pops, 3_600_000.0, rng)
+        counts = {}
+        for event in trace:
+            counts[event.function] = counts.get(event.function, 0) + 1
+        popular_counts = [counts.get(p.function, 0)
+                          for p in pops if p.popular]
+        rare_counts = [counts.get(p.function, 0)
+                       for p in pops if not p.popular]
+        assert min(popular_counts) > max(rare_counts)
+
+    def test_rates_match_classes(self, rng):
+        """Popular > 1/min; rare << 1/min, over a long horizon."""
+        pops = assign_popularity([f"fn{i}" for i in range(10)], rng)
+        duration = 7_200_000.0  # 2 hours
+        trace = poisson_trace(pops, duration, rng)
+        stats = trace_stats(trace, duration)
+        for pop in pops:
+            rate = stats["per_minute_rates"].get(pop.function, 0.0)
+            if pop.popular:
+                assert rate > 1.0
+            else:
+                assert rate < 1.0
+
+    def test_zero_duration_raises(self, rng):
+        with pytest.raises(PlatformError):
+            poisson_trace([], 0.0, rng)
+
+    def test_deterministic_trace(self):
+        pops = assign_popularity(["a", "b"], RngStreams(3))
+        t1 = poisson_trace(pops, 60000.0, RngStreams(3))
+        t2 = poisson_trace(pops, 60000.0, RngStreams(3))
+        assert t1 == t2
