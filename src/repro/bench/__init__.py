@@ -13,6 +13,8 @@ from repro.bench.ablations import (DeoptResult, KeepAliveOutcome,
                                    run_store_eviction_demo)
 from repro.bench.concurrency import (BurstResult, run_burst,
                                      run_burst_comparison)
+from repro.bench.engine import (ResultCache, experiment_ids,
+                                run_experiments)
 from repro.bench.stats import LatencyStats, histogram, percentile
 from repro.bench.tracing import (to_chrome_trace_json, trace_events,
                                  write_chrome_trace)
@@ -47,9 +49,11 @@ __all__ = [
     "MemorySeries",
     "PaperComparison",
     "PolicyComparison",
+    "ResultCache",
     "cold_and_warm",
     "comparison_summary",
     "drain",
+    "experiment_ids",
     "export_all",
     "fig12_improvements",
     "headline_comparisons",
@@ -66,6 +70,7 @@ __all__ = [
     "run_aot_comparison",
     "run_burst",
     "run_burst_comparison",
+    "run_experiments",
     "run_catalyzer_comparison",
     "run_deopt_experiment",
     "run_faasdom_benchmark",

@@ -70,18 +70,13 @@ def run_faasdom_benchmark(benchmark: str, language: str,
     return result
 
 
-def run_faasdom_figure(language: str,
-                       params: Optional[CalibratedParameters] = None
-                       ) -> Dict[str, FigureResult]:
-    """All five sub-figures of Fig 6 (nodejs) or Fig 7 (python).
+def build_geomean(results: Dict[str, FigureResult],
+                  language: str) -> FigureResult:
+    """Sub-figure (e): the geometric mean over the four benchmark results.
 
-    Sub-figure (e) is the geometric mean of the four benchmarks, per
-    platform and start mode.
+    Pure post-processing — the parallel engine calls this when merging
+    per-benchmark shards, so it must derive everything from *results*.
     """
-    results = {
-        benchmark: run_faasdom_benchmark(benchmark, language, params)
-        for benchmark in BENCHMARK_NAMES
-    }
     figure = _FIGURE_BY_LANGUAGE[language]
     geomean = FigureResult(
         figure_id=f"fig{figure}e",
@@ -104,7 +99,22 @@ def run_faasdom_figure(language: str,
     geomean.notes.append(
         f"overall fireworks speedup (geomean, vs slowest): "
         f"{worst / fw_total:.1f}x")
-    results["geomean"] = geomean
+    return geomean
+
+
+def run_faasdom_figure(language: str,
+                       params: Optional[CalibratedParameters] = None
+                       ) -> Dict[str, FigureResult]:
+    """All five sub-figures of Fig 6 (nodejs) or Fig 7 (python).
+
+    Sub-figure (e) is the geometric mean of the four benchmarks, per
+    platform and start mode.
+    """
+    results = {
+        benchmark: run_faasdom_benchmark(benchmark, language, params)
+        for benchmark in BENCHMARK_NAMES
+    }
+    results["geomean"] = build_geomean(results, language)
     return results
 
 

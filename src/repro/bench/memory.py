@@ -47,20 +47,38 @@ def _consolidate_until_swap(platform: ServerlessPlatform, name: str,
     return series
 
 
+#: The two platforms Fig 10 consolidates, in paper order.  Keys are the
+#: platform ``name`` attributes (also the result-dict keys).
+FIG10_PLATFORMS: Dict[str, Type[ServerlessPlatform]] = {
+    "firecracker": FirecrackerPlatform,
+    "fireworks": FireworksPlatform,
+}
+
+
+def run_fig10_platform(platform: str,
+                       params: Optional[CalibratedParameters] = None,
+                       benchmark: str = "faas-fact",
+                       language: str = "nodejs",
+                       max_vms: int = 800,
+                       sample_every: int = 50) -> MemorySeries:
+    """One platform's Fig 10 series (an independently runnable shard)."""
+    spec = faasdom_spec(benchmark, language)
+    fresh = fresh_platform(FIG10_PLATFORMS[platform], params)
+    install_all(fresh, [spec])
+    return _consolidate_until_swap(fresh, spec.name, max_vms, sample_every)
+
+
 def run_fig10(params: Optional[CalibratedParameters] = None,
               benchmark: str = "faas-fact", language: str = "nodejs",
               max_vms: int = 800, sample_every: int = 50
               ) -> Dict[str, MemorySeries]:
     """Figure 10: memory usage / max consolidation, Firecracker vs Fireworks."""
-    spec = faasdom_spec(benchmark, language)
-    results: Dict[str, MemorySeries] = {}
-
-    for platform_cls in (FirecrackerPlatform, FireworksPlatform):
-        platform = fresh_platform(platform_cls, params)
-        install_all(platform, [spec])
-        results[platform.name] = _consolidate_until_swap(
-            platform, spec.name, max_vms, sample_every)
-    return results
+    return {
+        platform: run_fig10_platform(platform, params, benchmark=benchmark,
+                                     language=language, max_vms=max_vms,
+                                     sample_every=sample_every)
+        for platform in FIG10_PLATFORMS
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -124,6 +142,22 @@ def _factor_platform(config: str,
     raise KeyError(f"unknown factor config {config!r}")
 
 
+def run_fig12_workload(benchmark: str, language: str,
+                       params: Optional[CalibratedParameters] = None,
+                       n_vms: int = 10) -> Dict[str, float]:
+    """One workload's Fig 12 column (an independently runnable shard).
+
+    Returns ``{config: mean_pss_mb}`` over the three factor configurations.
+    """
+    spec = faasdom_spec(benchmark, language)
+    per_config: Dict[str, float] = {}
+    for config in FACTOR_CONFIGS:
+        platform = _factor_platform(config, params)
+        install_all(platform, [spec])
+        per_config[config] = _mean_pss_with_n_vms(platform, spec.name, n_vms)
+    return per_config
+
+
 def run_fig12(params: Optional[CalibratedParameters] = None,
               benchmarks: Optional[List[str]] = None,
               languages: Optional[List[str]] = None,
@@ -136,18 +170,11 @@ def run_fig12(params: Optional[CalibratedParameters] = None,
     benchmarks = benchmarks or list(BENCHMARK_NAMES)
     languages = languages or list(LANGUAGES)
 
-    results: Dict[str, Dict[str, float]] = {}
-    for benchmark in benchmarks:
-        for language in languages:
-            spec = faasdom_spec(benchmark, language)
-            per_config: Dict[str, float] = {}
-            for config in FACTOR_CONFIGS:
-                platform = _factor_platform(config, params)
-                install_all(platform, [spec])
-                per_config[config] = _mean_pss_with_n_vms(
-                    platform, spec.name, n_vms)
-            results[spec.name] = per_config
-    return results
+    return {
+        faasdom_spec(benchmark, language).name: run_fig12_workload(
+            benchmark, language, params, n_vms)
+        for benchmark in benchmarks for language in languages
+    }
 
 
 def fig12_improvements(results: Dict[str, Dict[str, float]]

@@ -123,11 +123,24 @@ METRICS: Dict[str, MetricFn] = {
 }
 
 
+def _sweep_point(parameter: str, value: float, metric: str,
+                 params: CalibratedParameters) -> float:
+    """Measure one sweep point (module-level: picklable into workers)."""
+    modified = PARAMETER_KNOBS[parameter](params, value)
+    validate_or_raise(modified)
+    return METRICS[metric](modified)
+
+
 def run_sensitivity(parameter: str, values: Sequence[float],
                     metric: str,
-                    params: Optional[CalibratedParameters] = None
-                    ) -> SensitivityResult:
-    """Sweep *parameter* over *values*, measuring *metric* at each point."""
+                    params: Optional[CalibratedParameters] = None,
+                    jobs: int = 1) -> SensitivityResult:
+    """Sweep *parameter* over *values*, measuring *metric* at each point.
+
+    With ``jobs > 1`` the (independent) points run on a process pool;
+    results are collected in submission order, so the returned sweep is
+    identical to a serial run.
+    """
     if parameter not in PARAMETER_KNOBS:
         raise ReproError(
             f"unknown knob {parameter!r}; knobs: "
@@ -136,14 +149,18 @@ def run_sensitivity(parameter: str, values: Sequence[float],
         raise ReproError(
             f"unknown metric {metric!r}; metrics: {sorted(METRICS)}")
     base = params or default_parameters()
-    knob = PARAMETER_KNOBS[parameter]
-    metric_fn = METRICS[metric]
 
-    points = []
-    for value in values:
-        modified = knob(base, value)
-        validate_or_raise(modified)
-        points.append(SensitivityPoint(value=value,
-                                       metric=metric_fn(modified)))
+    if jobs > 1 and len(values) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        with ProcessPoolExecutor(max_workers=min(jobs, len(values))) as pool:
+            futures = [pool.submit(_sweep_point, parameter, value, metric,
+                                   base)
+                       for value in values]
+            metrics = [future.result() for future in futures]
+    else:
+        metrics = [_sweep_point(parameter, value, metric, base)
+                   for value in values]
+    points = [SensitivityPoint(value=value, metric=measured)
+              for value, measured in zip(values, metrics)]
     return SensitivityResult(parameter=parameter, metric_name=metric,
                              points=points)

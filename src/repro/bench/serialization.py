@@ -1,0 +1,116 @@
+"""Loss-free JSON codec for experiment results.
+
+The parallel engine ships every shard result between processes — and in and
+out of the on-disk result cache — as JSON.  For the engine's determinism
+guarantee ("serial, parallel, and cached runs produce identical results")
+the codec must be *exact*: floats round-trip bit-for-bit (``repr`` shortest
+form, which ``json`` uses), tuples stay tuples, non-string dict keys keep
+their type, and every result dataclass decodes back to an equal instance.
+
+Encoded forms:
+
+* dataclass  -> ``{"$dc": "<registered name>", "fields": {...}}``
+* dict       -> ``{"$map": [[key, value], ...]}`` (insertion order kept)
+* tuple      -> ``{"$tuple": [...]}``
+* non-finite float -> ``{"$float": "inf" | "-inf" | "nan"}``
+* list / str / int / float / bool / None -> themselves
+
+Only dataclasses registered here can cross the boundary; an unknown type is
+a hard error rather than a silently lossy repr.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import fields, is_dataclass
+from typing import Any, Dict, Type
+
+from repro.errors import ReproError
+
+#: Registered result types by codec name.
+_TYPES: Dict[str, Type] = {}
+
+
+def register_result_type(cls: Type) -> Type:
+    """Register a dataclass so encode/decode can round-trip it."""
+    if not is_dataclass(cls):
+        raise ReproError(f"{cls!r} is not a dataclass")
+    _TYPES[cls.__name__] = cls
+    return cls
+
+
+def _register_builtin_result_types() -> None:
+    """Register every result dataclass the experiment registry produces."""
+    from repro.bench.concurrency import BurstResult, LoadPoint
+    from repro.bench.ablations import (DeoptResult, KeepAliveOutcome,
+                                       PolicyComparison)
+    from repro.bench.factors import FactorRow
+    from repro.bench.results import (FigureResult, LatencyRow, MemoryPoint,
+                                     MemorySeries, PaperComparison)
+    from repro.bench.sensitivity import SensitivityPoint, SensitivityResult
+    from repro.bench.stats import LatencyStats
+
+    for cls in (BurstResult, DeoptResult, FactorRow, FigureResult,
+                KeepAliveOutcome, LatencyRow, LatencyStats, LoadPoint,
+                MemoryPoint, MemorySeries, PaperComparison,
+                PolicyComparison, SensitivityPoint, SensitivityResult):
+        register_result_type(cls)
+
+
+def encode_result(obj: Any) -> Any:
+    """Encode *obj* into JSON-serializable primitives, losslessly."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if math.isfinite(obj):
+            return obj
+        return {"$float": repr(obj)}  # 'inf' / '-inf' / 'nan'
+    if is_dataclass(obj) and not isinstance(obj, type):
+        name = type(obj).__name__
+        if name not in _TYPES:
+            raise ReproError(
+                f"result type {name!r} is not registered with "
+                "repro.bench.serialization; register it so cached results "
+                "decode back to the same type")
+        return {"$dc": name,
+                "fields": {f.name: encode_result(getattr(obj, f.name))
+                           for f in fields(obj)}}
+    if isinstance(obj, dict):
+        return {"$map": [[encode_result(key), encode_result(value)]
+                         for key, value in obj.items()]}
+    if isinstance(obj, tuple):
+        return {"$tuple": [encode_result(item) for item in obj]}
+    if isinstance(obj, list):
+        return [encode_result(item) for item in obj]
+    raise ReproError(
+        f"cannot encode {type(obj).__name__} for the result cache: {obj!r}")
+
+
+def decode_result(payload: Any) -> Any:
+    """Invert :func:`encode_result`."""
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return payload
+    if isinstance(payload, list):
+        return [decode_result(item) for item in payload]
+    if isinstance(payload, dict):
+        if "$float" in payload:
+            return float(payload["$float"])
+        if "$dc" in payload:
+            name = payload["$dc"]
+            if name not in _TYPES:
+                raise ReproError(
+                    f"cached payload names unknown result type {name!r}; "
+                    "the cache entry predates this build — delete it")
+            kwargs = {key: decode_result(value)
+                      for key, value in payload["fields"].items()}
+            return _TYPES[name](**kwargs)
+        if "$map" in payload:
+            return {decode_result(key): decode_result(value)
+                    for key, value in payload["$map"]}
+        if "$tuple" in payload:
+            return tuple(decode_result(item) for item in payload["$tuple"])
+        raise ReproError(f"malformed encoded payload: {payload!r}")
+    raise ReproError(f"cannot decode {type(payload).__name__}: {payload!r}")
+
+
+_register_builtin_result_types()

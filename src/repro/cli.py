@@ -4,6 +4,8 @@ Commands:
 
 * ``figures``                 — list every regenerable table/figure;
 * ``run <figure> [...]``      — regenerate one (e.g. ``run fig6``);
+* ``figure <id...> [--jobs N]`` — regenerate many (or ``all``) through the
+                                parallel engine and the result cache;
 * ``annotate <file>``         — run the §3.2 code annotator on a handler;
 * ``burst [-n N] [-c CORES]`` — the burst-storm extension experiment;
 * ``trace <out.json>``        — run an Alexa chain and export a Chrome
@@ -17,15 +19,16 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.bench import (run_fig6, run_fig7, run_fig9, run_fig10, run_fig11,
-                         run_fig12, fig12_improvements,
-                         run_snapshot_creation_times, run_table1,
-                         run_table2)
+from repro.bench import fig12_improvements
 from repro.bench.concurrency import run_burst_comparison
 from repro.bench.memory import FACTOR_CONFIGS
 
 FIGURES = ("table1", "table2", "snapshot-creation", "fig6", "fig7", "fig9",
            "fig10", "fig11", "fig12", "scorecard")
+
+#: Extension experiments only the ``figure`` command exposes.
+EXTENSIONS = ("burst", "load-sweep", "sensitivity", "ablations", "policies",
+              "keepalive")
 
 
 def _print_fig_dict(results, chart: bool = False) -> None:
@@ -35,48 +38,108 @@ def _print_fig_dict(results, chart: bool = False) -> None:
         print()
 
 
-def _run_figure(name: str, chart: bool = False) -> None:
+def _print_generic(result, indent: str = "  ") -> None:
+    """Fallback renderer for ablation arms: dicts and result dataclasses."""
+    import dataclasses
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        result = {f.name: getattr(result, f.name)
+                  for f in dataclasses.fields(result)}
+    if isinstance(result, dict):
+        for key, value in result.items():
+            if isinstance(value, dict):
+                cells = " ".join(
+                    f"{k}={v:.1f}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in value.items())
+                print(f"{indent}{key:<22} {cells}")
+            elif isinstance(value, float):
+                print(f"{indent}{key:<22} {value:.2f}")
+            else:
+                print(f"{indent}{key:<22} {value}")
+    else:
+        print(f"{indent}{result}")
+
+
+def _render_experiment(name: str, result, chart: bool = False) -> None:
+    """Print *result* (a merged experiment result) exactly as ``run`` does."""
     if name == "table1":
-        for row in run_table1():
+        for row in result:
             print(f"{row['platform']:<22} {row['isolation']:<22} "
                   f"{row['performance']:<26} {row['memory_efficiency']}")
     elif name == "table2":
-        for row in run_table2():
+        for row in result:
             print(f"{row['application']:<34} {row['description']:<50} "
                   f"{row['language']}")
     elif name == "snapshot-creation":
-        for fn, parts in sorted(run_snapshot_creation_times().items()):
+        for fn, parts in sorted(result.items()):
             print(f"{fn:<28} snapshot={parts['snapshot_ms']:.0f}ms "
                   f"total-install={parts['total_ms']:.0f}ms")
-    elif name == "fig6":
-        _print_fig_dict(run_fig6(), chart)
-    elif name == "fig7":
-        _print_fig_dict(run_fig7(), chart)
-    elif name == "fig9":
-        _print_fig_dict(run_fig9(), chart)
+    elif name in ("fig6", "fig7", "fig9"):
+        _print_fig_dict(result, chart)
     elif name == "fig10":
-        for series in run_fig10(sample_every=50).values():
+        for series in result.values():
             print(series.as_table())
     elif name == "fig11":
-        for row in run_fig11().values():
+        for row in result.values():
             print(row.as_line())
     elif name == "fig12":
-        results = run_fig12()
-        for workload, per_config in sorted(results.items()):
+        for workload, per_config in sorted(result.items()):
             cells = " ".join(f"{per_config[c]:8.1f}M"
                              for c in FACTOR_CONFIGS)
             print(f"{workload:<28} {cells}")
-        for workload, values in sorted(fig12_improvements(results).items()):
+        for workload, values in sorted(fig12_improvements(result).items()):
             print(f"{workload:<28} os-snap "
                   f"{values['os_snapshot_vs_baseline_pct']:5.1f}%  "
                   f"post-jit {values['post_jit_vs_os_snapshot_pct']:5.1f}%")
     elif name == "scorecard":
-        from repro.bench.paper import headline_comparisons
         from repro.bench.results import format_comparisons
-        print(format_comparisons("Fireworks headline claims",
-                                 headline_comparisons()))
+        print(format_comparisons("Fireworks headline claims", result))
+    elif name == "burst":
+        for burst in result.values():
+            print(burst.as_line())
+    elif name == "load-sweep":
+        for platform, points in result.items():
+            for rate, point in points.items():
+                mark = " saturated" if point.saturated else ""
+                print(f"{platform:<22} offered={rate:6.1f}rps "
+                      f"achieved={point.achieved_rps:6.1f}rps "
+                      f"p50={point.latency.p50_ms:7.1f}ms "
+                      f"p99={point.latency.p99_ms:7.1f}ms "
+                      f"wait={point.mean_queue_wait_ms:7.1f}ms{mark}")
+    elif name == "sensitivity":
+        for sweep in result.values():
+            print(sweep.as_table())
+            print()
+    elif name == "ablations":
+        for arm, arm_result in result.items():
+            print(f"-- {arm} --")
+            _print_generic(arm_result)
+    elif name == "policies":
+        _print_generic(result, indent="")
+    elif name == "keepalive":
+        for outcome in result.values():
+            print(outcome.as_line())
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown figure {name!r}")
+
+
+def _run_figure(name: str, chart: bool = False) -> None:
+    """``run``: regenerate one figure in-process (engine, no cache)."""
+    from repro.bench.engine import run_experiments
+    outcome = run_experiments([name], use_cache=False)
+    _render_experiment(name, outcome.results[name], chart)
+
+
+def _cmd_figure(figures: List[str], jobs: int, no_cache: bool,
+                cache_dir: str, chart: bool) -> None:
+    """``figure``: many experiments through the parallel engine + cache."""
+    from repro.bench.engine import run_experiments
+    outcome = run_experiments(figures, jobs=jobs, use_cache=not no_cache,
+                              cache_dir=cache_dir)
+    for name, result in outcome.results.items():
+        print(f"== {name} ==")
+        _render_experiment(name, result, chart)
+        print()
+    print(outcome.stats.summary(), file=sys.stderr)
 
 
 def _cmd_annotate(path: str) -> None:
@@ -111,6 +174,14 @@ def _cmd_trace(out_path: str) -> None:
           "(open in chrome://tracing)")
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser for `python -m repro`."""
     parser = argparse.ArgumentParser(
@@ -124,6 +195,25 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("figure", choices=FIGURES)
     run_parser.add_argument("--chart", action="store_true",
                             help="render stacked ASCII bars (fig6/7/9)")
+
+    figure_parser = sub.add_parser(
+        "figure",
+        help="regenerate figures through the parallel engine + cache")
+    figure_parser.add_argument(
+        "figures", nargs="+", metavar="figure",
+        choices=FIGURES + EXTENSIONS + ("all",),
+        help="experiment ids, or 'all' for the full suite")
+    figure_parser.add_argument(
+        "-j", "--jobs", type=_positive_int, default=1,
+        help="worker processes for uncached shards (default 1)")
+    figure_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the result cache (neither read nor write)")
+    figure_parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default .repro-cache)")
+    figure_parser.add_argument("--chart", action="store_true",
+                               help="render stacked ASCII bars (fig6/7/9)")
 
     annotate_parser = sub.add_parser(
         "annotate", help="annotate a handler file (Figure 3)")
@@ -162,6 +252,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
     elif args.command == "run":
         _run_figure(args.figure, chart=getattr(args, "chart", False))
+    elif args.command == "figure":
+        from repro.bench.engine import DEFAULT_CACHE_DIR
+        _cmd_figure(args.figures, jobs=args.jobs, no_cache=args.no_cache,
+                    cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+                    chart=args.chart)
     elif args.command == "annotate":
         _cmd_annotate(args.file)
     elif args.command == "burst":

@@ -32,7 +32,9 @@ Calibration targets (paper §5) and the arithmetic behind the defaults:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 from typing import Dict
 
 PAGE_KB = 4
@@ -400,3 +402,46 @@ class CalibratedParameters:
 def default_parameters() -> CalibratedParameters:
     """The calibrated defaults used by all experiments."""
     return CalibratedParameters()
+
+
+# ---------------------------------------------------------------------------
+# Canonical hashing (content-addressed result caching)
+# ---------------------------------------------------------------------------
+def canonical_jsonable(obj: object) -> object:
+    """A JSON-ready form of *obj* with a canonical field/key order.
+
+    Dataclasses become ``{"__dataclass__": <class name>, <field>: ...}`` in
+    declaration order; dict keys are emitted sorted.  Two parameter bundles
+    canonicalize identically iff every calibrated constant matches, so the
+    result is a stable cache-key ingredient across processes and sessions
+    (``PYTHONHASHSEED`` does not leak in).
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        out: Dict[str, object] = {"__dataclass__": type(obj).__name__}
+        for f in fields(obj):
+            out[f.name] = canonical_jsonable(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        return {str(key): canonical_jsonable(obj[key])
+                for key in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_jsonable(item) for item in obj]
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr() is the shortest round-trip form; json.dumps uses it too,
+        # but going through it here keeps inf/nan printable.
+        return repr(obj)
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def params_fingerprint(params: CalibratedParameters) -> str:
+    """A short content hash of every calibrated constant in *params*.
+
+    Experiment results are memoizable exactly when the calibration they ran
+    under is identical; this fingerprint is the cache-key component that
+    enforces it.
+    """
+    canonical = json.dumps(canonical_jsonable(params), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

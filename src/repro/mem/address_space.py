@@ -154,9 +154,18 @@ class AddressSpace:
         """Unique set size: pages no other address space maps."""
         return pages_to_mb(sum(m.uss_pages() for m in self._regions.values()))
 
+    def pss_pages(self) -> float:
+        """Proportional set size in pages.
+
+        O(regions): each backing answers in constant time thanks to the
+        per-segment dirty aggregate (see :mod:`repro.mem.segments`), so
+        summing PSS over a whole microVM fleet is linear in fleet size.
+        """
+        return sum(m.pss_pages() for m in self._regions.values())
+
     def pss_mb(self) -> float:
         """Proportional set size, as ``smem`` reports (paper §5.4)."""
-        return pages_to_mb(sum(m.pss_pages() for m in self._regions.values()))
+        return pages_to_mb(self.pss_pages())
 
     def region_pss_mb(self, region: str) -> float:
         """PSS of one region in MiB."""

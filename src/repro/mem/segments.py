@@ -11,6 +11,13 @@ its pages independently at uniform positions, so for a page that is clean in
 mapper *j*, the expected number of other mappers still sharing it is
 ``sum_{i != j} (1 - dirty_i / n)``.  This matches how ``smem`` would account
 the paper's Fig 10/12 measurements while staying deterministic.
+
+Because that sum depends on the other mappers only through their *total*
+dirty count, each segment maintains a running aggregate
+(:attr:`SharedSegment.total_dirty_pages`) updated on attach/dirty/detach,
+making ``pss_pages`` O(1) per mapper instead of O(mappers).  Fig 10 sums
+PSS over hundreds of microVMs per sample; without the aggregate that scan
+is quadratic in the fleet size.
 """
 
 from __future__ import annotations
@@ -79,6 +86,7 @@ class SharedSegment:
         self.kind = kind
         self.name = name or kind
         self._dirty_by_mapper: Dict[int, int] = {}
+        self._total_dirty = 0
         self._next_mapper_id = 1
         self._pins = 0
         self._resident = True
@@ -124,6 +132,7 @@ class SharedSegment:
         new_total = min(self.pages, current + pages)
         delta = new_total - current
         self._dirty_by_mapper[mapper_id] = new_total
+        self._total_dirty += delta
         self.host._account_alloc(delta)
         return new_total
 
@@ -131,6 +140,11 @@ class SharedSegment:
     @property
     def mapper_count(self) -> int:
         return len(self._dirty_by_mapper)
+
+    @property
+    def total_dirty_pages(self) -> int:
+        """Sum of every mapper's CoW-broken pages (running aggregate)."""
+        return self._total_dirty
 
     def dirty_pages(self, mapper_id: int) -> int:
         """Pages this mapper has CoW-broken."""
@@ -143,18 +157,22 @@ class SharedSegment:
     def resident_pages(self) -> int:
         """Host-resident pages attributable to this segment and its copies."""
         base = self.pages if self._resident else 0
-        return base + sum(self._dirty_by_mapper.values())
+        return base + self._total_dirty
 
     def pss_pages(self, mapper_id: int) -> float:
-        """Expected PSS contribution (pages) of this mapping for one mapper."""
+        """Expected PSS contribution (pages) of this mapping for one mapper.
+
+        ``sum_{i != j} (1 - dirty_i / n)`` only needs the aggregate dirty
+        count, so this is O(1) — Fig 10 calls it for every worker of an
+        800-VM fleet at every sample.
+        """
         dirty = self._get_dirty(mapper_id)
         clean = self.pages - dirty
         if clean == 0:
             return float(dirty)
-        expected_other_sharers = sum(
-            1.0 - other_dirty / self.pages
-            for other_id, other_dirty in self._dirty_by_mapper.items()
-            if other_id != mapper_id)
+        expected_other_sharers = (
+            (len(self._dirty_by_mapper) - 1)
+            - (self._total_dirty - dirty) / self.pages)
         return dirty + clean / (1.0 + expected_other_sharers)
 
     def uss_pages(self, mapper_id: int) -> int:
@@ -171,6 +189,7 @@ class SharedSegment:
     def _pop_mapper(self, mapper_id: int) -> int:
         dirty = self._get_dirty(mapper_id)
         del self._dirty_by_mapper[mapper_id]
+        self._total_dirty -= dirty
         return dirty
 
     def _ensure_resident(self) -> None:

@@ -29,6 +29,8 @@ class Event:
     indicates two components believe they own the same completion.
     """
 
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "on_abandoned")
+
     def __init__(self, sim: "Simulation", name: str = "") -> None:
         self.sim = sim
         self.name = name
@@ -111,6 +113,8 @@ class Timeout(Event):
     behave correctly.
     """
 
+    __slots__ = ("delay", "_deferred_value")
+
     def __init__(self, sim: "Simulation", delay: float, value: Any = None,
                  name: str = "") -> None:
         if delay < 0:
@@ -128,6 +132,8 @@ class Timeout(Event):
 
 class Condition(Event):
     """Base for events that fire when some set of child events fire."""
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, sim: "Simulation", events: List[Event],
                  name: str = "") -> None:
@@ -159,6 +165,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when every child event has fired (or any child fails)."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -172,6 +180,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Fires as soon as any child event fires."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:

@@ -29,6 +29,8 @@ class Interrupt(Exception):
 class Process(Event):
     """A running generator; also an event that fires on completion."""
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, sim: "Simulation",
                  generator: Generator[Event, Any, Any],
                  name: str = "") -> None:

@@ -1,0 +1,94 @@
+"""Round-trip tests for the loss-free result codec."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.bench.results import (FigureResult, LatencyRow, MemoryPoint,
+                                 MemorySeries)
+from repro.bench.sensitivity import SensitivityPoint, SensitivityResult
+from repro.bench.serialization import (decode_result, encode_result,
+                                       register_result_type)
+from repro.errors import ReproError
+
+
+def roundtrip(obj):
+    """Encode -> JSON text -> decode, exactly as the cache does."""
+    return decode_result(json.loads(json.dumps(encode_result(obj))))
+
+
+class TestPrimitives:
+    def test_scalars(self):
+        for value in (None, True, False, 0, -3, "x", 1.5, 0.1 + 0.2):
+            assert roundtrip(value) == value
+
+    def test_float_bit_exact(self):
+        tricky = [1e-308, 1e308, 2.675, 1 / 3, math.pi]
+        assert all(roundtrip(v) == v for v in tricky)
+
+    def test_non_finite_floats(self):
+        assert roundtrip(float("inf")) == float("inf")
+        assert roundtrip(float("-inf")) == float("-inf")
+        assert math.isnan(roundtrip(float("nan")))
+
+    def test_tuple_stays_tuple(self):
+        assert roundtrip((1, 2, (3, 4))) == (1, 2, (3, 4))
+
+    def test_non_string_dict_keys_keep_type(self):
+        mapping = {20.0: "a", 60.0: "b", 3: "c"}
+        decoded = roundtrip(mapping)
+        assert decoded == mapping
+        assert all(isinstance(key, (int, float)) for key in decoded)
+
+    def test_dict_insertion_order_kept(self):
+        mapping = {"z": 1, "a": 2, "m": 3}
+        assert list(roundtrip(mapping)) == ["z", "a", "m"]
+
+
+class TestDataclasses:
+    def test_figure_result_roundtrip(self):
+        figure = FigureResult(figure_id="fig6a", title="t")
+        figure.rows.append(LatencyRow(platform="p", mode="cold",
+                                      startup_ms=1.25, exec_ms=0.5,
+                                      other_ms=0.125))
+        figure.notes.append("a note")
+        assert roundtrip(figure) == figure
+
+    def test_memory_series_roundtrip(self):
+        series = MemorySeries(platform="fireworks")
+        series.points.append(MemoryPoint(n_vms=50, host_used_mb=1024.5,
+                                         mean_pss_mb=20.25))
+        series.max_vms_before_swap = 553
+        assert roundtrip(series) == series
+
+    def test_nested_structures(self):
+        sweep = SensitivityResult(
+            parameter="k", metric_name="m",
+            points=[SensitivityPoint(value=2000.0, metric=13.5)])
+        nested = {"sweeps": {"k": sweep}, "rates": (20.0, 60.0)}
+        assert roundtrip(nested) == nested
+
+    def test_unknown_dataclass_rejected(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class NotRegistered:
+            x: int
+
+        with pytest.raises(ReproError, match="not registered"):
+            encode_result(NotRegistered(x=1))
+
+    def test_unknown_payload_type_rejected(self):
+        with pytest.raises(ReproError, match="cannot encode"):
+            encode_result(object())
+
+    def test_register_requires_dataclass(self):
+        with pytest.raises(ReproError, match="not a dataclass"):
+            register_result_type(dict)
+
+    def test_decode_unknown_type_name(self):
+        with pytest.raises(ReproError, match="unknown result type"):
+            decode_result({"$dc": "Bogus", "fields": {}})

@@ -141,3 +141,56 @@ class TestPssAccounting:
             segment.dirty(mapper, index * 500)
         total_pss = sum(segment.pss_pages(m) for m in mappers)
         assert total_pss <= segment.resident_pages() + 1e-6
+
+
+class TestDirtyAggregate:
+    """The running total-dirty aggregate that makes pss_pages O(1)."""
+
+    def _reference_pss(self, segment, mapper_id):
+        """The pre-aggregate formula: explicit sum over the other mappers."""
+        dirty = segment.dirty_pages(mapper_id)
+        clean = segment.pages - dirty
+        if clean == 0:
+            return float(dirty)
+        expected_other_sharers = sum(
+            1.0 - segment.dirty_pages(other) / segment.pages
+            for other in segment._dirty_by_mapper if other != mapper_id)
+        return dirty + clean / (1.0 + expected_other_sharers)
+
+    def test_aggregate_tracks_explicit_sum(self, host):
+        segment = host.create_segment(100, "kernel")
+        mappers = [segment.attach() for _ in range(8)]
+        for index, mapper in enumerate(mappers):
+            segment.dirty(mapper, index * 700)
+        segment.detach(mappers.pop(3))
+        segment.dirty(mappers[0], 123)
+        assert segment.total_dirty_pages == sum(
+            segment.dirty_pages(m) for m in mappers)
+
+    def test_pss_matches_explicit_sum(self, host):
+        segment = host.create_segment(100, "kernel")
+        mappers = [segment.attach() for _ in range(6)]
+        for index, mapper in enumerate(mappers):
+            segment.dirty(mapper, index * 900)
+        for mapper in mappers:
+            assert segment.pss_pages(mapper) == pytest.approx(
+                self._reference_pss(segment, mapper), rel=1e-12)
+
+    def test_pss_matches_after_detach_and_saturation(self, host):
+        segment = host.create_segment(50, "kernel")
+        mappers = [segment.attach() for _ in range(5)]
+        segment.dirty(mappers[1], segment.pages + 999)  # saturates
+        segment.detach(mappers.pop(1))
+        segment.dirty(mappers[2], 777)
+        for mapper in mappers:
+            assert segment.pss_pages(mapper) == pytest.approx(
+                self._reference_pss(segment, mapper), rel=1e-12)
+
+    def test_aggregate_zero_when_all_detached(self, host):
+        segment = host.create_segment(10, "kernel")
+        segment.pin()
+        mapper = segment.attach()
+        segment.dirty(mapper, 1000)
+        segment.detach(mapper)
+        assert segment.total_dirty_pages == 0
+        assert segment.resident_pages() == segment.pages

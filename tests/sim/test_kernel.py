@@ -129,3 +129,32 @@ class TestDeterminism:
         a = Simulation(seed=7).rng.jitter("x", 100.0, 0.1)
         b = Simulation(seed=8).rng.jitter("x", 100.0, 0.1)
         assert a != b
+
+
+class TestRunUntilFailedEvent:
+    """Regression: the strict=False branch of _run_until_event was dead —
+    non-strict failures raised exactly like strict ones."""
+
+    def test_strict_run_until_failed_event_raises(self, sim):
+        failed = sim.event().fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run(until=failed)
+
+    def test_non_strict_run_until_failed_process_returns_exception(self):
+        sim = Simulation(strict=False)
+
+        def failing():
+            yield sim.timeout(1)
+            raise ValueError("kaboom")
+
+        process = sim.process(failing())
+        value = sim.run(until=process)
+        assert isinstance(value, ValueError)
+        assert process.triggered and not process.ok
+
+    def test_non_strict_run_until_failed_event_returns_exception(self):
+        sim = Simulation(strict=False)
+        failed = sim.event().fail(RuntimeError("quiet"))
+        value = sim.run(until=failed)
+        assert isinstance(value, RuntimeError)
+        assert not failed.ok

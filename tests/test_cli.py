@@ -95,3 +95,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "[OK ]" in out
         assert "[DEV]" not in out
+
+
+class TestFigureCommand:
+    """`figure`: many experiments through the parallel engine + cache."""
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_multiple_ids_one_invocation(self, tmp_path, capsys):
+        assert main(["figure", "table1", "fig11",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "== table1 ==" in out and "== fig11 ==" in out
+        assert "High (VM)" in out           # table1 rendered as with `run`
+        assert "faas-fact-nodejs" in out    # fig11 rendered as with `run`
+
+    def test_matches_run_output(self, tmp_path, capsys):
+        assert main(["run", "fig10"]) == 0
+        via_run = capsys.readouterr().out
+        assert main(["figure", "fig10", "--cache-dir", str(tmp_path)]) == 0
+        via_figure = capsys.readouterr().out
+        assert via_run in via_figure  # same body, plus the == header ==
+
+    def test_cache_roundtrip_same_output(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "c")]
+        assert main(["figure", "fig6"] + cache) == 0
+        first = capsys.readouterr()
+        assert main(["figure", "fig6", "--jobs", "2"] + cache) == 0
+        second = capsys.readouterr()
+        assert first.out == second.out
+        assert "4 cached" in second.err  # all four shards hit the cache
+
+    def test_no_cache_leaves_no_directory(self, tmp_path, capsys):
+        cache_dir = tmp_path / "c"
+        assert main(["figure", "table2", "--no-cache",
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert not cache_dir.exists()
+
+    def test_extension_experiment(self, tmp_path, capsys):
+        assert main(["figure", "sensitivity",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "hotness_threshold_units" in capsys.readouterr().out

@@ -120,3 +120,52 @@ class TestSnapshotCreationBand:
             size = params.memory_layout(language).guest_total_mb
             write_ms = snapshot.create_base_ms + size * snapshot.create_per_mb_ms
             assert 360 <= write_ms <= 470
+
+
+class TestParamsFingerprint:
+    """Canonical hashing of the calibrated constants (the cache key)."""
+
+    def test_stable_across_calls(self, params):
+        from repro.config import params_fingerprint
+        assert params_fingerprint(params) == params_fingerprint(params)
+        assert params_fingerprint(params) == \
+            params_fingerprint(default_parameters())
+
+    def test_short_hex(self, params):
+        from repro.config import params_fingerprint
+        fingerprint = params_fingerprint(params)
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)  # hex digest prefix
+
+    def test_any_constant_changes_it(self, params):
+        import dataclasses
+        from repro.config import params_fingerprint
+        base = params_fingerprint(params)
+        tweaked = dataclasses.replace(
+            params, snapshot=dataclasses.replace(
+                params.snapshot, restore_base_ms=7.0))
+        assert params_fingerprint(tweaked) != base
+
+    def test_canonical_form_has_no_bare_floats(self, params):
+        """Floats canonicalize through repr so the JSON text is unique."""
+        from repro.config import canonical_jsonable
+
+        def walk(node):
+            assert not isinstance(node, float)
+            if isinstance(node, dict):
+                for value in node.values():
+                    walk(value)
+            elif isinstance(node, list):
+                for item in node:
+                    walk(item)
+
+        walk(canonical_jsonable(params))
+
+    def test_inf_canonicalizes(self, params):
+        from repro.config import canonical_jsonable
+        assert canonical_jsonable(float("inf")) == "inf"
+
+    def test_unknown_type_rejected(self):
+        from repro.config import canonical_jsonable
+        with pytest.raises(TypeError):
+            canonical_jsonable(object())

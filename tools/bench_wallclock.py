@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Wall-clock benchmark of the parallel experiment engine.
+
+Times the full ``figure all`` suite three ways — serial compute, parallel
+compute (``--jobs N``), and a fully cache-hit rerun — plus the Fig 10
+consolidation driver on its own (the hot path the incremental PSS
+accounting optimizes).  Results land in ``BENCH_harness.json``.
+
+Each engine configuration runs in a *fresh subprocess* so import caching
+and allocator warm-up in this process can't flatter any configuration.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_wallclock.py [--jobs N] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _engine_child(cache_dir: str, jobs: int) -> str:
+    return (
+        "import time\n"
+        "from repro.bench.engine import run_experiments\n"
+        "t0 = time.perf_counter()\n"
+        f"outcome = run_experiments(['all'], jobs={jobs}, "
+        f"cache_dir={cache_dir!r})\n"
+        "import json, sys\n"
+        "json.dump({'elapsed_s': time.perf_counter() - t0,\n"
+        "           'shards': outcome.stats.shards_total,\n"
+        "           'cache_hits': outcome.stats.cache_hits},\n"
+        "          sys.stdout)\n"
+    )
+
+
+def _run_child(code: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True, check=True)
+    return json.loads(proc.stdout)
+
+
+def bench_engine(jobs: int) -> dict:
+    """Serial vs parallel vs cache-hit timings of ``figure all``."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        serial_dir = str(Path(tmp) / "serial")
+        parallel_dir = str(Path(tmp) / "parallel")
+
+        serial = _run_child(_engine_child(serial_dir, jobs=1))
+        parallel = _run_child(_engine_child(parallel_dir, jobs=jobs))
+        # Rerun against the serial run's populated cache: every shard hits.
+        cached = _run_child(_engine_child(serial_dir, jobs=jobs))
+        assert cached["cache_hits"] == cached["shards"], cached
+
+    return {
+        "shards": serial["shards"],
+        "serial_s": round(serial["elapsed_s"], 3),
+        "parallel_s": round(parallel["elapsed_s"], 3),
+        "cached_s": round(cached["elapsed_s"], 3),
+        "parallel_jobs": jobs,
+        "parallel_speedup_x":
+            round(serial["elapsed_s"] / parallel["elapsed_s"], 2),
+        "cached_speedup_x":
+            round(serial["elapsed_s"] / cached["elapsed_s"], 2),
+    }
+
+
+def bench_fig10(max_vms: int = 800) -> dict:
+    """Time the Fig 10 consolidation loop (incremental-PSS hot path)."""
+    code = (
+        "import time\n"
+        "from repro.bench.memory import run_fig10\n"
+        f"t0 = time.perf_counter()\n"
+        f"series = run_fig10(max_vms={max_vms})\n"
+        "elapsed = time.perf_counter() - t0\n"
+        "import json, sys\n"
+        "json.dump({'elapsed_s': elapsed,\n"
+        "           'max_vms_before_swap': {p: s.max_vms_before_swap\n"
+        "                                   for p, s in series.items()}},\n"
+        "          sys.stdout)\n"
+    )
+    result = _run_child(code)
+    return {
+        "max_vms": max_vms,
+        "elapsed_s": round(result["elapsed_s"], 3),
+        "max_vms_before_swap": result["max_vms_before_swap"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the parallel run (default 4)")
+    parser.add_argument("--out", default=str(REPO_ROOT /
+                                             "BENCH_harness.json"))
+    args = parser.parse_args(argv)
+
+    print(f"engine: figure all, jobs=1 vs jobs={args.jobs} vs cache-hit "
+          f"(cpu_count={os.cpu_count()}) ...", flush=True)
+    engine = bench_engine(args.jobs)
+    print(f"  serial   {engine['serial_s']:7.2f}s  ({engine['shards']} "
+          "shards)")
+    print(f"  parallel {engine['parallel_s']:7.2f}s  "
+          f"({engine['parallel_speedup_x']}x)")
+    print(f"  cached   {engine['cached_s']:7.2f}s  "
+          f"({engine['cached_speedup_x']}x)")
+
+    print("fig10: run_fig10(max_vms=800) ...", flush=True)
+    fig10 = bench_fig10()
+    print(f"  {fig10['elapsed_s']:.2f}s, swap points "
+          f"{fig10['max_vms_before_swap']}")
+
+    payload = {
+        "benchmark": "repro.bench.engine wall-clock",
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "note": ("parallel speedup scales with available cores; on a "
+                 "single-core host the parallel run only measures pool "
+                 "overhead"),
+        "engine": engine,
+        "fig10": fig10,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
