@@ -16,6 +16,7 @@ from repro.platforms.base import InvocationRecord
 from repro.platforms.firecracker import FirecrackerPlatform
 from repro.platforms.gvisor_platform import GVisorPlatform
 from repro.platforms.openwhisk import OpenWhiskPlatform
+from repro.trace import verify_invocation
 from repro.workloads.faasdom import BENCHMARK_NAMES, faasdom_spec
 
 _SUBFIGURES = {
@@ -30,10 +31,15 @@ _FIGURE_BY_LANGUAGE = {"nodejs": "6", "python": "7"}
 
 def _row_from(record: InvocationRecord, platform: str,
               mode: str) -> LatencyRow:
+    # The bar segments come from the invocation's span tree, not from
+    # fields tallied in parallel with it; verify_invocation asserts both
+    # agree (root span duration == end-to-end latency, exactly) before the
+    # figure is built.
+    breakdown = verify_invocation(record)
     return LatencyRow(platform=platform, mode=mode,
-                      startup_ms=record.startup_ms,
-                      exec_ms=record.exec_ms,
-                      other_ms=record.other_ms)
+                      startup_ms=breakdown.startup_ms,
+                      exec_ms=breakdown.exec_ms,
+                      other_ms=breakdown.other_ms)
 
 
 def run_faasdom_benchmark(benchmark: str, language: str,

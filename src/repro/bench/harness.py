@@ -13,6 +13,7 @@ from repro.platforms.firecracker import (FirecrackerPlatform,
 from repro.platforms.gvisor_platform import GVisorPlatform
 from repro.platforms.openwhisk import OpenWhiskPlatform
 from repro.sim.kernel import Simulation
+from repro.trace import verify_invocation
 from repro.workloads.base import ChainSpec, FunctionSpec
 
 def fresh_platform(platform_cls: Type[ServerlessPlatform],
@@ -40,10 +41,15 @@ def install_chain(platform: ServerlessPlatform, chain: ChainSpec) -> None:
 def invoke_once(platform: ServerlessPlatform, name: str,
                 mode: str = MODE_AUTO,
                 payload: Optional[dict] = None) -> InvocationRecord:
-    """One measured invocation, run to completion."""
+    """One measured invocation, run to completion and trace-verified."""
     sim = platform.sim
-    return sim.run(sim.process(platform.invoke(name, payload=payload,
-                                               mode=mode)))
+    record = sim.run(sim.process(platform.invoke(name, payload=payload,
+                                                 mode=mode)))
+    # Every measured invocation must tell the same story twice: its span
+    # tree and its record breakdown (root span duration == end-to-end,
+    # exactly).
+    verify_invocation(record)
+    return record
 
 
 def provision_warm(platform: ServerlessPlatform, name: str) -> None:

@@ -8,8 +8,9 @@ Commands:
                                 parallel engine and the result cache;
 * ``annotate <file>``         — run the §3.2 code annotator on a handler;
 * ``burst [-n N] [-c CORES]`` — the burst-storm extension experiment;
-* ``trace <out.json>``        — run an Alexa chain and export a Chrome
-                                trace of its invocation records.
+* ``trace <target>``          — re-run one figure's invocations and export
+                                one invocation's span tree (Chrome
+                                ``trace_event`` JSON or a text tree).
 """
 
 from __future__ import annotations
@@ -157,21 +158,72 @@ def _cmd_burst(requests: int, cores: int) -> None:
         print(result.as_line())
 
 
-def _cmd_trace(out_path: str) -> None:
-    from repro.bench import fresh_platform, install_chain, invoke_once
-    from repro.bench.tracing import write_chrome_trace
-    from repro.core import FireworksPlatform
-    from repro.workloads import ALEXA_SKILLS, alexa_skills_chain
+#: ``trace`` targets: which invocation set to re-run.
+TRACE_TARGETS = ("fig6", "fig7", "chain")
+_TRACE_LANGUAGE = {"fig6": "nodejs", "fig7": "python"}
 
-    platform = fresh_platform(FireworksPlatform)
-    chain = alexa_skills_chain()
-    install_chain(platform, chain)
-    for skill in ALEXA_SKILLS:
-        invoke_once(platform, chain.entry, payload={"skill": skill})
-    write_chrome_trace(platform.records, out_path,
-                       install_reports=platform.install_reports.values())
-    print(f"wrote {len(platform.records)} records to {out_path} "
+
+def _trace_records(target: str, benchmark: str) -> list:
+    """Re-run one target's invocations; returns their records in order.
+
+    For ``fig6``/``fig7`` the order is: fireworks, then cold+warm for
+    openwhisk, gvisor and firecracker — index it with ``--invocation``.
+    ``chain`` runs the Alexa-skills chain, one record per skill.
+    """
+    from repro.bench.harness import (cold_and_warm, fireworks_invocation,
+                                     fresh_platform, install_chain,
+                                     invoke_once)
+    if target == "chain":
+        from repro.core import FireworksPlatform
+        from repro.workloads import ALEXA_SKILLS, alexa_skills_chain
+        platform = fresh_platform(FireworksPlatform)
+        chain = alexa_skills_chain()
+        install_chain(platform, chain)
+        return [invoke_once(platform, chain.entry, payload={"skill": skill})
+                for skill in ALEXA_SKILLS]
+
+    from repro.platforms.firecracker import FirecrackerPlatform
+    from repro.platforms.gvisor_platform import GVisorPlatform
+    from repro.platforms.openwhisk import OpenWhiskPlatform
+    from repro.workloads.faasdom import faasdom_spec
+    spec = faasdom_spec(benchmark, _TRACE_LANGUAGE[target])
+    records = [fireworks_invocation(spec)]
+    for platform_cls in (OpenWhiskPlatform, GVisorPlatform,
+                         FirecrackerPlatform):
+        records.extend(cold_and_warm(platform_cls, spec))
+    return records
+
+
+def _cmd_trace(target: str, benchmark: str, invocation: int,
+               output_format: str, out_path: Optional[str]) -> int:
+    from repro.trace import render_tree, verify_invocation, write_trace_json
+
+    records = _trace_records(target, benchmark)
+    if not 0 <= invocation < len(records):
+        print(f"error: --invocation must be in 0..{len(records) - 1} "
+              f"for {target}", file=sys.stderr)
+        return 1
+    record = records[invocation]
+    verify_invocation(record)
+    root = record.span
+    while root.parent is not None:  # export the whole trace, gateway-down
+        root = root.parent
+
+    if output_format == "tree":
+        rendered = render_tree(root)
+        if out_path:
+            Path(out_path).write_text(rendered + "\n", encoding="utf-8")
+            print(f"wrote {out_path}")
+        else:
+            print(rendered)
+        return 0
+
+    destination = out_path or f"{target}-inv{invocation}.trace.json"
+    events = write_trace_json(root, destination)
+    print(f"wrote {events} span events for {record.platform}/"
+          f"{record.function} ({record.mode}) to {destination} "
           "(open in chrome://tracing)")
+    return 0
 
 
 def _positive_int(text: str) -> int:
@@ -225,8 +277,21 @@ def build_parser() -> argparse.ArgumentParser:
     burst_parser.add_argument("-c", "--cores", type=int, default=64)
 
     trace_parser = sub.add_parser(
-        "trace", help="export a Chrome trace of an Alexa chain run")
-    trace_parser.add_argument("output", help="output .json path")
+        "trace", help="export one invocation's span tree")
+    trace_parser.add_argument("target", choices=TRACE_TARGETS,
+                              help="which invocation set to re-run")
+    from repro.workloads.faasdom import BENCHMARK_NAMES
+    trace_parser.add_argument(
+        "--benchmark", default="faas-fact", choices=BENCHMARK_NAMES,
+        help="FaaSdom benchmark for fig6/fig7 (default faas-fact)")
+    trace_parser.add_argument(
+        "--invocation", type=int, default=0, metavar="N",
+        help="which record to export (0 = fireworks for fig6/fig7)")
+    trace_parser.add_argument("--format", dest="output_format",
+                              choices=("chrome", "tree"), default="chrome")
+    trace_parser.add_argument("-o", "--output", default=None,
+                              help="output path (default "
+                                   "<target>-inv<N>.trace.json)")
 
     export_parser = sub.add_parser(
         "export", help="regenerate figures and write CSVs")
@@ -262,7 +327,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "burst":
         _cmd_burst(args.requests, args.cores)
     elif args.command == "trace":
-        _cmd_trace(args.output)
+        return _cmd_trace(args.target, args.benchmark, args.invocation,
+                          args.output_format, args.output)
     elif args.command == "export":
         from repro.bench.export import export_all
         written = export_all(args.directory, figures=args.only)

@@ -48,9 +48,8 @@ class FireworksPlatform(ServerlessPlatform):
     def __init__(self, *args, restore_policy: str = POLICY_DEMAND,
                  faults: Optional[FaultInjector] = None,
                  **kwargs) -> None:
-        super().__init__(*args, **kwargs)
+        super().__init__(*args, faults=faults, **kwargs)
         self.restore_policy = restore_policy
-        self.faults = faults
         self.installer = Installer(self.sim, self.params, self.host_memory,
                                    self.bridge)
         self.manager = MicroVMManager(self.sim, self.params,
@@ -85,13 +84,16 @@ class FireworksPlatform(ServerlessPlatform):
     # -- invocation phase (§3.1 steps 5-8) ------------------------------------------
     def _acquire_worker(self, spec: FunctionSpec, mode: str):
         del mode  # Fireworks has no cold/warm distinction (§5.1).
+        tracer = self.sim.tracer
         image = self.image_for(spec.name)
         fc_id = self.manager.next_fc_id()
 
         # (5) put the arguments into the parameter passer queue *before*
-        # resuming, so the guest's kafkacat finds them.
+        # resuming, so the guest's kafkacat finds them.  Publishing is
+        # control-plane work, not start-up: tag it phase="other".
         started = self.sim.now
-        yield from self.passer.publish(fc_id, {"function": spec.name})
+        with tracer.span("publish", phase="other", fc_id=fc_id):
+            yield from self.passer.publish(fc_id, {"function": spec.name})
         publish_ms = self.sim.now - started
 
         # (6)+(7) network, metadata, restore.  A corrupted image is
@@ -106,21 +108,28 @@ class FireworksPlatform(ServerlessPlatform):
                 self.restore_failures += 1
                 if attempt == self.MAX_RESTORE_ATTEMPTS:
                     raise
-                image = yield from self.regenerate_snapshot(spec.name)
+                with tracer.span("retry", kind="retry", target="restore",
+                                 attempt=attempt, fc_id=fc_id):
+                    image = yield from self.regenerate_snapshot(spec.name)
 
         # (8) resumed guest reads its fcID and fetches the parameters,
         # retrying transient broker failures.
         for attempt in range(1, self.MAX_PARAM_FETCH_ATTEMPTS + 1):
             try:
-                params = yield from self.passer.fetch(
-                    fc_id, fault_key=spec.name)
+                with tracer.span("param-fetch", fc_id=fc_id,
+                                 attempt=attempt):
+                    params = yield from self.passer.fetch(
+                        fc_id, fault_key=spec.name)
                 break
             except InjectedFault as fault:
                 if fault.kind != "param-fetch" or \
                         attempt == self.MAX_PARAM_FETCH_ATTEMPTS:
                     raise
                 self.param_fetch_retries += 1
-                yield self.sim.timeout(self.PARAM_FETCH_BACKOFF_MS)
+                with tracer.span("retry", kind="retry",
+                                 target="param-fetch", attempt=attempt,
+                                 fc_id=fc_id):
+                    yield self.sim.timeout(self.PARAM_FETCH_BACKOFF_MS)
         if params.get("function") != spec.name:
             raise PlatformError(
                 f"parameter passer mismatch: expected {spec.name!r}, "

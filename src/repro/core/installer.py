@@ -69,39 +69,48 @@ class Installer:
             raise AnnotationError(
                 f"function {spec.name!r} has no source code to annotate")
 
-        # (2) transform the source code.
-        started = self.sim.now
-        annotated = annotate(spec.source, spec.language,
-                             service_name=spec.name)
-        n_functions = max(1, len(annotated.functions))
-        yield self.sim.timeout(
-            self.params.fireworks.annotate_ms_per_function * n_functions)
-        annotate_ms = self.sim.now - started
+        tracer = self.sim.tracer
+        with tracer.span("install", kind="install",
+                         trace_id=f"install-{spec.name}",
+                         function=spec.name, language=spec.language):
+            # (2) transform the source code.
+            started = self.sim.now
+            annotated = annotate(spec.source, spec.language,
+                                 service_name=spec.name)
+            n_functions = max(1, len(annotated.functions))
+            with tracer.span("annotate", functions=n_functions):
+                yield self.sim.timeout(
+                    self.params.fireworks.annotate_ms_per_function
+                    * n_functions)
+            annotate_ms = self.sim.now - started
 
-        # (1)+(3) create a microVM ready for the runtime, load the function.
-        started = self.sim.now
-        microvm = MicroVM(self.sim, self.params, self.host_memory,
-                          spec.language, name=f"fw-install-{spec.name}")
-        guest_ip, guest_mac = self.bridge.allocate_guest_addresses()
-        microvm.assign_guest_addresses(guest_ip, guest_mac)
-        worker = Worker(self.sim, microvm,
-                        make_runtime(self.sim, self.params, spec.language))
-        yield from worker.cold_start(spec.app)
-        boot_ms = self.sim.now - started
+            # (1)+(3) create a microVM ready for the runtime, load the
+            # function.
+            started = self.sim.now
+            microvm = MicroVM(self.sim, self.params, self.host_memory,
+                              spec.language, name=f"fw-install-{spec.name}")
+            guest_ip, guest_mac = self.bridge.allocate_guest_addresses()
+            microvm.assign_guest_addresses(guest_ip, guest_mac)
+            worker = Worker(self.sim, microvm,
+                            make_runtime(self.sim, self.params,
+                                         spec.language))
+            yield from worker.cold_start(spec.app)
+            boot_ms = self.sim.now - started
 
-        # (4a) __fireworks_jit(): force JIT of all annotated functions.
-        started = self.sim.now
-        yield from worker.force_jit()
-        jit_ms = self.sim.now - started
+            # (4a) __fireworks_jit(): force JIT of all annotated functions.
+            started = self.sim.now
+            yield from worker.force_jit()
+            jit_ms = self.sim.now - started
 
-        # (4b) __fireworks_snapshot(): post-JIT VM snapshot.
-        started = self.sim.now
-        image = yield from self.snapshotter.create(
-            worker, spec.name, STAGE_POST_JIT)
-        snapshot_ms = self.sim.now - started
+            # (4b) __fireworks_snapshot(): post-JIT VM snapshot.
+            started = self.sim.now
+            with tracer.span("snapshot", function=spec.name):
+                image = yield from self.snapshotter.create(
+                    worker, spec.name, STAGE_POST_JIT)
+            snapshot_ms = self.sim.now - started
 
-        # The installer VM is done; clones will serve invocations.
-        yield from worker.stop()
+            # The installer VM is done; clones will serve invocations.
+            yield from worker.stop()
 
         return InstallReport(
             function=spec.name,

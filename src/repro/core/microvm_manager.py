@@ -12,6 +12,8 @@ from typing import TYPE_CHECKING
 from repro.config import CalibratedParameters
 from repro.mem.host_memory import HostMemory
 from repro.net.bridge import HostBridge
+from repro.sandbox.base import STATE_STOPPED
+from repro.sandbox.microvm import Mmds
 from repro.sandbox.worker import Worker
 from repro.snapshot.image import SnapshotImage
 from repro.snapshot.restorer import POLICY_DEMAND, Restorer
@@ -43,33 +45,57 @@ class MicroVMManager:
         """Restore a clone of *image* with connectivity and identity.
 
         A simulation generator returning the ready :class:`Worker`.  Order
-        follows §3.4: network first (step 6), then resume (step 7).
+        follows §3.4: network first (step 6), identity into MMDS, then
+        resume (step 7) — the guest must be able to read its fcID the
+        moment it resumes.
         """
         fw = self.params.fireworks
+        tracer = self.sim.tracer
 
         # (6) network namespace + tap + NAT for the clone's snapshotted IP.
-        yield self.sim.timeout(fw.netns_setup_ms)
+        with tracer.span("netns-setup", fc_id=fc_id):
+            yield self.sim.timeout(fw.netns_setup_ms)
         endpoint = self.bridge.connect_guest(image.guest_ip, image.guest_mac)
 
-        # Identity via MMDS, written before resume so the guest can read it.
-        yield self.sim.timeout(fw.mmds_write_ms)
+        # Identity via MMDS, written *before* resume so the resumed guest's
+        # first metadata read already sees it (§3.4 step order).  The store
+        # is created host-side here and handed to the restorer, which wires
+        # it into the clone.
+        mmds = Mmds()
+        with tracer.span("mmds-write", fc_id=fc_id, src=image.key):
+            yield self.sim.timeout(fw.mmds_write_ms)
+        mmds.put("fcID", fc_id)
+        mmds.put("srcfcID", image.key)
 
         # (7) restore the VM snapshot.  A failed restore must not leak the
         # namespace/NAT wiring set up above.
         try:
-            worker = yield from self.restorer.restore(image, policy)
+            worker = yield from self.restorer.restore(image, policy,
+                                                      mmds=mmds)
         except Exception:
             self.bridge.disconnect(endpoint)
             raise
         worker.endpoint = endpoint
-        worker.sandbox.mmds.put("fcID", fc_id)
-        worker.sandbox.mmds.put("srcfcID", image.key)
         self.launched_clones += 1
         return worker
 
     def retire(self, worker: Worker):
-        """Tear a clone down, releasing network and memory."""
-        if worker.endpoint is not None:
-            self.bridge.disconnect(worker.endpoint)
-            worker.endpoint = None
-        yield from worker.stop()
+        """Tear a clone down, releasing network and memory.
+
+        Exception-safe: if the sandbox teardown fails mid-way, the clone's
+        guest memory is force-reclaimed and its network endpoint is still
+        disconnected — a failed stop must not leak host frames or NAT
+        entries.
+        """
+        try:
+            yield from worker.stop()
+        except Exception:
+            sandbox = worker.sandbox
+            if sandbox.state != STATE_STOPPED:
+                sandbox.space.unmap_all()
+                sandbox.state = STATE_STOPPED
+            raise
+        finally:
+            if worker.endpoint is not None:
+                self.bridge.disconnect(worker.endpoint)
+                worker.endpoint = None

@@ -32,26 +32,44 @@ class ParameterPasser:
         self.bus = bus
         self.config = config
         self.faults = faults  # optional FaultInjector
+        # fcID -> offset of the record publish() appended.  fetch() reads
+        # *that* record rather than "the newest", so a record produced on
+        # the topic between publish and fetch (a retried duplicate, an
+        # operator poking the topic) cannot hand the guest stale or foreign
+        # arguments.
+        self._published: Dict[str, int] = {}
 
     def publish(self, fc_id: str, params: Dict[str, Any]):
         """Host side: enqueue *params* before resuming the snapshot."""
         yield self.sim.timeout(self.config.param_publish_ms)
-        self.bus.produce(topic_for(fc_id), dict(params),
-                         timestamp_ms=self.sim.now)
+        record = self.bus.produce(topic_for(fc_id), dict(params),
+                                  timestamp_ms=self.sim.now)
+        self._published[fc_id] = record.offset
 
     def fetch(self, fc_id: str, fault_key: str = ""):
-        """Guest side: ``kafkacat ... -o -1 -c 1`` after the snapshot point.
+        """Guest side: consume the published record after the snapshot point.
 
-        Returns the parameters.  Raises :class:`BusError` if the host never
-        published (a control-plane bug Fireworks must not mask).  An armed
-        ``param-fetch`` fault (broker hiccup) surfaces after the consume
-        timeout elapses; the caller retries.
+        Reads the exact offset the matching :meth:`publish` wrote (Figure
+        3's ``kafkacat -o -1 -c 1`` is only equivalent when nothing else
+        touched the topic).  Returns the parameters.  Raises
+        :class:`BusError` if the host never published (a control-plane bug
+        Fireworks must not mask).  An armed ``param-fetch`` fault (broker
+        hiccup) surfaces after the consume timeout elapses; the caller
+        retries.
         """
         yield self.sim.timeout(self.config.param_fetch_ms)
         if self.faults is not None:
             self.faults.check("param-fetch", fault_key or fc_id)
-        record = self.bus.consume_latest(topic_for(fc_id))
+        topic = topic_for(fc_id)
+        offset = self._published.get(fc_id)
+        if offset is None:
+            # Nothing published through this passer — fall back to the
+            # paper's literal "newest record" consume (errors when empty).
+            record = self.bus.consume_latest(topic)
+        else:
+            record = self.bus.consume_at(topic, offset)
         if not isinstance(record.value, dict):
             raise BusError(
-                f"malformed parameter record on {topic_for(fc_id)!r}")
+                f"malformed parameter record on {topic!r}")
+        self._published.pop(fc_id, None)
         return record.value

@@ -73,3 +73,12 @@ class DatabaseError(ReproError):
 
 class DocumentConflictError(DatabaseError):
     """A document update supplied a stale revision."""
+
+
+class TraceError(ReproError):
+    """Span lifecycle misuse (closing a span that is not the innermost)."""
+
+
+class TraceInvariantError(TraceError):
+    """A span tree violates a tracing invariant (nesting, coverage,
+    span-vs-record agreement)."""

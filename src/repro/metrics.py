@@ -13,6 +13,7 @@ from typing import Dict, Iterable, List
 
 from repro.bench.stats import LatencyStats
 from repro.platforms.base import InvocationRecord
+from repro.trace import phase_breakdown
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,20 @@ class PlatformMetrics:
         return "\n".join(lines)
 
 
+def _startup_and_total_ms(record: InvocationRecord):
+    """(startup, total) for one record, preferring its span tree.
+
+    Traced records re-derive the split from their spans (the source of
+    truth since the breakdown rebase); hand-built records without a span
+    (unit-test fixtures, external importers) fall back to the recorded
+    fields.
+    """
+    if record.span is not None:
+        breakdown = phase_breakdown(record.span)
+        return breakdown.startup_ms, breakdown.total_ms
+    return record.startup_ms, record.total_ms
+
+
 def summarize(platform_name: str,
               records: Iterable[InvocationRecord],
               include_chains: bool = True) -> PlatformMetrics:
@@ -80,14 +95,15 @@ def summarize(platform_name: str,
         modes: Dict[str, int] = {}
         for record in entries:
             modes[record.mode] = modes.get(record.mode, 0) + 1
-        total_ms = sum(record.total_ms for record in entries)
-        startup_ms = sum(record.startup_ms for record in entries)
+        splits = [_startup_and_total_ms(record) for record in entries]
+        total_ms = sum(total for _, total in splits)
+        startup_ms = sum(startup for startup, _ in splits)
         functions.append(FunctionMetrics(
             function=name,
             invocations=len(entries),
             by_mode=modes,
             latency=LatencyStats.from_samples(
-                [record.total_ms for record in entries]),
+                [total for _, total in splits]),
             startup_share=0.0 if total_ms == 0 else startup_ms / total_ms))
 
     return PlatformMetrics(

@@ -15,12 +15,14 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 from repro.config import CalibratedParameters
 from repro.db.couchdb import CouchServer
 from repro.errors import FunctionNotFoundError, PlatformError
+from repro.faults import FaultInjector, InjectedFault
 from repro.mem.host_memory import HostMemory
 from repro.net.bridge import HostBridge
 from repro.platforms.bus import MessageBus
 from repro.runtime.interpreter import ExecBreakdown, ExternalHandlers
 from repro.runtime.ops import DbGet, DbPut, InvokeNext, Respond
 from repro.sandbox.worker import Worker
+from repro.trace import Span, phase_breakdown
 from repro.workloads.base import FunctionSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,6 +51,9 @@ class InvocationRecord:
     guest: Optional[ExecBreakdown] = None
     children: List["InvocationRecord"] = field(default_factory=list)
     worker: Optional[Worker] = None
+    completed_ms: Optional[float] = None  # wall clock when invoke() returned
+    trace_id: str = ""                    # id of the invocation's trace
+    span: Optional[Span] = None           # the root "invoke" span
 
     @property
     def total_ms(self) -> float:
@@ -57,6 +62,18 @@ class InvocationRecord:
         wall clock only if the chain was synchronous, and we track chain
         time separately)."""
         return self.startup_ms + self.exec_ms + self.other_ms
+
+    @property
+    def end_to_end_ms(self) -> float:
+        """Submission-to-response wall latency (includes chain hops).
+
+        A pure wall delta on the DES clock — bitwise-equal to the duration
+        of the invocation's root span, which is the invariant
+        :func:`repro.trace.verify_invocation` asserts.
+        """
+        if self.completed_ms is None:
+            return 0.0
+        return self.completed_ms - self.submitted_ms
 
     # -- chain aggregates (Fig 9 sums the whole chain) -------------------------
     def chain_startup_ms(self) -> float:
@@ -86,7 +103,11 @@ class InvocationRecord:
 
 
 class _PlatformHandlers(ExternalHandlers):
-    """Routes db/chain ops from the guest back through the platform."""
+    """Routes db/chain ops from the guest back through the platform.
+
+    Database requests can time out (an armed ``db`` fault): the guest SDK
+    retries with a short backoff, surfacing the wait as a ``retry`` span.
+    """
 
     def __init__(self, platform: "ServerlessPlatform", worker: Worker,
                  record: InvocationRecord) -> None:
@@ -94,26 +115,62 @@ class _PlatformHandlers(ExternalHandlers):
         self.worker = worker
         self.record = record
 
+    def _check_db_fault(self, database: str) -> None:
+        if self.platform.faults is not None:
+            self.platform.faults.check("db", database)
+
+    def _db_backoff(self, attempt: int):
+        self.platform.db_retries += 1
+        with self.platform.sim.tracer.span("retry", kind="retry",
+                                           target="db", attempt=attempt):
+            yield self.platform.sim.timeout(
+                self.platform.DB_RETRY_BACKOFF_MS)
+
     def db_get(self, op: DbGet):
         sim = self.platform.sim
         database = self.platform.couch.database(op.database)
         io = self.worker.sandbox.io
-        yield sim.timeout(io.net_send_ms(0.3))           # request out
-        yield sim.timeout(database.latency.get_cost(op.doc_kb))
-        yield sim.timeout(io.net_recv_ms(op.doc_kb))     # document back
+        for attempt in range(1, self.platform.MAX_DB_ATTEMPTS + 1):
+            try:
+                with sim.tracer.span("db-get", database=op.database,
+                                     attempt=attempt):
+                    yield sim.timeout(io.net_send_ms(0.3))   # request out
+                    self._check_db_fault(op.database)        # request timeout
+                    yield sim.timeout(
+                        database.latency.get_cost(op.doc_kb))
+                    yield sim.timeout(io.net_recv_ms(op.doc_kb))  # doc back
+                return
+            except InjectedFault as fault:
+                if fault.kind != "db" or \
+                        attempt == self.platform.MAX_DB_ATTEMPTS:
+                    raise
+                yield from self._db_backoff(attempt)
 
     def db_put(self, op: DbPut):
         sim = self.platform.sim
         database = self.platform.couch.database(op.database)
         io = self.worker.sandbox.io
-        yield sim.timeout(io.net_send_ms(op.doc_kb))     # document out
-        yield sim.timeout(database.latency.put_cost(op.doc_kb))
-        # The write is real: a fresh document lands in the database.
-        database.put(f"{self.record.function}-{database.last_seq + 1}",
-                     {"source": self.record.function,
-                      "at_ms": sim.now},
-                     size_kb=op.doc_kb)
-        yield sim.timeout(io.net_recv_ms(0.2))           # ack back
+        for attempt in range(1, self.platform.MAX_DB_ATTEMPTS + 1):
+            try:
+                with sim.tracer.span("db-put", database=op.database,
+                                     attempt=attempt):
+                    yield sim.timeout(io.net_send_ms(op.doc_kb))  # doc out
+                    self._check_db_fault(op.database)        # request timeout
+                    yield sim.timeout(
+                        database.latency.put_cost(op.doc_kb))
+                    # The write is real: a fresh document lands in the
+                    # database.
+                    database.put(
+                        f"{self.record.function}-{database.last_seq + 1}",
+                        {"source": self.record.function, "at_ms": sim.now},
+                        size_kb=op.doc_kb)
+                    yield sim.timeout(io.net_recv_ms(0.2))   # ack back
+                break
+            except InjectedFault as fault:
+                if fault.kind != "db" or \
+                        attempt == self.platform.MAX_DB_ATTEMPTS:
+                    raise
+                yield from self._db_backoff(attempt)
         self.platform.note_db_write(op.database)
 
     def invoke_next(self, op: InvokeNext):
@@ -142,12 +199,17 @@ class ServerlessPlatform:
     memory_label = "?"
     supports_chains = False
 
+    #: How often the guest SDK retries a timed-out database request.
+    MAX_DB_ATTEMPTS = 3
+    DB_RETRY_BACKOFF_MS = 0.5
+
     def __init__(self, sim: "Simulation", params: CalibratedParameters,
                  host_memory: Optional[HostMemory] = None,
                  bridge: Optional[HostBridge] = None,
                  bus: Optional[MessageBus] = None,
                  couch: Optional[CouchServer] = None,
-                 host_cpu=None) -> None:
+                 host_cpu=None,
+                 faults: Optional[FaultInjector] = None) -> None:
         self.sim = sim
         self.params = params
         self.host_cpu = host_cpu  # optional HostCpu: burst benches only
@@ -155,11 +217,14 @@ class ServerlessPlatform:
         self.bridge = bridge or HostBridge()
         self.bus = bus or MessageBus()
         self.couch = couch or CouchServer()
+        self.faults = faults  # optional FaultInjector (db request timeouts)
+        self.db_retries = 0
         self.retain_workers = False
         self.active_workers: List[Worker] = []
         self.records: List[InvocationRecord] = []
         self._specs: Dict[str, FunctionSpec] = {}
         self._db_triggers: Dict[str, List[str]] = {}
+        self._invocation_seq = 0
 
     # -- registry ------------------------------------------------------------------
     def install(self, spec: FunctionSpec):
@@ -232,50 +297,78 @@ class ServerlessPlatform:
         distinguishes them.
         """
         spec = self.spec(name)
+        tracer = self.sim.tracer
+        self._invocation_seq += 1
         record = InvocationRecord(
             function=name, platform=self.name, mode=mode,
             submitted_ms=self.sim.now)
+        invoke_span = tracer.span(
+            "invoke", kind="invoke",
+            trace_id=f"{self.name}-inv{self._invocation_seq}",
+            function=name, platform=self.name)
 
-        # Frontend: gateway relays, controller dispatches over the bus.
-        cp = self.params.control_plane
-        frontend_ms = (cp.gateway_route_ms + cp.controller_dispatch_ms
-                       + cp.bus_publish_ms)
-        self.bus.produce(f"invoke-{name}", payload or {},
-                         timestamp_ms=self.sim.now)
-        yield self.sim.timeout(frontend_ms)
-        record.other_ms += frontend_ms
+        with invoke_span:
+            # Frontend: gateway relays, controller dispatches over the bus.
+            cp = self.params.control_plane
+            frontend_ms = (cp.gateway_route_ms + cp.controller_dispatch_ms
+                           + cp.bus_publish_ms)
+            self.bus.produce(f"invoke-{name}", payload or {},
+                             timestamp_ms=self.sim.now)
+            with tracer.span("frontend", phase="other"):
+                yield self.sim.timeout(frontend_ms)
 
-        # Under burst load the host's core pool gates everything past the
-        # frontend: claim a core for the sandbox work + execution.
-        cpu_claim = None
-        if self.host_cpu is not None:
-            waited_from = self.sim.now
-            cpu_claim = yield from self.host_cpu.acquire()
-            record.queue_wait_ms = self.sim.now - waited_from
-            record.other_ms += record.queue_wait_ms
+            # Under burst load the host's core pool gates everything past
+            # the frontend: claim a core for the sandbox work + execution.
+            cpu_claim = None
+            if self.host_cpu is not None:
+                with tracer.span("queue", phase="queue"):
+                    cpu_claim = yield from self.host_cpu.acquire()
 
-        try:
-            # Backend: acquire a worker (cold boot / warm pool / snapshot).
-            started = self.sim.now
-            worker, mode_used, extra_other_ms = \
-                yield from self._acquire_worker(spec, mode)
-            record.startup_ms += self.sim.now - started - extra_other_ms
-            record.other_ms += extra_other_ms
-            record.mode = mode_used
-            record.worker = worker
+            try:
+                # Backend: acquire a worker (cold boot / warm pool /
+                # snapshot).  Time in this span is start-up, except spans
+                # explicitly tagged phase="other" (parameter publish).
+                acquire_span = tracer.span("acquire", kind="acquire")
+                with acquire_span:
+                    worker, mode_used, _extra_other_ms = \
+                        yield from self._acquire_worker(spec, mode)
+                    acquire_span.attrs["mode"] = mode_used
+                record.mode = mode_used
+                record.worker = worker
 
-            # Execute the guest program.
-            handlers = self._make_handlers(worker, record)
-            guest = yield from worker.invoke(spec.program(payload), handlers)
-            record.guest = guest
-            record.exec_ms = guest.exec_ms
-        finally:
-            if cpu_claim is not None:
-                self.host_cpu.release(cpu_claim)
+                # Execute the guest program.  Nested invoke spans (chain
+                # hops) are accounted on the child records, not here.
+                handlers = self._make_handlers(worker, record)
+                exec_span = tracer.span("exec", phase="exec")
+                with exec_span:
+                    guest = yield from worker.invoke(spec.program(payload),
+                                                     handlers)
+                    exec_span.attrs["deopts"] = guest.deopt_count
+                    exec_span.attrs["jit_optimized"] = len(
+                        worker.runtime.jit.optimized_functions())
+                    # Pages this clone CoW-broke (its private/dirty MiB).
+                    exec_span.attrs["uss_mb"] = \
+                        worker.sandbox.space.uss_mb()
+                record.guest = guest
+            finally:
+                if cpu_claim is not None:
+                    self.host_cpu.release(cpu_claim)
 
-        yield from self._release_worker(spec, worker)
-        if self.retain_workers and worker not in self.active_workers:
-            self.active_workers.append(worker)
+            with tracer.span("release", kind="release"):
+                yield from self._release_worker(spec, worker)
+            if self.retain_workers and worker not in self.active_workers:
+                self.active_workers.append(worker)
+
+        # The record's breakdown is *derived* from the span tree, so the
+        # Fig 6/7 bars and the trace cannot disagree (repro.trace.verify).
+        record.completed_ms = self.sim.now
+        record.trace_id = invoke_span.trace_id
+        record.span = invoke_span
+        breakdown = phase_breakdown(invoke_span)
+        record.startup_ms = breakdown.startup_ms
+        record.exec_ms = breakdown.exec_ms
+        record.other_ms = breakdown.other_ms
+        record.queue_wait_ms = breakdown.queue_ms
         self.records.append(record)
         return record
 

@@ -86,12 +86,14 @@ class CatalyzerPlatform(ServerlessPlatform):
                 "first")
         if mode in (MODE_AUTO, MODE_WARM):
             # sfork: clone the resident template.
-            yield self.sim.timeout(SFORK_MS)
+            with self.sim.tracer.span("sfork", function=spec.name):
+                yield self.sim.timeout(SFORK_MS)
             worker = self._clone_from_template(spec, template)
             self.sforks += 1
             return worker, MODE_WARM, 0.0
         # Forced cold: restore the checkpoint image from disk.
-        yield self.sim.timeout(CHECKPOINT_RESTORE_MS)
+        with self.sim.tracer.span("checkpoint-restore", function=spec.name):
+            yield self.sim.timeout(CHECKPOINT_RESTORE_MS)
         worker = self._clone_from_template(spec, template)
         self.checkpoint_restores += 1
         return worker, MODE_COLD, 0.0

@@ -108,25 +108,30 @@ class ApiGateway:
         activation_id = (f"act-{namespace.name}-"
                          f"{self._activation_counter:08d}")
         start_ms = self.platform.sim.now
-        try:
-            record = yield from self.platform.invoke(function,
-                                                     payload=payload)
-            activation = Activation(
-                activation_id=activation_id, namespace=namespace.name,
-                function=function, status=STATUS_SUCCESS,
-                start_ms=start_ms, end_ms=self.platform.sim.now,
-                record=record)
-        except FunctionNotFoundError:
-            raise
-        except ReproError as exc:
-            # Application/infrastructure failure inside the invocation —
-            # surfaced to the user as a failed activation, like a real
-            # gateway's 502.
-            activation = Activation(
-                activation_id=activation_id, namespace=namespace.name,
-                function=function, status=STATUS_ERROR,
-                start_ms=start_ms, end_ms=self.platform.sim.now,
-                record=None, error=str(exc))
+        gateway_span = self.platform.sim.tracer.span(
+            "gateway", kind="gateway", trace_id=activation_id,
+            namespace=namespace.name, function=function)
+        with gateway_span:
+            try:
+                record = yield from self.platform.invoke(function,
+                                                         payload=payload)
+                activation = Activation(
+                    activation_id=activation_id, namespace=namespace.name,
+                    function=function, status=STATUS_SUCCESS,
+                    start_ms=start_ms, end_ms=self.platform.sim.now,
+                    record=record)
+            except FunctionNotFoundError:
+                raise
+            except ReproError as exc:
+                # Application/infrastructure failure inside the invocation
+                # — surfaced to the user as a failed activation, like a
+                # real gateway's 502.
+                activation = Activation(
+                    activation_id=activation_id, namespace=namespace.name,
+                    function=function, status=STATUS_ERROR,
+                    start_ms=start_ms, end_ms=self.platform.sim.now,
+                    record=None, error=str(exc))
+            gateway_span.attrs["status"] = activation.status
         namespace.activations.append(activation)
         return activation
 

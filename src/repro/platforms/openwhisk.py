@@ -69,8 +69,9 @@ class OpenWhiskPlatform(ServerlessPlatform):
             if entry is not None:
                 # Warm path: the container and its runtime are still alive;
                 # only OpenWhisk bookkeeping stands between us and the code.
-                yield self.sim.timeout(
-                    self.params.control_plane.openwhisk_warm_route_ms)
+                with self.sim.tracer.span("warm-route"):
+                    yield self.sim.timeout(
+                        self.params.control_plane.openwhisk_warm_route_ms)
                 self.warm_starts += 1
                 self._note_node(entry.worker, node)
                 return entry.worker, MODE_WARM, 0.0

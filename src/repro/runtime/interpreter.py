@@ -188,7 +188,9 @@ class LanguageRuntime:
                 breakdown.compute_ms += cost.exec_ms
                 breakdown.jit_compile_ms += cost.jit_compile_ms
                 breakdown.deopt_ms += cost.deopt_ms
+                op_started = self.sim.now
                 yield self.sim.timeout(cost.total_ms)
+                self._record_jit_spans(op.function, op_started, cost)
             elif isinstance(op, DiskRead):
                 duration = op.times * io.disk_read_ms(op.kb)
                 breakdown.disk_ms += duration
@@ -227,6 +229,24 @@ class LanguageRuntime:
                 raise RuntimeModelError(f"unknown op {op!r}")
         self.invocations += 1
         return breakdown
+
+    def _record_jit_spans(self, function: str, op_started: float,
+                          cost) -> None:
+        # Retrospective spans: the JIT's compile/deopt share of a compute
+        # op happens inside the op's (already elapsed) timeout window; a
+        # deopt precedes the recompile (jit.py's cost model order).
+        # Splitting the timeout itself would perturb event ordering, so
+        # the spans are recorded after the fact on the known sub-windows.
+        tracer = self.sim.tracer
+        cursor = op_started
+        if cost.deopt_ms > 0:
+            end = min(cursor + cost.deopt_ms, self.sim.now)
+            tracer.add_span("deopt", cursor, end, function=function)
+            cursor = end
+        if cost.jit_compile_ms > 0:
+            end = min(cursor + cost.jit_compile_ms, self.sim.now)
+            tracer.add_span("jit-compile", cursor, end, function=function,
+                            tier=self.jit.state(function).tier)
 
     # -- snapshot support -----------------------------------------------------
     def export_jit_state(self) -> Dict[str, FunctionJitState]:

@@ -43,11 +43,13 @@ class MicroVM(Sandbox):
     isolation = ISOLATION_HIGH_VM
 
     def __init__(self, sim, params, host_memory, language,
-                 name: str = "") -> None:
+                 name: str = "", mmds: Optional[Mmds] = None) -> None:
         super().__init__(sim, params, host_memory, language, name=name)
         self.guest_ip: Optional[IpAddress] = None
         self.guest_mac: Optional[MacAddress] = None
-        self.mmds = Mmds()
+        # A clone may be handed a pre-populated MMDS (identity written
+        # before restore, §3.4); a booted VM starts with an empty one.
+        self.mmds = mmds if mmds is not None else Mmds()
         self.restored_from_snapshot = False
 
     def assign_guest_addresses(self, ip: IpAddress, mac: MacAddress) -> None:

@@ -37,11 +37,18 @@ class Worker:
     # -- construction paths ------------------------------------------------------
     def cold_start(self, app: AppCode):
         """Boot everything from scratch (a simulation generator)."""
-        yield from self.sandbox.boot()
-        yield from self.runtime.launch()
-        self.sandbox.map_runtime_memory()
-        yield from self.runtime.load_app(app)
-        self.sandbox.map_app_memory()
+        tracer = self.sim.tracer
+        with tracer.span("cold-start", sandbox=self.sandbox.name):
+            with tracer.span("sandbox-boot",
+                             mechanism=self.sandbox.mechanism):
+                yield from self.sandbox.boot()
+            with tracer.span("runtime-launch",
+                             language=self.runtime.language):
+                yield from self.runtime.launch()
+                self.sandbox.map_runtime_memory()
+            with tracer.span("app-load", app=app.name):
+                yield from self.runtime.load_app(app)
+                self.sandbox.map_app_memory()
         self.app = app
 
     def load_app_only(self, app: AppCode):
@@ -51,14 +58,20 @@ class Worker:
         only the function code still needs loading (Fig 11's "+VM-level OS
         snapshot" variant).
         """
-        yield from self.runtime.load_app(app)
-        self.sandbox.map_app_memory()
+        with self.sim.tracer.span("app-load", app=app.name):
+            yield from self.runtime.load_app(app)
+            self.sandbox.map_app_memory()
         self.app = app
 
     def force_jit(self):
         """Annotation-driven JIT of the loaded app (Fireworks install)."""
-        compile_ms = yield from self.runtime.force_jit_all()
-        self.sandbox.map_jit_memory()
+        jit_span = self.sim.tracer.span("force-jit")
+        with jit_span:
+            compile_ms = yield from self.runtime.force_jit_all()
+            self.sandbox.map_jit_memory()
+            jit_span.attrs["compile_ms"] = compile_ms
+            jit_span.attrs["optimized"] = len(
+                self.runtime.jit.optimized_functions())
         return compile_ms
 
     # -- invocation -----------------------------------------------------------------
@@ -94,7 +107,8 @@ class Worker:
 
     def resume(self):
         """Resume a paused sandbox (warm start)."""
-        yield from self.sandbox.resume()
+        with self.sim.tracer.span("resume", sandbox=self.sandbox.name):
+            yield from self.sandbox.resume()
 
     def stop(self):
         """Tear the sandbox down, releasing memory."""

@@ -18,6 +18,7 @@ from repro.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Interrupt, Process
 from repro.sim.rng import RngStreams
+from repro.trace.tracer import Tracer
 
 __all__ = ["Simulation", "Interrupt"]
 
@@ -49,6 +50,9 @@ class Simulation:
         self.strict = strict
         self.rng = RngStreams(seed)
         self._trace_hooks: List[Callable[[float, Event], None]] = []
+        #: Per-invocation span tracing (repro.trace); always on — records
+        #: derive their latency breakdown from these spans.
+        self.tracer = Tracer(self)
 
     # -- clock ----------------------------------------------------------------
     @property

@@ -29,7 +29,7 @@ class Interrupt(Exception):
 class Process(Event):
     """A running generator; also an event that fires on completion."""
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "trace_stack")
 
     def __init__(self, sim: "Simulation",
                  generator: Generator[Event, Any, Any],
@@ -41,6 +41,9 @@ class Process(Event):
             generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        # Span-context stack (repro.trace): lazily created by the tracer so
+        # untraced processes pay one attribute slot and nothing else.
+        self.trace_stack = None
         # Bootstrap: run the first step as soon as the kernel is able to.
         init = Event(sim, name=f"{self.name}.init")
         init._ok = True

@@ -79,41 +79,49 @@ class Restorer:
                 + working_mb * cfg.restore_per_working_mb_ms * 0.1)
 
     def restore(self, image: SnapshotImage, policy: str = POLICY_DEMAND,
-                name: str = ""):
+                name: str = "", mmds=None):
         """Restore a clone of *image* (a simulation generator) -> Worker.
 
         With a fault injector attached, an armed ``restore`` fault surfaces
         after the device-state load (where Firecracker's integrity check
-        runs), leaving no clone behind.
+        runs), leaving no clone behind.  ``mmds`` is an optional
+        pre-populated host-side metadata store wired into the clone, so
+        identity written before the restore is readable at resume time
+        (§3.4).
         """
-        duration = self.restore_ms(image, policy)  # validates policy
-        if self.faults is not None:
-            cfg = self.params.snapshot
-            yield self.sim.timeout(cfg.restore_base_ms)
-            duration = max(0.0, duration - cfg.restore_base_ms)
-            self.faults.check("restore", image.key)
-        segments = image.materialize(self.host_memory)
-        self._clone_counter += 1
-        vm_name = name or f"{image.key}-clone-{self._clone_counter}"
+        restore_span = self.sim.tracer.span(
+            "restore", policy=policy, image=image.key, stage=image.stage,
+            image_mb=image.size_mb, generation=image.generation)
+        with restore_span:
+            duration = self.restore_ms(image, policy)  # validates policy
+            if self.faults is not None:
+                cfg = self.params.snapshot
+                yield self.sim.timeout(cfg.restore_base_ms)
+                duration = max(0.0, duration - cfg.restore_base_ms)
+                self.faults.check("restore", image.key)
+            segments = image.materialize(self.host_memory)
+            self._clone_counter += 1
+            vm_name = name or f"{image.key}-clone-{self._clone_counter}"
 
-        microvm = MicroVM(self.sim, self.params, self.host_memory,
-                          image.language, name=vm_name)
-        # Snapshot clones inherit the snapshotted network identity verbatim
-        # (§3.5) — the namespace/NAT layer makes that safe.
-        microvm.assign_guest_addresses(image.guest_ip, image.guest_mac)
-        microvm.restored_from_snapshot = True
+            microvm = MicroVM(self.sim, self.params, self.host_memory,
+                              image.language, name=vm_name, mmds=mmds)
+            # Snapshot clones inherit the snapshotted network identity
+            # verbatim (§3.5) — the namespace/NAT layer makes that safe.
+            microvm.assign_guest_addresses(image.guest_ip, image.guest_mac)
+            microvm.restored_from_snapshot = True
 
-        yield self.sim.timeout(duration)
+            yield self.sim.timeout(duration)
 
-        # Map guest memory from the shared image segments, VMM state fresh.
-        microvm.space.map_private("vmm", microvm.layout.vmm_overhead_mb,
-                                  "vmm")
-        for region, segment in segments.items():
-            microvm.space.map_segment(region, segment)
-        microvm.state = STATE_RUNNING
-        microvm.boot_completed_at = self.sim.now
+            # Map guest memory from the shared image segments, VMM state
+            # fresh.
+            microvm.space.map_private("vmm", microvm.layout.vmm_overhead_mb,
+                                      "vmm")
+            for region, segment in segments.items():
+                microvm.space.map_segment(region, segment)
+            microvm.state = STATE_RUNNING
+            microvm.boot_completed_at = self.sim.now
 
-        runtime = self._rebuild_runtime(image)
+            runtime = self._rebuild_runtime(image)
         return Worker(self.sim, microvm, runtime, app=image.app)
 
     # -- internal -----------------------------------------------------------------

@@ -1,0 +1,91 @@
+"""Span exporters: Chrome ``trace_event`` JSON and a plain-text tree.
+
+The Chrome format (one complete ``"ph": "X"`` event per span, microsecond
+timestamps) loads in ``chrome://tracing`` and Perfetto; each trace root gets
+its own ``tid`` so its subtree renders as one flamegraph track.  The text
+tree is the same information for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Union
+
+from repro.trace.span import Span
+
+
+def _one_or_many(spans: Union[Span, Iterable[Span]]) -> List[Span]:
+    if isinstance(spans, Span):
+        return [spans]
+    return list(spans)
+
+
+def chrome_trace_events(spans: Union[Span, Iterable[Span]]
+                        ) -> List[Dict[str, Any]]:
+    """Flatten span trees into Chrome ``trace_event`` complete events."""
+    events: List[Dict[str, Any]] = []
+    for tid, root in enumerate(_one_or_many(spans), start=1):
+        for span in root.walk():
+            start = span.start_ms if span.start_ms is not None else 0.0
+            end = span.end_ms if span.end_ms is not None else start
+            args = dict(span.attrs)
+            args["trace_id"] = span.trace_id
+            if span.phase:
+                args["phase"] = span.phase
+            events.append({
+                "name": span.name,
+                "cat": span.kind or span.phase or "span",
+                "ph": "X",
+                "ts": start * 1000.0,       # trace_event wants microseconds
+                "dur": (end - start) * 1000.0,
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            })
+    return events
+
+
+def to_chrome_trace(spans: Union[Span, Iterable[Span]]) -> Dict[str, Any]:
+    """The full ``trace_event`` JSON object for *spans*."""
+    return {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.trace",
+                      "clock": "simulated-ms"},
+    }
+
+
+def write_trace_json(spans: Union[Span, Iterable[Span]], path) -> int:
+    """Write the Chrome trace JSON for *spans* to *path*; returns the
+    number of events written."""
+    payload = to_chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return len(payload["traceEvents"])
+
+
+def _attr_cells(span: Span) -> str:
+    cells = []
+    if span.phase:
+        cells.append(f"phase={span.phase}")
+    cells.extend(f"{key}={value}" for key, value in span.attrs.items())
+    return ("  [" + " ".join(cells) + "]") if cells else ""
+
+
+def render_tree(span: Span, indent: str = "  ") -> str:
+    """A flamegraph-style text rendering of one span tree."""
+    lines = [f"trace {span.trace_id}"]
+
+    def _render(node: Span, depth: int) -> None:
+        start = node.start_ms if node.start_ms is not None else 0.0
+        end = node.end_ms if node.end_ms is not None else start
+        lines.append(
+            f"{indent * depth}{node.name:<18} "
+            f"{start:12.3f} ..{end:12.3f}  "
+            f"({node.duration_ms:10.3f} ms){_attr_cells(node)}")
+        for child in node.children:
+            _render(child, depth + 1)
+
+    _render(span, 0)
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""The tracer: issues and collects span trees on one simulation.
+
+One :class:`Tracer` is attached to every :class:`~repro.sim.kernel.Simulation`
+as ``sim.tracer``.  Span context propagates per *process*: each generator
+process on the kernel carries its own span stack, so interleaved invocations
+(bursts, chains, background retirement) cannot corrupt each other's trees.
+Code running outside any process (direct generator stepping in unit tests)
+shares one default stack.
+
+Spans opened in a freshly spawned process start a new root — background work
+(clone retirement, DB-trigger invocations) deliberately does *not* inherit
+the span of the process that spawned it, because the parent span typically
+closes before the background work runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from repro.errors import TraceError
+from repro.trace.span import Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulation
+
+
+class Tracer:
+    """Issues spans timed on one simulation's clock; keeps every root."""
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+        self.roots: List[Span] = []
+        self._default_stack: List[Span] = []
+        self._auto_ids = 0
+
+    # -- context -------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        process = self.sim.active_process
+        if process is None:
+            return self._default_stack
+        stack = process.trace_stack
+        if stack is None:
+            stack = process.trace_stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span of the current process, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- span issuing ----------------------------------------------------------
+    def span(self, name: str, phase: Optional[str] = None,
+             kind: Optional[str] = None, trace_id: str = "",
+             **attrs: Any) -> Span:
+        """A new span to be opened with ``with``.
+
+        The parent (the innermost open span of the current process) and the
+        start time are captured on ``__enter__``, not here.  ``trace_id``
+        only applies when the span turns out to be a root; children always
+        inherit the root's id.
+        """
+        return Span(self, name, phase=phase, kind=kind, trace_id=trace_id,
+                    attrs=attrs)
+
+    def add_span(self, name: str, start_ms: float, end_ms: float,
+                 phase: Optional[str] = None, kind: Optional[str] = None,
+                 **attrs: Any) -> Span:
+        """Record a retrospective, already-closed span.
+
+        Used for sub-phases inside an already-elapsed window (e.g. the JIT
+        compile share of a compute op) where splitting the simulated timeout
+        itself would perturb event ordering.  The span is attached under the
+        currently open span (or as a root).
+        """
+        if end_ms < start_ms:
+            raise TraceError(
+                f"span {name!r} ends before it starts "
+                f"({end_ms} < {start_ms})")
+        span = Span(self, name, phase=phase, kind=kind, attrs=attrs)
+        span.start_ms = start_ms
+        span.end_ms = end_ms
+        self._attach(span)
+        return span
+
+    # -- lifecycle (called by Span.__enter__/__exit__) --------------------------
+    def _start(self, span: Span) -> None:
+        self._attach(span)
+        span.start_ms = self.sim.now
+        self._stack().append(span)
+
+    def _finish(self, span: Span) -> None:
+        stack = self._stack()
+        if not stack or stack[-1] is not span:
+            raise TraceError(
+                f"closing {span!r} which is not the innermost open span")
+        stack.pop()
+        span.end_ms = self.sim.now
+
+    def _attach(self, span: Span) -> None:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span.parent = parent
+        if parent is not None:
+            span.trace_id = parent.trace_id
+            parent.children.append(span)
+        else:
+            if not span.trace_id:
+                self._auto_ids += 1
+                span.trace_id = f"trace-{self._auto_ids}"
+            self.roots.append(span)
+
+    # -- queries -------------------------------------------------------------
+    def traces(self) -> Tuple[Span, ...]:
+        """Every root span recorded so far, in creation order."""
+        return tuple(self.roots)
+
+    def trace(self, trace_id: str) -> Span:
+        """The root span with *trace_id*; KeyError if absent."""
+        for root in self.roots:
+            if root.trace_id == trace_id:
+                return root
+        raise KeyError(f"no trace {trace_id!r}")
+
+    def clear(self) -> None:
+        """Drop all recorded roots (open spans stay on their stacks)."""
+        self.roots.clear()

@@ -7,7 +7,7 @@ from repro.core import FireworksPlatform
 from repro.errors import ReproError
 from repro.faults import (FaultInjector, InjectedFault,
                           SnapshotCorruptedError)
-from repro.workloads import faasdom_spec
+from repro.workloads import REMINDER_DB, alexa_skills_chain, faasdom_spec
 
 
 @pytest.fixture
@@ -105,3 +105,70 @@ class TestParamFetchRecovery:
         faults.arm("param-fetch", spec.name, count=2)
         retried = invoke_once(platform, spec.name)
         assert retried.startup_ms > clean.startup_ms
+
+
+class TestDbRecovery:
+    """An armed ``db`` fault times out a CouchDB request; the guest SDK
+    retries with a short backoff, surfacing the wait as a ``retry`` span."""
+
+    @pytest.fixture
+    def reminder_platform(self):
+        faults = FaultInjector()
+        platform = fresh_platform(FireworksPlatform, faults=faults)
+        chain = alexa_skills_chain()
+        spec = next(s for s in chain.functions
+                    if s.name == "alexa-reminder")
+        install_all(platform, [spec])
+        return platform, spec, faults
+
+    def test_transient_db_timeouts_recovered(self, reminder_platform):
+        platform, spec, faults = reminder_platform
+        faults.arm("db", REMINDER_DB, count=2)
+        record = invoke_once(platform, spec.name)
+        assert record.mode == "snapshot"
+        assert platform.db_retries == 2
+        assert faults.fired[("db", REMINDER_DB)] == 2
+        assert faults.armed("db", REMINDER_DB) == 0
+
+    def test_retry_latency_shows_as_retry_spans(self, reminder_platform):
+        platform, spec, faults = reminder_platform
+        faults.arm("db", REMINDER_DB, count=2)
+        record = invoke_once(platform, spec.name)
+        retries = [s for s in record.span.find_all("retry")
+                   if s.attrs.get("target") == "db"]
+        assert len(retries) == 2
+        for span in retries:
+            assert span.kind == "retry"
+            assert span.duration_ms == pytest.approx(
+                platform.DB_RETRY_BACKOFF_MS)
+
+    def test_retries_cost_exec_time(self, reminder_platform):
+        platform, spec, faults = reminder_platform
+        clean = invoke_once(platform, spec.name)
+        faults.arm("db", REMINDER_DB, count=1)
+        retried = invoke_once(platform, spec.name)
+        # The retried request pays the failed request-out leg plus the
+        # backoff, inside the guest's exec window.
+        assert retried.exec_ms > clean.exec_ms
+
+    def test_persistent_db_failure_propagates(self, reminder_platform):
+        platform, spec, faults = reminder_platform
+        faults.arm("db", REMINDER_DB, count=10)
+        with pytest.raises(InjectedFault) as excinfo:
+            invoke_once(platform, spec.name)
+        assert excinfo.value.kind == "db"
+        # One fired per attempt of the first (get) request only.
+        assert faults.fired[("db", REMINDER_DB)] == \
+            platform.MAX_DB_ATTEMPTS
+
+    def test_fired_counts_exact_across_kinds(self, reminder_platform):
+        platform, spec, faults = reminder_platform
+        faults.arm("db", REMINDER_DB, count=1)
+        faults.arm("param-fetch", spec.name, count=1)
+        record = invoke_once(platform, spec.name)
+        assert record.mode == "snapshot"
+        assert faults.fired == {("db", REMINDER_DB): 1,
+                                ("param-fetch", spec.name): 1}
+        targets = sorted(s.attrs["target"]
+                         for s in record.span.find_all("retry"))
+        assert targets == ["db", "param-fetch"]

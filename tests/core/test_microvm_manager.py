@@ -91,3 +91,83 @@ class TestLaunchClone:
         worker.endpoint = None
         run(sim, manager.retire(worker))
         assert worker.sandbox.state == "stopped"
+
+
+class TestMmdsOrdering:
+    """Regression (§3.4): identity must be in MMDS *before* the restore,
+    so the guest's first metadata read at resume time already sees it."""
+
+    def test_identity_visible_the_instant_restore_completes(self, setup,
+                                                            image):
+        sim, _params, _host, _bridge, manager = setup
+        seen = {}
+
+        original_restore = manager.restorer.restore
+
+        def spying_restore(img, policy, name="", mmds=None):
+            # What the guest would read at resume: the MMDS handed to the
+            # restorer, as populated at call time (i.e. pre-restore).
+            seen["fcID"] = mmds.get("fcID")
+            seen["srcfcID"] = mmds.get("srcfcID")
+            return (yield from original_restore(img, policy, name=name,
+                                                mmds=mmds))
+
+        manager.restorer.restore = spying_restore
+        worker = run(sim, manager.launch_clone(image, "fc7"))
+        assert seen == {"fcID": "fc7", "srcfcID": "fn"}
+        # And the restored VM carries that same store.
+        assert worker.sandbox.mmds.get("fcID") == "fc7"
+
+    def test_mmds_cost_charged_where_written(self, setup, image):
+        sim, params, _host, _bridge, manager = setup
+        worker = run(sim, manager.launch_clone(image, "fc1"))
+        # No invoke span is open in this unit test, so the launch stages
+        # are recorded as sibling roots.
+        roots = sim.tracer.traces()
+        mmds_span = next((s for s in roots if s.name == "mmds-write"), None)
+        restore_span = next((s for s in roots if s.name == "restore"), None)
+        assert mmds_span is not None and restore_span is not None
+        assert mmds_span.duration_ms == pytest.approx(
+            params.fireworks.mmds_write_ms)
+        # The write happens (and is charged) strictly before the restore.
+        assert mmds_span.end_ms <= restore_span.start_ms
+        assert worker.sandbox.mmds.get("fcID") == "fc1"
+
+
+class TestRetireExceptionSafety:
+    """A failed stop must not leak host frames or NAT entries."""
+
+    def _failing_worker(self, setup, image):
+        sim, _params, _host, _bridge, manager = setup
+        worker = run(sim, manager.launch_clone(image, "fc1"))
+
+        def exploding_stop():
+            raise RuntimeError("teardown blew up")
+            yield  # pragma: no cover
+
+        worker.stop = exploding_stop
+        return sim, manager, worker
+
+    def test_endpoint_disconnected_when_stop_raises(self, setup, image):
+        sim, manager, worker = self._failing_worker(setup, image)
+        bridge = manager.bridge
+        with pytest.raises(RuntimeError, match="teardown blew up"):
+            run(sim, manager.retire(worker))
+        assert bridge.endpoint_count() == 0
+        assert worker.endpoint is None
+
+    def test_memory_reclaimed_when_stop_raises(self, setup, image):
+        sim, manager, worker = self._failing_worker(setup, image)
+        host = manager.host_memory
+        image.materialize(host)  # keep shared segments alive
+        with pytest.raises(RuntimeError):
+            run(sim, manager.retire(worker))
+        assert worker.sandbox.state == "stopped"
+        assert not worker.sandbox.space.region_names()
+
+    def test_successful_retire_unchanged(self, setup, image):
+        sim, _params, _host, bridge, manager = setup
+        worker = run(sim, manager.launch_clone(image, "fc1"))
+        run(sim, manager.retire(worker))
+        assert worker.sandbox.state == "stopped"
+        assert bridge.endpoint_count() == 0

@@ -63,3 +63,49 @@ class TestPublishFetch:
         run(sim, parameter_passer.publish("fc1", payload))
         payload["n"] = 999
         assert run(sim, parameter_passer.fetch("fc1")) == {"n": 1}
+
+
+class TestConsumeAtOffset:
+    """Regression: fetch must read the record publish wrote, not whatever
+    happens to be newest on the topic at consume time."""
+
+    def test_record_produced_between_publish_and_fetch_is_ignored(
+            self, passer):
+        sim, parameter_passer = passer
+        run(sim, parameter_passer.publish("fc1", {"mine": True}))
+        # Someone else touches the topic before the guest resumes (a
+        # retried duplicate, an operator, a misrouted producer).
+        parameter_passer.bus.produce(topic_for("fc1"), {"foreign": True},
+                                     timestamp_ms=sim.now)
+        assert run(sim, parameter_passer.fetch("fc1")) == {"mine": True}
+
+    def test_consume_latest_would_be_stale(self, passer):
+        """Documents the race the offset fix closes."""
+        sim, parameter_passer = passer
+        run(sim, parameter_passer.publish("fc1", {"mine": True}))
+        parameter_passer.bus.produce(topic_for("fc1"), {"foreign": True},
+                                     timestamp_ms=sim.now)
+        latest = parameter_passer.bus.consume_latest(topic_for("fc1"))
+        assert latest.value == {"foreign": True}  # the bug, pre-fix
+
+    def test_offset_cleared_after_fetch(self, passer):
+        sim, parameter_passer = passer
+        run(sim, parameter_passer.publish("fc1", {"n": 1}))
+        run(sim, parameter_passer.fetch("fc1"))
+        assert "fc1" not in parameter_passer._published
+
+    def test_fetch_without_tracked_offset_falls_back_to_latest(
+            self, passer):
+        sim, parameter_passer = passer
+        # Published out-of-band (not through this passer instance).
+        parameter_passer.bus.produce(topic_for("fc9"), {"raw": True},
+                                     timestamp_ms=sim.now)
+        assert run(sim, parameter_passer.fetch("fc9")) == {"raw": True}
+
+    def test_malformed_record_still_raises(self, passer):
+        sim, parameter_passer = passer
+        run(sim, parameter_passer.publish("fc1", {"ok": True}))
+        parameter_passer._published["fc1"] = parameter_passer.bus.produce(
+            topic_for("fc1"), "not-a-dict", timestamp_ms=sim.now).offset
+        with pytest.raises(BusError):
+            run(sim, parameter_passer.fetch("fc1"))

@@ -60,11 +60,32 @@ class TestCommands:
 
     def test_trace_writes_valid_json(self, tmp_path, capsys):
         out_path = tmp_path / "trace.json"
-        assert main(["trace", str(out_path)]) == 0
+        assert main(["trace", "fig6", "--invocation", "0",
+                     "--format", "chrome", "-o", str(out_path)]) == 0
         document = json.loads(out_path.read_text())
         assert document["traceEvents"]
-        categories = {event["cat"] for event in document["traceEvents"]}
-        assert "install" in categories  # install-phase spans included
+        names = {event["name"] for event in document["traceEvents"]}
+        # The fireworks invocation's stages are all there.
+        assert {"invoke", "acquire", "exec", "restore",
+                "mmds-write", "param-fetch"} <= names
+
+    def test_trace_tree_format(self, capsys):
+        assert main(["trace", "fig6", "--invocation", "5",
+                     "--format", "tree"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace ")
+        assert "cold-start" in out  # invocation 5 = firecracker cold
+
+    def test_trace_chain_target(self, tmp_path, capsys):
+        out_path = tmp_path / "chain.json"
+        assert main(["trace", "chain", "-o", str(out_path)]) == 0
+        document = json.loads(out_path.read_text())
+        names = [event["name"] for event in document["traceEvents"]]
+        assert names.count("invoke") >= 2  # chain hops nest invoke spans
+
+    def test_trace_rejects_bad_invocation_index(self, capsys):
+        assert main(["trace", "fig6", "--invocation", "99"]) == 1
+        assert "--invocation" in capsys.readouterr().err
 
     def test_run_table2(self, capsys):
         assert main(["run", "table2"]) == 0

@@ -1,0 +1,81 @@
+"""Exporter tests: Chrome ``trace_event`` JSON and the text tree."""
+
+import json
+
+import pytest
+
+from repro.sim import Simulation
+from repro.trace import (chrome_trace_events, render_tree, to_chrome_trace,
+                         write_trace_json)
+from tests.helpers import run
+
+
+@pytest.fixture
+def trace_root():
+    sim = Simulation()
+
+    def body():
+        with sim.tracer.span("invoke", kind="invoke", trace_id="inv-1",
+                             function="fn") as root:
+            with sim.tracer.span("acquire", kind="acquire"):
+                yield sim.timeout(4.0)
+            with sim.tracer.span("exec", phase="exec"):
+                yield sim.timeout(6.0)
+        return root
+
+    return run(sim, body())
+
+
+class TestChromeExport:
+    def test_complete_events_in_microseconds(self, trace_root):
+        events = chrome_trace_events(trace_root)
+        assert [e["name"] for e in events] == ["invoke", "acquire", "exec"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1 and event["tid"] == 1
+        exec_event = events[2]
+        assert exec_event["ts"] == 4000.0       # 4 ms -> 4000 us
+        assert exec_event["dur"] == 6000.0
+        assert exec_event["args"]["trace_id"] == "inv-1"
+        assert exec_event["args"]["phase"] == "exec"
+        assert exec_event["cat"] == "exec"
+
+    def test_each_root_gets_its_own_tid(self, trace_root):
+        events = chrome_trace_events([trace_root, trace_root])
+        assert {e["tid"] for e in events} == {1, 2}
+
+    def test_document_shape(self, trace_root):
+        document = to_chrome_trace(trace_root)
+        assert document["displayTimeUnit"] == "ms"
+        assert len(document["traceEvents"]) == 3
+
+    def test_write_roundtrip(self, trace_root, tmp_path):
+        path = tmp_path / "out.json"
+        assert write_trace_json(trace_root, path) == 3
+        loaded = json.loads(path.read_text())
+        assert [e["name"] for e in loaded["traceEvents"]] == \
+            ["invoke", "acquire", "exec"]
+
+    def test_validator_accepts_export(self, trace_root, tmp_path):
+        import importlib.util
+        from pathlib import Path
+        tools = (Path(__file__).resolve().parents[2] / "tools"
+                 / "validate_trace.py")
+        spec = importlib.util.spec_from_file_location("validate_trace",
+                                                      tools)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.validate_trace(to_chrome_trace(trace_root)) == []
+        assert module.validate_trace({"traceEvents": [{"ph": "X"}]})
+        assert module.validate_trace([]) == \
+            ["top level must be an object, got list"]
+
+
+class TestTreeExport:
+    def test_tree_lists_every_span_with_timings(self, trace_root):
+        rendered = render_tree(trace_root)
+        lines = rendered.splitlines()
+        assert lines[0] == "trace inv-1"
+        assert "invoke" in lines[1]
+        assert "acquire" in lines[2] and "(     4.000 ms)" in lines[2]
+        assert "exec" in lines[3] and "phase=exec" in lines[3]

@@ -1,0 +1,141 @@
+"""The tracing acceptance invariants, asserted over the Fig 6/7 drivers.
+
+For **every** invocation behind Figures 6 and 7:
+
+* the root ``invoke`` span's duration equals the recorded end-to-end
+  latency **exactly** (float ``==``, no tolerance);
+* the record's breakdown fields are reproduced by re-deriving them from
+  the span tree (they are assigned *from* it, so equality is exact);
+* the span tree is well-formed: children nest inside parents, siblings
+  are monotone and non-overlapping;
+* the Chrome export of the trace is valid ``trace_event`` JSON.
+"""
+
+import pytest
+
+from repro.bench.harness import (cold_and_warm, fireworks_invocation,
+                                 fresh_platform, install_chain, invoke_once)
+from repro.core import FireworksPlatform
+from repro.platforms.firecracker import FirecrackerPlatform
+from repro.platforms.gvisor_platform import GVisorPlatform
+from repro.platforms.openwhisk import OpenWhiskPlatform
+from repro.trace import (chrome_trace_events, check_well_formed,
+                         phase_breakdown, verify_invocation)
+from repro.workloads import alexa_skills_chain, faasdom_spec
+from repro.workloads.faasdom import BENCHMARK_NAMES
+
+_CASES = [(benchmark, language)
+          for language in ("nodejs", "python")
+          for benchmark in BENCHMARK_NAMES]
+
+
+def _figure_records(benchmark, language):
+    """All seven records of one Fig 6/7 sub-figure, in bar order."""
+    spec = faasdom_spec(benchmark, language)
+    records = [fireworks_invocation(spec)]
+    for platform_cls in (OpenWhiskPlatform, GVisorPlatform,
+                         FirecrackerPlatform):
+        records.extend(cold_and_warm(platform_cls, spec))
+    return records
+
+
+def _assert_invariants(record):
+    span = record.span
+    assert span is not None
+    # THE invariant: root span duration == recorded end-to-end, exactly.
+    assert span.duration_ms == record.end_to_end_ms
+    # The figure's bar segments are derived from (not parallel to) spans.
+    breakdown = phase_breakdown(span)
+    assert breakdown.startup_ms == record.startup_ms
+    assert breakdown.exec_ms == record.exec_ms
+    assert breakdown.other_ms == record.other_ms
+    assert breakdown.queue_ms == record.queue_wait_ms
+    check_well_formed(span)
+    verify_invocation(record)
+
+
+class TestFigureInvariants:
+    @pytest.mark.parametrize("bench,language", _CASES)
+    def test_every_invocation_agrees_with_its_trace(self, bench,
+                                                    language):
+        for record in _figure_records(bench, language):
+            _assert_invariants(record)
+
+    def test_modes_covered(self):
+        records = _figure_records("faas-fact", "nodejs")
+        assert [r.mode for r in records] == \
+            ["snapshot", "cold", "warm", "cold", "warm", "cold", "warm"]
+
+
+class TestFireworksTraceShape:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return fireworks_invocation(faasdom_spec("faas-fact", "nodejs"))
+
+    def test_whole_fireworks_path_is_traced(self, record):
+        names = {span.name for span in record.span.walk()}
+        assert {"invoke", "frontend", "acquire", "publish", "netns-setup",
+                "mmds-write", "restore", "param-fetch", "exec",
+                "release"} <= names
+
+    def test_attributes_carry_identity_and_mode(self, record):
+        acquire = record.span.find("acquire")
+        assert acquire.attrs["mode"] == "snapshot"
+        restore = record.span.find("restore")
+        assert restore.attrs["policy"] == "demand"
+        publish = record.span.find("publish")
+        assert publish.attrs["fc_id"] == "fc1"
+        exec_span = record.span.find("exec")
+        assert exec_span.attrs["uss_mb"] > 0
+
+    def test_chrome_events_children_monotone_non_overlapping(self, record):
+        events = chrome_trace_events(record.span)
+        assert all(event["dur"] >= 0 for event in events)
+        by_name = {event["name"]: event for event in events}
+        stages = [by_name[name] for name in ("frontend", "acquire", "exec",
+                                             "release")]
+        for earlier, later in zip(stages, stages[1:]):
+            assert earlier["ts"] + earlier["dur"] <= later["ts"] + 1e-6
+
+
+class TestColdStartTraces:
+    def test_firecracker_cold_has_boot_pipeline(self):
+        spec = faasdom_spec("faas-fact", "nodejs")
+        cold, warm = cold_and_warm(FirecrackerPlatform, spec)
+        cold_names = [span.name for span in cold.span.walk()]
+        for stage in ("cold-start", "sandbox-boot", "runtime-launch",
+                      "app-load"):
+            assert stage in cold_names
+        warm_names = [span.name for span in warm.span.walk()]
+        assert "resume" in warm_names
+        assert "cold-start" not in warm_names
+
+    def test_jit_compile_recorded_retrospectively(self):
+        spec = faasdom_spec("faas-fact", "nodejs")
+        cold, _warm = cold_and_warm(OpenWhiskPlatform, spec)
+        exec_span = cold.span.find("exec")
+        compiles = exec_span.find_all("jit-compile")
+        assert compiles  # tier-up happened during the cold invocation
+        assert sum(span.duration_ms for span in compiles) == \
+            pytest.approx(cold.guest.jit_compile_ms)
+        for span in compiles:
+            assert span.start_ms >= exec_span.start_ms
+            assert span.end_ms <= exec_span.end_ms
+
+
+class TestChainTraces:
+    def test_chain_hops_nest_as_invoke_spans(self):
+        platform = fresh_platform(FireworksPlatform)
+        chain = alexa_skills_chain()
+        install_chain(platform, chain)
+        record = invoke_once(platform, chain.entry,
+                             payload={"skill": "reminder"})
+        _assert_invariants(record)
+        nested = [span for span in record.span.find("exec").walk()
+                  if span.kind == "invoke"]
+        assert len(nested) == 1  # frontend -> alexa-reminder
+        assert nested[0].trace_id == record.trace_id
+        # The hop's wall time lands in chain, not the parent's exec bar.
+        breakdown = phase_breakdown(record.span)
+        assert breakdown.chain_ms == pytest.approx(nested[0].duration_ms)
+        assert record.children[0].span is nested[0]

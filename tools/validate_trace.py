@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validate a Chrome ``trace_event`` JSON file (stdlib only).
+
+Usage: ``python tools/validate_trace.py <trace.json>``
+
+Checks the shape ``chrome://tracing``/Perfetto expects from
+``repro trace --format chrome``:
+
+* top level is an object with a ``traceEvents`` list;
+* every event is an object carrying ``name``, ``ph``, ``ts``, ``pid`` and
+  ``tid``;
+* complete events (``ph == "X"``) carry a non-negative ``dur``;
+* timestamps are non-negative and finite.
+
+Exit code 0 when the file is valid, 1 otherwise (problems on stderr).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from typing import Any, List
+
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def validate_trace(payload: Any) -> List[str]:
+    """All shape problems found in *payload*; empty means valid."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"top level must be an object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            if not math.isfinite(ts) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+        elif "ts" in event:
+            problems.append(f"{where}: ts is not a number")
+        if event.get("ph") == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or not math.isfinite(dur) \
+                    or dur < 0:
+                problems.append(f"{where}: complete event needs dur >= 0, "
+                                f"got {dur!r}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; returns the exit code."""
+    if len(argv) != 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 1
+    try:
+        with open(argv[1], "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {argv[1]}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_trace(payload)
+    for problem in problems:
+        print(f"INVALID: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"{argv[1]}: valid trace_event JSON "
+          f"({len(payload['traceEvents'])} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
