@@ -22,8 +22,11 @@ from repro.bench.factors import FactorRow, run_factor_analysis, run_fig11
 from repro.bench.faasdom_experiments import (run_faasdom_benchmark,
                                              run_faasdom_figure, run_fig6,
                                              run_fig7)
+from repro.bench.cluster import (ClusterPolicyOutcome,
+                                 run_cluster_scheduling)
 from repro.bench.harness import (cold_and_warm, drain, fireworks_invocation,
-                                 fresh_platform, install_all, install_chain,
+                                 fresh_cluster_platform, fresh_platform,
+                                 install_all, install_chain,
                                  invoke_once, provision_warm)
 from repro.bench.export import export_all
 from repro.bench.memory import (FACTOR_CONFIGS, fig12_improvements,
@@ -38,6 +41,7 @@ from repro.bench.tables import (run_snapshot_creation_times, run_table1,
 
 __all__ = [
     "BurstResult",
+    "ClusterPolicyOutcome",
     "DeoptResult",
     "FACTOR_CONFIGS",
     "FactorRow",
@@ -59,6 +63,7 @@ __all__ = [
     "headline_comparisons",
     "fireworks_invocation",
     "format_comparisons",
+    "fresh_cluster_platform",
     "fresh_platform",
     "geometric_mean",
     "histogram",
@@ -72,6 +77,7 @@ __all__ = [
     "run_burst_comparison",
     "run_experiments",
     "run_catalyzer_comparison",
+    "run_cluster_scheduling",
     "run_deopt_experiment",
     "run_faasdom_benchmark",
     "run_keepalive_policy_comparison",

@@ -144,6 +144,11 @@ def _sh_keepalive(params, seed):
     return run_keepalive_policy_comparison(params)
 
 
+def _sh_cluster(params, seed):
+    from repro.bench.cluster import run_cluster_scheduling
+    return run_cluster_scheduling(params, seed=seed)
+
+
 _SHARD_FNS: Dict[str, Callable[..., Any]] = {
     "table1": _sh_table1,
     "table2": _sh_table2,
@@ -160,6 +165,7 @@ _SHARD_FNS: Dict[str, Callable[..., Any]] = {
     "ablation": _sh_ablation,
     "policies": _sh_policies,
     "keepalive": _sh_keepalive,
+    "cluster": _sh_cluster,
 }
 
 
@@ -366,6 +372,8 @@ def _build_registry() -> Dict[str, ExperimentDef]:
                 "policies"))
     add(_single("keepalive", "keep-alive policy comparison (extension)",
                 "keepalive"))
+    add(_single("cluster", "cluster placement policies (extension)",
+                "cluster"))
     return registry
 
 

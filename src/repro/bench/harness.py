@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple, Type
 
+from repro.cluster.host import Cluster
 from repro.config import CalibratedParameters, default_parameters
 from repro.core.fireworks import FireworksPlatform
 from repro.platforms.base import (MODE_AUTO, MODE_COLD, MODE_WARM,
@@ -12,6 +13,7 @@ from repro.platforms.firecracker import (FirecrackerPlatform,
                                          FirecrackerSnapshotPlatform)
 from repro.platforms.gvisor_platform import GVisorPlatform
 from repro.platforms.openwhisk import OpenWhiskPlatform
+from repro.platforms.scheduler import POLICY_HASH
 from repro.sim.kernel import Simulation
 from repro.trace import verify_invocation
 from repro.workloads.base import ChainSpec, FunctionSpec
@@ -23,6 +25,23 @@ def fresh_platform(platform_cls: Type[ServerlessPlatform],
     """A platform on its own simulation and host (isolated experiment)."""
     sim = Simulation(seed=seed)
     return platform_cls(sim, params or default_parameters(), **kwargs)
+
+
+def fresh_cluster_platform(platform_cls: Type[ServerlessPlatform],
+                           params: Optional[CalibratedParameters] = None,
+                           seed: int = 2022,
+                           n_hosts: int = 1,
+                           policy: str = POLICY_HASH,
+                           capacity_per_host: Optional[int] = None,
+                           cores_per_host: Optional[int] = None,
+                           **kwargs) -> ServerlessPlatform:
+    """A platform scheduling over its own N-host cluster."""
+    sim = Simulation(seed=seed)
+    resolved = params or default_parameters()
+    cluster = Cluster(sim, resolved, n_hosts=n_hosts, policy=policy,
+                      capacity_per_host=capacity_per_host,
+                      cores_per_host=cores_per_host)
+    return platform_cls(sim, resolved, cluster=cluster, **kwargs)
 
 
 def install_all(platform: ServerlessPlatform,
@@ -98,6 +117,7 @@ __all__ = [
     "cold_and_warm",
     "drain",
     "fireworks_invocation",
+    "fresh_cluster_platform",
     "fresh_platform",
     "install_all",
     "install_chain",

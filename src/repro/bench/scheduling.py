@@ -1,9 +1,10 @@
-"""Scheduling-policy experiment (extension): warm affinity across invokers.
+"""Scheduling-policy experiment (extension): warm affinity across hosts.
 
-Replays a multi-function stream against OpenWhisk with an invoker pool
-under each load-balancing policy.  Hash scheduling (OpenWhisk's home
-invoker) concentrates each function's warm containers on one node and keeps
-hitting them; round-robin sprays requests and keeps paying cold starts.
+Replays a multi-function stream against OpenWhisk on a real multi-host
+cluster under each load-balancing policy.  Hash scheduling (OpenWhisk's
+home invoker) concentrates each function's warm containers on one host and
+keeps hitting them; round-robin sprays requests and keeps paying cold
+starts.
 """
 
 from __future__ import annotations
@@ -11,12 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.bench.harness import fresh_platform, install_all, invoke_once
+from repro.bench.harness import (fresh_cluster_platform, install_all,
+                                 invoke_once)
 from repro.bench.stats import LatencyStats
 from repro.config import CalibratedParameters
 from repro.platforms.openwhisk import OpenWhiskPlatform
 from repro.platforms.scheduler import (POLICY_HASH, POLICY_LEAST_LOADED,
-                                       POLICY_ROUND_ROBIN, InvokerPool)
+                                       POLICY_ROUND_ROBIN)
 from repro.workloads.faasdom import faasdom_spec
 
 
@@ -27,7 +29,7 @@ class PolicyResult:
     policy: str
     warm_hit_rate: float
     latency: LatencyStats
-    load_spread: int     # max-min total assignments across invokers
+    load_spread: int     # max-min total assignments across hosts
 
     def as_line(self) -> str:
         """One-line summary for the bench output."""
@@ -47,8 +49,8 @@ def run_scheduling_comparison(
 
     Each round invokes every function once (think: steady per-minute
     traffic for popular functions).  The function count is deliberately
-    not a multiple of the node count, so round-robin cannot accidentally
-    re-align each function with its previous node.
+    not a multiple of the host count, so round-robin cannot accidentally
+    re-align each function with its previous host.
     """
     base = faasdom_spec("faas-netlatency", "nodejs")
     specs = [
@@ -61,10 +63,9 @@ def run_scheduling_comparison(
 
     results: Dict[str, PolicyResult] = {}
     for policy in (POLICY_ROUND_ROBIN, POLICY_LEAST_LOADED, POLICY_HASH):
-        pool = InvokerPool(nodes=nodes,
-                           capacity_per_node=capacity_per_node,
-                           policy=policy)
-        platform = fresh_platform(OpenWhiskPlatform, params, invokers=pool)
+        platform = fresh_cluster_platform(
+            OpenWhiskPlatform, params, n_hosts=nodes, policy=policy,
+            capacity_per_host=capacity_per_node)
         install_all(platform, specs)
         latencies: List[float] = []
         for _round in range(rounds):
@@ -76,5 +77,5 @@ def run_scheduling_comparison(
             policy=policy,
             warm_hit_rate=platform.warm_starts / max(1, total),
             latency=LatencyStats.from_samples(latencies),
-            load_spread=int(pool.load_spread()))
+            load_spread=int(platform.cluster.load_spread()))
     return results

@@ -41,6 +41,7 @@ def register_result_type(cls: Type) -> Type:
 
 def _register_builtin_result_types() -> None:
     """Register every result dataclass the experiment registry produces."""
+    from repro.bench.cluster import ClusterPolicyOutcome
     from repro.bench.concurrency import BurstResult, LoadPoint
     from repro.bench.ablations import (DeoptResult, KeepAliveOutcome,
                                        PolicyComparison)
@@ -50,7 +51,8 @@ def _register_builtin_result_types() -> None:
     from repro.bench.sensitivity import SensitivityPoint, SensitivityResult
     from repro.bench.stats import LatencyStats
 
-    for cls in (BurstResult, DeoptResult, FactorRow, FigureResult,
+    for cls in (BurstResult, ClusterPolicyOutcome, DeoptResult,
+                FactorRow, FigureResult,
                 KeepAliveOutcome, LatencyRow, LatencyStats, LoadPoint,
                 MemoryPoint, MemorySeries, PaperComparison,
                 PolicyComparison, SensitivityPoint, SensitivityResult):

@@ -8,6 +8,8 @@ Commands:
                                 parallel engine and the result cache;
 * ``annotate <file>``         — run the §3.2 code annotator on a handler;
 * ``burst [-n N] [-c CORES]`` — the burst-storm extension experiment;
+* ``cluster [--hosts N] [--policy P]`` — placement policies across a
+                                multi-host cluster (extension);
 * ``trace <target>``          — re-run one figure's invocations and export
                                 one invocation's span tree (Chrome
                                 ``trace_event`` JSON or a text tree).
@@ -29,7 +31,7 @@ FIGURES = ("table1", "table2", "snapshot-creation", "fig6", "fig7", "fig9",
 
 #: Extension experiments only the ``figure`` command exposes.
 EXTENSIONS = ("burst", "load-sweep", "sensitivity", "ablations", "policies",
-              "keepalive")
+              "keepalive", "cluster")
 
 
 def _print_fig_dict(results, chart: bool = False) -> None:
@@ -119,6 +121,9 @@ def _render_experiment(name: str, result, chart: bool = False) -> None:
     elif name == "keepalive":
         for outcome in result.values():
             print(outcome.as_line())
+    elif name == "cluster":
+        for outcome in result.values():
+            print(outcome.as_line())
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown figure {name!r}")
 
@@ -156,6 +161,19 @@ def _cmd_burst(requests: int, cores: int) -> None:
     results = run_burst_comparison(requests=requests, cores=cores)
     for result in results.values():
         print(result.as_line())
+
+
+def _cmd_cluster(hosts: int, functions: int, duration_ms: float,
+                 seed: int, policy: str) -> None:
+    """``cluster``: placement policies across a multi-host cluster."""
+    from repro.bench.cluster import run_cluster_scheduling
+    from repro.platforms.scheduler import POLICIES
+    selected = POLICIES if policy == "all" else (policy,)
+    outcomes = run_cluster_scheduling(
+        n_hosts=hosts, n_functions=functions, duration_ms=duration_ms,
+        seed=seed, policies=selected)
+    for outcome in outcomes.values():
+        print(outcome.as_line())
 
 
 #: ``trace`` targets: which invocation set to re-run.
@@ -276,6 +294,19 @@ def build_parser() -> argparse.ArgumentParser:
     burst_parser.add_argument("-n", "--requests", type=int, default=256)
     burst_parser.add_argument("-c", "--cores", type=int, default=64)
 
+    from repro.platforms.scheduler import POLICIES
+    cluster_parser = sub.add_parser(
+        "cluster",
+        help="placement policies on a multi-host cluster (extension)")
+    cluster_parser.add_argument("--hosts", type=_positive_int, default=4)
+    cluster_parser.add_argument("--functions", type=_positive_int,
+                                default=12)
+    cluster_parser.add_argument("--duration-ms", type=float,
+                                default=600_000.0)
+    cluster_parser.add_argument("--seed", type=int, default=11)
+    cluster_parser.add_argument("--policy", default="all",
+                                choices=POLICIES + ("all",))
+
     trace_parser = sub.add_parser(
         "trace", help="export one invocation's span tree")
     trace_parser.add_argument("target", choices=TRACE_TARGETS,
@@ -326,6 +357,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_annotate(args.file)
     elif args.command == "burst":
         _cmd_burst(args.requests, args.cores)
+    elif args.command == "cluster":
+        _cmd_cluster(args.hosts, args.functions, args.duration_ms,
+                     args.seed, args.policy)
     elif args.command == "trace":
         return _cmd_trace(args.target, args.benchmark, args.invocation,
                           args.output_format, args.output)

@@ -1,0 +1,5 @@
+"""Cluster of hosts: the backend servers behind Figure 1's controller."""
+
+from repro.cluster.host import Cluster, Host
+
+__all__ = ["Cluster", "Host"]

@@ -1,0 +1,169 @@
+"""First-class hosts and the cluster the control plane schedules over.
+
+Figure 1's controller relays each request "to one of the backend servers".
+A :class:`Host` is one such server: its own physical memory, network
+bridge, optional core pool, warm pool, and snapshot store.  A
+:class:`Cluster` is the controller's set of hosts plus the placement
+policy that picks one per invocation (:mod:`repro.platforms.scheduler`).
+
+The paper's evaluation runs on one host, so ``Cluster(n_hosts=1)`` is the
+default everywhere and reproduces every figure unchanged; multi-host
+clusters make placement a real decision — warm sandboxes and snapshot
+images live *on a specific host*, and the ``snapshot-locality`` policy
+exists to keep requests where that state is hot (REAP-style snapshots are
+only cheap when the image is already local).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.config import CalibratedParameters
+from repro.errors import PlatformError
+from repro.host.cpu import HostCpu
+from repro.mem.host_memory import HostMemory
+from repro.net.bridge import HostBridge
+from repro.platforms.pooling import WarmPool
+from repro.platforms.scheduler import (POLICIES, POLICY_HASH, home_index,
+                                       select_node)
+from repro.storage.disk import BlockDevice
+from repro.storage.snapshot_store import SnapshotStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulation
+
+
+class Host:
+    """One backend server: memory, network, cores, warm pool, snapshots.
+
+    ``capacity`` bounds concurrent invocations on the host (``None`` means
+    unbounded — the single-host default, where the core pool is the real
+    limiter).  The ``node_id``/``active``/``has_room`` surface is the
+    scheduler's node interface (shared with
+    :class:`repro.platforms.scheduler.InvokerNode`).
+    """
+
+    def __init__(self, sim: "Simulation", params: CalibratedParameters,
+                 host_id: int = 0, capacity: Optional[int] = None,
+                 cores: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise PlatformError(
+                f"host{host_id} capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.params = params
+        self.host_id = host_id
+        self.memory = HostMemory(params.host)
+        self.bridge = HostBridge()
+        self.cpu: Optional[HostCpu] = (
+            HostCpu(sim, cores=cores) if cores is not None else None)
+        self.pool = WarmPool()
+        self.store = SnapshotStore(
+            BlockDevice(params.host.disk_gb * 1024.0,
+                        name=f"host{host_id}-ssd"),
+            capacity_images=params.snapshot.store_capacity_images)
+        self.capacity = capacity
+        self.active = 0
+        self.assigned_total = 0
+        self.per_function: Dict[str, int] = {}
+
+    # -- scheduler node interface ----------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self.host_id
+
+    @property
+    def has_room(self) -> bool:
+        return self.capacity is None or self.active < self.capacity
+
+    def assign(self, function: str) -> None:
+        """Count one in-flight invocation onto this host; errors when full."""
+        if not self.has_room:
+            raise PlatformError(
+                f"host{self.host_id} over capacity "
+                f"({self.active}/{self.capacity})")
+        self.active += 1
+        self.assigned_total += 1
+        self.per_function[function] = self.per_function.get(function, 0) + 1
+
+    def release(self) -> None:
+        """Return a slot after the invocation finished."""
+        if self.active <= 0:
+            raise PlatformError(f"host{self.host_id} released below zero")
+        self.active -= 1
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return (f"<Host {self.host_id} active={self.active}/{cap} "
+                f"mem={self.memory.used_mb:.0f}MiB>")
+
+
+class Cluster:
+    """The controller's hosts plus the placement policy over them."""
+
+    def __init__(self, sim: "Simulation", params: CalibratedParameters,
+                 n_hosts: int = 1, policy: str = POLICY_HASH,
+                 capacity_per_host: Optional[int] = None,
+                 cores_per_host: Optional[int] = None) -> None:
+        if n_hosts < 1:
+            raise PlatformError(f"need >= 1 host, got {n_hosts}")
+        if policy not in POLICIES:
+            raise PlatformError(f"unknown scheduling policy {policy!r}")
+        self.sim = sim
+        self.params = params
+        self.policy = policy
+        self.hosts: List[Host] = [
+            Host(sim, params, host_id=index, capacity=capacity_per_host,
+                 cores=cores_per_host)
+            for index in range(n_hosts)]
+        self._rr_next = 0
+        self.placements = 0
+
+    # -- lookup -----------------------------------------------------------------
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+    def host(self, host_id: int) -> Host:
+        """The host with *host_id*; errors on unknown ids."""
+        if not 0 <= host_id < len(self.hosts):
+            raise PlatformError(f"no host {host_id} in a "
+                                f"{len(self.hosts)}-host cluster")
+        return self.hosts[host_id]
+
+    def home_host(self, function: str) -> Host:
+        """The function's home host (stable hash — install seeds it)."""
+        return self.hosts[home_index(function, len(self.hosts))]
+
+    # -- placement --------------------------------------------------------------
+    def place(self, function: str,
+              locality: Optional[Callable[[Host], bool]] = None) -> Host:
+        """Choose (and assign to) a host for one invocation.
+
+        *locality* marks hosts where the function's state is already
+        resident (warm sandbox, snapshot image); only the
+        ``snapshot-locality`` policy consults it.  The caller must pair
+        every ``place`` with a :meth:`finish`.
+        """
+        host, self._rr_next = select_node(self.hosts, self.policy, function,
+                                          self._rr_next, locality)
+        host.assign(function)
+        self.placements += 1
+        return host
+
+    def finish(self, host: Host) -> None:
+        """Release the slot claimed by :meth:`place`."""
+        host.release()
+
+    # -- stats ------------------------------------------------------------------
+    def total_active(self) -> int:
+        """Invocations currently in flight across all hosts."""
+        return sum(host.active for host in self.hosts)
+
+    def load_spread(self) -> int:
+        """Max-min assigned_total across hosts (fairness measure)."""
+        totals = [host.assigned_total for host in self.hosts]
+        return max(totals) - min(totals)
+
+    def __repr__(self) -> str:
+        return (f"<Cluster {len(self.hosts)} hosts policy={self.policy} "
+                f"active={self.total_active()}>")

@@ -336,6 +336,24 @@ class FireworksConfig:
 
 
 # ---------------------------------------------------------------------------
+# Cluster of hosts (Figure 1's backend servers)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cross-host control-plane costs for multi-host placement.
+
+    The controller relays each request "to one of the backend servers"
+    (Figure 1); when the chosen host does not hold the function's snapshot
+    image, the image is copied from a host that does before the restore —
+    the cost the ``snapshot-locality`` placement policy exists to avoid.
+    """
+
+    snapshot_transfer_base_ms: float = 4.0   # connection setup + image metadata
+    snapshot_transfer_per_mb_ms: float = 0.8  # ~10 GbE effective goodput
+    #                                           (~170 MiB image -> ~140 ms)
+
+
+# ---------------------------------------------------------------------------
 # Platform control planes (baselines)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -379,6 +397,7 @@ class CalibratedParameters:
     snapshot: SnapshotConfig = field(default_factory=SnapshotConfig)
     fireworks: FireworksConfig = field(default_factory=FireworksConfig)
     control_plane: ControlPlaneConfig = field(default_factory=ControlPlaneConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
     latency_jitter_rel_stddev: float = 0.0  # deterministic by default;
     #                                         benches may turn jitter on
 

@@ -8,11 +8,17 @@ entry point — already loaded, already JITted (Figure 2).
 
 There is no cold/warm distinction: Fireworks always resumes from the
 snapshot (§5.1).
+
+Snapshot machinery is per-host: each cluster host has its own installer,
+microVM manager (restorer), and snapshot store.  Installation seeds the
+function's home host; a restore placed on a host without the image first
+pays the modeled cross-host snapshot transfer — the cost the
+``snapshot-locality`` placement policy exists to avoid.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.installer import Installer, InstallReport
 from repro.core.microvm_manager import MicroVMManager
@@ -25,9 +31,11 @@ from repro.sandbox.worker import Worker
 from repro.snapshot.image import SnapshotImage
 from repro.snapshot.prefetch import ReapRecorder
 from repro.snapshot.restorer import POLICY_DEMAND
-from repro.storage.disk import BlockDevice
 from repro.storage.snapshot_store import SnapshotStore
 from repro.workloads.base import FunctionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.host import Host
 
 
 class FireworksPlatform(ServerlessPlatform):
@@ -50,43 +58,85 @@ class FireworksPlatform(ServerlessPlatform):
                  **kwargs) -> None:
         super().__init__(*args, faults=faults, **kwargs)
         self.restore_policy = restore_policy
-        self.installer = Installer(self.sim, self.params, self.host_memory,
-                                   self.bridge)
-        self.manager = MicroVMManager(self.sim, self.params,
-                                      self.host_memory, self.bridge)
-        self.manager.restorer.faults = faults
+        self._installers: Dict[int, Installer] = {}
+        self._managers: Dict[int, MicroVMManager] = {}
         self.passer = ParameterPasser(self.sim, self.bus,
                                       self.params.fireworks, faults=faults)
         self.restore_failures = 0
         self.param_fetch_retries = 0
-        self.store = SnapshotStore(
-            BlockDevice(self.params.host.disk_gb * 1024.0, name="fw-ssd"),
-            capacity_images=self.params.snapshot.store_capacity_images)
         self.install_reports: Dict[str, InstallReport] = {}
         # REAP-style working-set recording (§7): profiles are captured after
-        # each invocation and consulted by POLICY_REAP restores.
+        # each invocation and consulted by POLICY_REAP restores.  The
+        # recorder is cluster-global — profiles are keyed on image
+        # key+generation, which a transferred replica shares.
         self.recorder = ReapRecorder()
-        self.manager.restorer.recorder = self.recorder
+
+    # -- per-host machinery -------------------------------------------------------
+    def installer_for(self, host: Host) -> Installer:
+        """The installer bound to *host*'s memory and bridge."""
+        installer = self._installers.get(host.host_id)
+        if installer is None:
+            installer = Installer(self.sim, self.params, host.memory,
+                                  host.bridge)
+            self._installers[host.host_id] = installer
+        return installer
+
+    def manager_for(self, host: Host) -> MicroVMManager:
+        """The microVM manager (and restorer) bound to *host*."""
+        manager = self._managers.get(host.host_id)
+        if manager is None:
+            # Host 0 keeps the bare "fc" prefix so single-host traces are
+            # unchanged; other hosts' fcIDs stay globally unique.
+            prefix = "fc" if host.host_id == 0 else f"h{host.host_id}fc"
+            manager = MicroVMManager(self.sim, self.params, host.memory,
+                                     host.bridge, fc_prefix=prefix)
+            manager.restorer.faults = self.faults
+            manager.restorer.recorder = self.recorder
+            self._managers[host.host_id] = manager
+        return manager
+
+    @property
+    def installer(self) -> Installer:
+        """Host 0's installer."""
+        return self.installer_for(self.cluster.hosts[0])
+
+    @property
+    def manager(self) -> MicroVMManager:
+        """Host 0's microVM manager."""
+        return self.manager_for(self.cluster.hosts[0])
+
+    @property
+    def store(self) -> SnapshotStore:
+        """Host 0's snapshot store."""
+        return self.cluster.hosts[0].store
 
     # -- installation phase (§3.1 steps 1-4) ------------------------------------
-    def _install_backend(self, spec: FunctionSpec):
-        report = yield from self.installer.install(spec)
-        self.store.put(spec.name, report.image)
+    def _install_backend(self, spec: FunctionSpec, host: Host):
+        report = yield from self.installer_for(host).install(spec)
+        host.store.put(spec.name, report.image)
         self.install_reports[spec.name] = report
 
-    def image_for(self, name: str) -> SnapshotImage:
-        """The stored snapshot image for *name* (refreshes LRU recency)."""
-        image = self.store.get(name)
+    def image_for(self, name: str, host: Host = None) -> SnapshotImage:
+        """The stored snapshot image for *name* on *host* (default host 0);
+        refreshes LRU recency."""
+        if host is None:
+            host = self.cluster.hosts[0]
+        image = host.store.get(name)
         if not isinstance(image, SnapshotImage):  # pragma: no cover
             raise PlatformError(f"corrupt snapshot store entry for {name!r}")
         return image
 
     # -- invocation phase (§3.1 steps 5-8) ------------------------------------------
-    def _acquire_worker(self, spec: FunctionSpec, mode: str):
+    def _host_affinity(self, host: Host, function: str) -> bool:
+        # Restores are only cheap where the snapshot is already resident.
+        return host.store.contains(function)
+
+    def _acquire_worker(self, spec: FunctionSpec, mode: str, host: Host):
         del mode  # Fireworks has no cold/warm distinction (§5.1).
         tracer = self.sim.tracer
-        image = self.image_for(spec.name)
-        fc_id = self.manager.next_fc_id()
+        manager = self.manager_for(host)
+        image = yield from self._fetch_image_to_host(spec.name, host)
+        fc_id = manager.next_fc_id()
 
         # (5) put the arguments into the parameter passer queue *before*
         # resuming, so the guest's kafkacat finds them.  Publishing is
@@ -101,7 +151,7 @@ class FireworksPlatform(ServerlessPlatform):
         # uses) before the restore is retried.
         for attempt in range(1, self.MAX_RESTORE_ATTEMPTS + 1):
             try:
-                worker = yield from self.manager.launch_clone(
+                worker = yield from manager.launch_clone(
                     image, fc_id, policy=self.restore_policy)
                 break
             except SnapshotCorruptedError:
@@ -110,7 +160,8 @@ class FireworksPlatform(ServerlessPlatform):
                     raise
                 with tracer.span("retry", kind="retry", target="restore",
                                  attempt=attempt, fc_id=fc_id):
-                    image = yield from self.regenerate_snapshot(spec.name)
+                    image = yield from self.regenerate_snapshot(spec.name,
+                                                                host=host)
 
         # (8) resumed guest reads its fcID and fetches the parameters,
         # retrying transient broker failures.
@@ -136,28 +187,32 @@ class FireworksPlatform(ServerlessPlatform):
                 f"got {params!r}")
         return worker, MODE_SNAPSHOT, publish_ms
 
-    def _release_worker(self, spec: FunctionSpec, worker: Worker):
+    def _release_worker(self, spec: FunctionSpec, worker: Worker,
+                        host: Host):
         if worker.invocations > 0:
-            self.recorder.record(self.image_for(spec.name), worker,
+            self.recorder.record(self.image_for(spec.name, host), worker,
                                  now_ms=self.sim.now)
         if not self.retain_workers:
             # Clone reclamation happens off the response's critical path.
-            self.sim.process(self.manager.retire(worker),
+            self.sim.process(self.manager_for(host).retire(worker),
                              name=f"retire:{worker.sandbox.name}")
         return
         yield  # pragma: no cover
 
     # -- §6 mitigations -----------------------------------------------------------
-    def regenerate_snapshot(self, name: str):
+    def regenerate_snapshot(self, name: str, host: Host = None):
         """Periodically re-create a function's snapshot (ASLR entropy, §6).
 
-        A simulation generator: writes a fresh-generation image; clones
-        restored afterwards share *new* segments, not the old ones.
+        A simulation generator: writes a fresh-generation image into
+        *host*'s store (default host 0); clones restored afterwards share
+        *new* segments, not the old ones.
         """
-        old_image = self.image_for(name)
+        if host is None:
+            host = self.cluster.hosts[0]
+        old_image = self.image_for(name, host)
         new_image = old_image.clone_for_regeneration()
         write_ms = (self.params.snapshot.create_base_ms
                     + new_image.size_mb * self.params.snapshot.create_per_mb_ms)
         yield self.sim.timeout(write_ms)
-        self.store.put(name, new_image)
+        host.store.put(name, new_image)
         return new_image

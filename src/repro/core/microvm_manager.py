@@ -26,11 +26,13 @@ class MicroVMManager:
     """Creates, restores, and retires Fireworks microVMs."""
 
     def __init__(self, sim: "Simulation", params: CalibratedParameters,
-                 host_memory: HostMemory, bridge: HostBridge) -> None:
+                 host_memory: HostMemory, bridge: HostBridge,
+                 fc_prefix: str = "fc") -> None:
         self.sim = sim
         self.params = params
         self.host_memory = host_memory
         self.bridge = bridge
+        self.fc_prefix = fc_prefix  # keeps fcIDs unique across per-host managers
         self.restorer = Restorer(sim, params, host_memory)
         self._fc_counter = 0
         self.launched_clones = 0
@@ -38,7 +40,7 @@ class MicroVMManager:
     def next_fc_id(self) -> str:
         """Allocate the next unique clone id (the guest's fcID)."""
         self._fc_counter += 1
-        return f"fc{self._fc_counter}"
+        return f"{self.fc_prefix}{self._fc_counter}"
 
     def launch_clone(self, image: SnapshotImage, fc_id: str,
                      policy: str = POLICY_DEMAND):

@@ -26,6 +26,7 @@ from repro.trace import Span, phase_breakdown
 from repro.workloads.base import FunctionSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.host import Cluster, Host
     from repro.sim.kernel import Simulation
     from repro.sim.process import Process
 
@@ -43,6 +44,7 @@ class InvocationRecord:
     platform: str
     mode: str                     # cold | warm | snapshot
     submitted_ms: float
+    host_id: int = 0             # which cluster host served it
     startup_ms: float = 0.0      # sandbox acquisition until code runs
     exec_ms: float = 0.0         # in-guest program execution
     other_ms: float = 0.0        # gateway, dispatch, params, response
@@ -209,34 +211,78 @@ class ServerlessPlatform:
                  bus: Optional[MessageBus] = None,
                  couch: Optional[CouchServer] = None,
                  host_cpu=None,
-                 faults: Optional[FaultInjector] = None) -> None:
+                 faults: Optional[FaultInjector] = None,
+                 cluster: Optional["Cluster"] = None) -> None:
+        # Imported here, not at module scope: repro.cluster.host uses the
+        # warm pool and scheduler from this package.
+        from repro.cluster.host import Cluster
         self.sim = sim
         self.params = params
-        self.host_cpu = host_cpu  # optional HostCpu: burst benches only
-        self.host_memory = host_memory or HostMemory(params.host)
-        self.bridge = bridge or HostBridge()
+        if cluster is not None:
+            if host_memory is not None or bridge is not None \
+                    or host_cpu is not None:
+                raise PlatformError(
+                    "pass host resources on the cluster's hosts, not both "
+                    "a cluster and host_memory/bridge/host_cpu")
+            self.cluster = cluster
+        else:
+            # Single implicit host: the paper's evaluation setup.  Legacy
+            # host resources, when given, become host 0's resources.
+            self.cluster = Cluster(sim, params, n_hosts=1)
+            host0 = self.cluster.hosts[0]
+            if host_memory is not None:
+                host0.memory = host_memory
+            if bridge is not None:
+                host0.bridge = bridge
+            if host_cpu is not None:
+                host0.cpu = host_cpu
         self.bus = bus or MessageBus()
         self.couch = couch or CouchServer()
         self.faults = faults  # optional FaultInjector (db request timeouts)
         self.db_retries = 0
         self.retain_workers = False
+        self.local_restores = 0      # snapshot found on the chosen host
+        self.cross_host_transfers = 0  # snapshot copied over the network
         self.active_workers: List[Worker] = []
         self.records: List[InvocationRecord] = []
         self._specs: Dict[str, FunctionSpec] = {}
         self._db_triggers: Dict[str, List[str]] = {}
         self._invocation_seq = 0
 
+    # -- single-host views (host 0 is the only host by default) ------------------
+    @property
+    def host_memory(self) -> HostMemory:
+        return self.cluster.hosts[0].memory
+
+    @property
+    def bridge(self) -> HostBridge:
+        return self.cluster.hosts[0].bridge
+
+    @property
+    def host_cpu(self):
+        return self.cluster.hosts[0].cpu
+
     # -- registry ------------------------------------------------------------------
     def install(self, spec: FunctionSpec):
-        """Install *spec* (a simulation generator).  Subclasses extend."""
+        """Install *spec* (a simulation generator).  Subclasses extend.
+
+        Backend state (snapshots, templates) is seeded on the function's
+        *home host*.  A failed backend install rolls the registration back
+        so the install can be retried.
+        """
         if spec.name in self._specs:
             raise PlatformError(f"function {spec.name!r} already installed")
         self._specs[spec.name] = spec
-        yield from self._install_backend(spec)
+        try:
+            yield from self._install_backend(
+                spec, self.cluster.home_host(spec.name))
+        except BaseException:
+            self._specs.pop(spec.name, None)
+            raise
 
-    def _install_backend(self, spec: FunctionSpec):
+    def _install_backend(self, spec: FunctionSpec, host: Host):
         """Backend-specific installation work.  Default: registration only."""
-        del spec
+        del spec, host
         return
         yield  # pragma: no cover
 
@@ -317,47 +363,66 @@ class ServerlessPlatform:
             with tracer.span("frontend", phase="other"):
                 yield self.sim.timeout(frontend_ms)
 
-            # Under burst load the host's core pool gates everything past
-            # the frontend: claim a core for the sandbox work + execution.
-            cpu_claim = None
-            if self.host_cpu is not None:
-                with tracer.span("queue", phase="queue"):
-                    cpu_claim = yield from self.host_cpu.acquire()
+            # Placement: the controller picks a backend host (Figure 1:
+            # "relays it to one of the backend servers").  The decision is
+            # instantaneous — the span records *where* and *why*, not time.
+            placement_span = tracer.span("placement", kind="placement",
+                                         policy=self.cluster.policy)
+            with placement_span:
+                host = self.cluster.place(
+                    spec.name,
+                    locality=lambda h: self._host_affinity(h, spec.name))
+                placement_span.attrs["host"] = host.host_id
+            record.host_id = host.host_id
 
             try:
-                # Backend: acquire a worker (cold boot / warm pool /
-                # snapshot).  Time in this span is start-up, except spans
-                # explicitly tagged phase="other" (parameter publish).
-                acquire_span = tracer.span("acquire", kind="acquire")
-                with acquire_span:
-                    worker, mode_used, _extra_other_ms = \
-                        yield from self._acquire_worker(spec, mode)
-                    acquire_span.attrs["mode"] = mode_used
-                record.mode = mode_used
-                record.worker = worker
+                # Under burst load the chosen host's core pool gates
+                # everything past placement: claim a core for the sandbox
+                # work + execution.
+                cpu_claim = None
+                if host.cpu is not None:
+                    with tracer.span("queue", phase="queue"):
+                        cpu_claim = yield from host.cpu.acquire()
 
-                # Execute the guest program.  Nested invoke spans (chain
-                # hops) are accounted on the child records, not here.
-                handlers = self._make_handlers(worker, record)
-                exec_span = tracer.span("exec", phase="exec")
-                with exec_span:
-                    guest = yield from worker.invoke(spec.program(payload),
-                                                     handlers)
-                    exec_span.attrs["deopts"] = guest.deopt_count
-                    exec_span.attrs["jit_optimized"] = len(
-                        worker.runtime.jit.optimized_functions())
-                    # Pages this clone CoW-broke (its private/dirty MiB).
-                    exec_span.attrs["uss_mb"] = \
-                        worker.sandbox.space.uss_mb()
-                record.guest = guest
+                try:
+                    # Backend: acquire a worker (cold boot / warm pool /
+                    # snapshot) on the chosen host.  Time in this span is
+                    # start-up, except spans explicitly tagged
+                    # phase="other" (parameter publish).
+                    acquire_span = tracer.span("acquire", kind="acquire")
+                    with acquire_span:
+                        worker, mode_used, _extra_other_ms = \
+                            yield from self._acquire_worker(spec, mode, host)
+                        acquire_span.attrs["mode"] = mode_used
+                    record.mode = mode_used
+                    record.worker = worker
+
+                    # Execute the guest program.  Nested invoke spans
+                    # (chain hops) are accounted on the child records, not
+                    # here.
+                    handlers = self._make_handlers(worker, record)
+                    exec_span = tracer.span("exec", phase="exec")
+                    with exec_span:
+                        guest = yield from worker.invoke(
+                            spec.program(payload), handlers)
+                        exec_span.attrs["deopts"] = guest.deopt_count
+                        exec_span.attrs["jit_optimized"] = len(
+                            worker.runtime.jit.optimized_functions())
+                        # Pages this clone CoW-broke (its private/dirty
+                        # MiB).
+                        exec_span.attrs["uss_mb"] = \
+                            worker.sandbox.space.uss_mb()
+                    record.guest = guest
+                finally:
+                    if cpu_claim is not None:
+                        host.cpu.release(cpu_claim)
+
+                with tracer.span("release", kind="release"):
+                    yield from self._release_worker(spec, worker, host)
+                if self.retain_workers and worker not in self.active_workers:
+                    self.active_workers.append(worker)
             finally:
-                if cpu_claim is not None:
-                    self.host_cpu.release(cpu_claim)
-
-            with tracer.span("release", kind="release"):
-                yield from self._release_worker(spec, worker)
-            if self.retain_workers and worker not in self.active_workers:
-                self.active_workers.append(worker)
+                self.cluster.finish(host)
 
         # The record's breakdown is *derived* from the span tree, so the
         # Fig 6/7 bars and the trace cannot disagree (repro.trace.verify).
@@ -377,15 +442,54 @@ class ServerlessPlatform:
         return _PlatformHandlers(self, worker, record)
 
     # -- backend hooks ---------------------------------------------------------------
-    def _acquire_worker(self, spec: FunctionSpec, mode: str):
+    def _acquire_worker(self, spec: FunctionSpec, mode: str, host: Host):
         """Yield-based hook returning ``(worker, mode_used, other_ms)``."""
         raise NotImplementedError
         yield  # pragma: no cover
 
-    def _release_worker(self, spec: FunctionSpec, worker: Worker):
+    def _release_worker(self, spec: FunctionSpec, worker: Worker,
+                        host: Host):
         """What happens to the worker after the invocation."""
         raise NotImplementedError
         yield  # pragma: no cover
+
+    def _host_affinity(self, host: Host, function: str) -> bool:
+        """Whether *host* already holds state (warm sandbox, snapshot)
+        for *function* — the ``snapshot-locality`` policy's predicate.
+        Default: a live warm-pool entry."""
+        return host.pool.size(function, self.sim.now) > 0
+
+    def _fetch_image_to_host(self, key: str, host: Host):
+        """Make the snapshot under *key* resident on *host* (a generator).
+
+        A local hit is free; otherwise the image is copied from the
+        lowest-numbered host that has it, paying the modeled network
+        transfer (``params.cluster``) as a ``snapshot-transfer`` span —
+        the cost the ``snapshot-locality`` policy exists to avoid.
+        """
+        if host.store.contains(key):
+            self.local_restores += 1
+            return host.store.get(key)
+        sources = [other for other in self.cluster.hosts
+                   if other is not host and other.store.contains(key)]
+        if not sources:
+            # Nobody has it: surface the store's own miss.
+            return host.store.get(key)
+        source = min(sources, key=lambda other: other.host_id)
+        image = source.store.get(key)
+        cfg = self.params.cluster
+        transfer_span = self.sim.tracer.span(
+            "snapshot-transfer", kind="transfer", key=key,
+            src=source.host_id, dst=host.host_id)
+        with transfer_span:
+            yield self.sim.timeout(
+                cfg.snapshot_transfer_base_ms
+                + image.size_mb * cfg.snapshot_transfer_per_mb_ms)
+            transfer_span.attrs["size_mb"] = image.size_mb
+        replica = image.clone_for_transfer()
+        host.store.put(key, replica)
+        self.cross_host_transfers += 1
+        return replica
 
     # -- reporting ----------------------------------------------------------------
     def memory_pss_mb(self) -> List[float]:

@@ -20,7 +20,7 @@ gives Fig 6-style numbers for the one platform the paper had to omit.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Tuple
 
 from repro.errors import PlatformError
 from repro.platforms.base import (MODE_AUTO, MODE_COLD, MODE_WARM,
@@ -31,6 +31,9 @@ from repro.sandbox.base import STATE_RUNNING
 from repro.sandbox.gvisor import GVisorSandbox
 from repro.sandbox.worker import Worker
 from repro.workloads.base import FunctionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.host import Host
 
 #: Restoring a criu-style checkpoint: rebuild the process tree, fds, and
 #: Sentry state.  Far below a cold boot, well above an sfork.
@@ -59,27 +62,36 @@ class CatalyzerPlatform(ServerlessPlatform):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self._templates: Dict[str, _Template] = {}
+        self._templates: Dict[Tuple[int, str], _Template] = {}
         self.checkpoint_restores = 0
         self.sforks = 0
 
     # -- installation: build the checkpoint + resident template ----------------
-    def _install_backend(self, spec: FunctionSpec):
-        worker = Worker(self.sim,
-                        GVisorSandbox(self.sim, self.params,
-                                      self.host_memory, spec.language,
-                                      name=f"cat-template-{spec.name}"),
-                        make_runtime(self.sim, self.params, spec.language))
-        yield from worker.cold_start(spec.app)
-        yield from worker.pause()
-        # The template stays resident; its pages are shared by sforked
-        # children (process sharing — Table 1's memory column).
-        self._templates[spec.name] = _Template(
-            worker, worker.runtime.export_jit_state())
+    def _install_backend(self, spec: FunctionSpec, host: Host):
+        # Checkpoint images are distributed at install time: every host
+        # gets a resident template (sfork needs one locally), starting
+        # with the home host.
+        del host
+        for target in self.cluster.hosts:
+            worker = Worker(self.sim,
+                            GVisorSandbox(self.sim, self.params,
+                                          target.memory, spec.language,
+                                          name=f"cat-template-{spec.name}"),
+                            make_runtime(self.sim, self.params,
+                                         spec.language))
+            yield from worker.cold_start(spec.app)
+            yield from worker.pause()
+            # The template stays resident; its pages are shared by sforked
+            # children (process sharing — Table 1's memory column).
+            self._templates[(target.host_id, spec.name)] = _Template(
+                worker, worker.runtime.export_jit_state())
 
     # -- invocation ---------------------------------------------------------------
-    def _acquire_worker(self, spec: FunctionSpec, mode: str):
-        template = self._templates.get(spec.name)
+    def _host_affinity(self, host: Host, function: str) -> bool:
+        return (host.host_id, function) in self._templates
+
+    def _acquire_worker(self, spec: FunctionSpec, mode: str, host: Host):
+        template = self._templates.get((host.host_id, spec.name))
         if template is None:
             raise PlatformError(
                 f"{self.name}: {spec.name!r} has no checkpoint; install "
@@ -88,19 +100,19 @@ class CatalyzerPlatform(ServerlessPlatform):
             # sfork: clone the resident template.
             with self.sim.tracer.span("sfork", function=spec.name):
                 yield self.sim.timeout(SFORK_MS)
-            worker = self._clone_from_template(spec, template)
+            worker = self._clone_from_template(spec, template, host)
             self.sforks += 1
             return worker, MODE_WARM, 0.0
         # Forced cold: restore the checkpoint image from disk.
         with self.sim.tracer.span("checkpoint-restore", function=spec.name):
             yield self.sim.timeout(CHECKPOINT_RESTORE_MS)
-        worker = self._clone_from_template(spec, template)
+        worker = self._clone_from_template(spec, template, host)
         self.checkpoint_restores += 1
         return worker, MODE_COLD, 0.0
 
     def _clone_from_template(self, spec: FunctionSpec,
-                             template: _Template) -> Worker:
-        sandbox = GVisorSandbox(self.sim, self.params, self.host_memory,
+                             template: _Template, host: Host) -> Worker:
+        sandbox = GVisorSandbox(self.sim, self.params, host.memory,
                                 spec.language)
         # A forked child shares the template's pages; only its private
         # copy-on-write state is new.  Model: map the boot/runtime/app
@@ -118,8 +130,9 @@ class CatalyzerPlatform(ServerlessPlatform):
             template.jit_state)
         return Worker(self.sim, sandbox, runtime, app=spec.app)
 
-    def _release_worker(self, spec: FunctionSpec, worker: Worker):
-        del spec
+    def _release_worker(self, spec: FunctionSpec, worker: Worker,
+                        host: Host):
+        del spec, host
         if not self.retain_workers:
             self.sim.process(worker.stop(),
                              name=f"teardown:{worker.sandbox.name}")

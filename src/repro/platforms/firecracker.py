@@ -13,11 +13,15 @@ Two variants, both providing VM-level isolation (Table 1, row 1):
   that is the piece Fireworks adds.
 
 Neither variant can execute chains of functions (§5.3).
+
+Warm microVMs and snapshot images are host-local: installation seeds the
+function's home host, and a snapshot restore on any other host first pays
+the modeled cross-host transfer.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 from repro.errors import PlatformError
 from repro.platforms.base import (MODE_AUTO, MODE_COLD, MODE_SNAPSHOT,
@@ -26,12 +30,14 @@ from repro.platforms.pooling import WarmEntry, WarmPool, require_warm
 from repro.runtime import make_runtime
 from repro.sandbox.microvm import MicroVM
 from repro.sandbox.worker import Worker
-from repro.snapshot.image import STAGE_OS, STAGE_POST_LOAD, SnapshotImage
+from repro.snapshot.image import STAGE_OS, STAGE_POST_LOAD
 from repro.snapshot.restorer import POLICY_DEMAND, Restorer
 from repro.snapshot.snapshotter import Snapshotter
-from repro.storage.disk import BlockDevice
 from repro.storage.snapshot_store import SnapshotStore
 from repro.workloads.base import FunctionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.host import Host
 
 
 class FirecrackerPlatform(ServerlessPlatform):
@@ -45,57 +51,68 @@ class FirecrackerPlatform(ServerlessPlatform):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self.pool = WarmPool()
         self.cold_starts = 0
         self.warm_starts = 0
 
+    @property
+    def pool(self) -> WarmPool:
+        """Host 0's warm pool (the only pool on a single-host cluster)."""
+        return self.cluster.hosts[0].pool
+
     # -- worker construction -------------------------------------------------------
-    def _boot_worker(self, spec: FunctionSpec):
-        microvm = MicroVM(self.sim, self.params, self.host_memory,
+    def _boot_worker(self, spec: FunctionSpec, host: Host):
+        microvm = MicroVM(self.sim, self.params, host.memory,
                           spec.language)
-        guest_ip, guest_mac = self.bridge.allocate_guest_addresses()
+        guest_ip, guest_mac = host.bridge.allocate_guest_addresses()
         microvm.assign_guest_addresses(guest_ip, guest_mac)
         worker = Worker(self.sim, microvm,
                         make_runtime(self.sim, self.params, spec.language))
         yield from worker.cold_start(spec.app)
-        worker.endpoint = self.bridge.connect_guest(guest_ip, guest_mac)
+        worker.endpoint = host.bridge.connect_guest(guest_ip, guest_mac)
         return worker
 
-    def provision_warm(self, name: str):
-        """§5.1 warm methodology: boot, install, pause — keep in memory."""
+    def provision_warm(self, name: str, host: Host = None):
+        """§5.1 warm methodology: boot, install, pause — keep in memory.
+
+        Defaults to the function's home host, where the hash policy (and
+        a single-host cluster trivially) will look for it.
+        """
         spec = self.spec(name)
-        worker = yield from self._boot_worker(spec)
+        if host is None:
+            host = self.cluster.home_host(name)
+        worker = yield from self._boot_worker(spec, host)
         yield from worker.pause()
-        self.pool.add(name, WarmEntry(worker, float("inf"), paused=True))
+        host.pool.add(name, WarmEntry(worker, float("inf"), paused=True))
         return worker
 
     # -- backend hooks -----------------------------------------------------------------
-    def _acquire_worker(self, spec: FunctionSpec, mode: str):
+    def _acquire_worker(self, spec: FunctionSpec, mode: str, host: Host):
         if mode in (MODE_AUTO, MODE_WARM):
-            entry = self.pool.take(spec.name, self.sim.now)
+            entry = host.pool.take(spec.name, self.sim.now)
             if mode == MODE_WARM:
                 entry = require_warm(entry, spec.name, self.name)
             if entry is not None:
                 yield from entry.worker.resume()
                 self.warm_starts += 1
                 return entry.worker, MODE_WARM, 0.0
-        worker = yield from self._boot_worker(spec)
+        worker = yield from self._boot_worker(spec, host)
         self.cold_starts += 1
         return worker, MODE_COLD, 0.0
 
-    def _release_worker(self, spec: FunctionSpec, worker: Worker):
+    def _release_worker(self, spec: FunctionSpec, worker: Worker,
+                        host: Host):
         del spec
         if not self.retain_workers:
             # The response already left; reclaim the VM off the critical
             # path.
-            self.sim.process(self._teardown(worker),
+            self.sim.process(self._teardown(worker, host),
                              name=f"teardown:{worker.sandbox.name}")
         return
         yield  # pragma: no cover
 
-    def _teardown(self, worker: Worker):
+    def _teardown(self, worker: Worker, host: Host):
         if worker.endpoint is not None:
-            self.bridge.disconnect(worker.endpoint)
+            host.bridge.disconnect(worker.endpoint)
             worker.endpoint = None
         yield from worker.stop()
 
@@ -122,17 +139,31 @@ class FirecrackerSnapshotPlatform(FirecrackerPlatform):
                 "post-JIT snapshots are what Fireworks adds")
         self.stage = stage
         self.snapshotter = Snapshotter(self.sim, self.params.snapshot)
-        self.restorer = Restorer(self.sim, self.params, self.host_memory)
-        self.store = SnapshotStore(
-            BlockDevice(self.params.host.disk_gb * 1024.0),
-            capacity_images=self.params.snapshot.store_capacity_images)
-        self._images: Dict[str, SnapshotImage] = {}
+        self._restorers: Dict[int, Restorer] = {}
+
+    @property
+    def store(self) -> SnapshotStore:
+        """Host 0's snapshot store."""
+        return self.cluster.hosts[0].store
+
+    @property
+    def restorer(self) -> Restorer:
+        """Host 0's restorer."""
+        return self.restorer_for(self.cluster.hosts[0])
+
+    def restorer_for(self, host: Host) -> Restorer:
+        """The restorer bound to *host*'s physical memory."""
+        restorer = self._restorers.get(host.host_id)
+        if restorer is None:
+            restorer = Restorer(self.sim, self.params, host.memory)
+            self._restorers[host.host_id] = restorer
+        return restorer
 
     # -- installation ---------------------------------------------------------------
-    def _install_backend(self, spec: FunctionSpec):
-        microvm = MicroVM(self.sim, self.params, self.host_memory,
+    def _install_backend(self, spec: FunctionSpec, host: Host):
+        microvm = MicroVM(self.sim, self.params, host.memory,
                           spec.language, name=f"install-{spec.name}")
-        guest_ip, guest_mac = self.bridge.allocate_guest_addresses()
+        guest_ip, guest_mac = host.bridge.allocate_guest_addresses()
         microvm.assign_guest_addresses(guest_ip, guest_mac)
         worker = Worker(self.sim, microvm,
                         make_runtime(self.sim, self.params, spec.language))
@@ -145,23 +176,27 @@ class FirecrackerSnapshotPlatform(FirecrackerPlatform):
             worker.app = spec.app
         image = yield from self.snapshotter.create(
             worker, spec.name, self.stage)
-        self.store.put(spec.name, image)
-        self._images[spec.name] = image
+        host.store.put(spec.name, image)
         yield from worker.stop()
 
     # -- invocation -------------------------------------------------------------------
-    def _acquire_worker(self, spec: FunctionSpec, mode: str):
+    def _host_affinity(self, host: Host, function: str) -> bool:
+        # Snapshot restores are cheap exactly where the image is resident.
+        return host.store.contains(function)
+
+    def _acquire_worker(self, spec: FunctionSpec, mode: str, host: Host):
         if mode == MODE_WARM:
             # Warm and snapshot starts coincide: there is nothing warmer
             # than the always-available snapshot.
             mode = MODE_AUTO
-        image = self._images.get(spec.name)
-        if image is None:
+        if not any(other.store.contains(spec.name)
+                   for other in self.cluster.hosts):
             raise PlatformError(
                 f"{self.name}: {spec.name!r} has no snapshot; install first")
-        self.store.get(spec.name)  # refresh LRU recency
-        worker = yield from self.restorer.restore(image, POLICY_DEMAND)
-        worker.endpoint = self.bridge.connect_guest(
+        image = yield from self._fetch_image_to_host(spec.name, host)
+        worker = yield from self.restorer_for(host).restore(
+            image, POLICY_DEMAND)
+        worker.endpoint = host.bridge.connect_guest(
             image.guest_ip, image.guest_mac)
         if self.stage == STAGE_OS:
             yield from worker.load_app_only(spec.app)

@@ -15,6 +15,7 @@ deployment needs around :meth:`ServerlessPlatform.invoke`:
 from __future__ import annotations
 
 import hashlib
+import hmac
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -67,6 +68,7 @@ class ApiGateway:
     def __init__(self, platform: ServerlessPlatform) -> None:
         self.platform = platform
         self._namespaces: Dict[str, _Namespace] = {}
+        self._keys: Dict[str, _Namespace] = {}  # api_key -> namespace
         self._activation_counter = 0
         self.rejected_requests = 0
 
@@ -77,13 +79,20 @@ class ApiGateway:
             raise PlatformError(f"namespace {name!r} already exists")
         digest = hashlib.sha256(f"key:{name}".encode("utf-8")).hexdigest()
         api_key = f"{name}:{digest[:24]}"
-        self._namespaces[name] = _Namespace(name=name, api_key=api_key)
+        namespace = _Namespace(name=name, api_key=api_key)
+        self._namespaces[name] = namespace
+        self._keys[api_key] = namespace
         return api_key
 
     def _authenticate(self, api_key: str) -> _Namespace:
-        for namespace in self._namespaces.values():
-            if namespace.api_key == api_key:
-                return namespace
+        namespace = self._keys.get(api_key)
+        # The dict lookup keys off the (public) key string; the digest
+        # comparison itself must still be constant-time so response timing
+        # cannot be used to probe key bytes.
+        if namespace is not None and hmac.compare_digest(
+                namespace.api_key.encode("utf-8"),
+                api_key.encode("utf-8")):
+            return namespace
         self.rejected_requests += 1
         raise AuthenticationError("invalid API key")
 
@@ -102,7 +111,11 @@ class ApiGateway:
             raise PayloadTooLargeError(
                 f"payload {payload_kb:.0f} KiB exceeds the "
                 f"{MAX_PAYLOAD_KB} KiB synchronous cap")
-        self.platform.spec(function)  # 404 before billing anything
+        try:
+            self.platform.spec(function)  # 404 before billing anything
+        except FunctionNotFoundError:
+            self.rejected_requests += 1
+            raise
 
         self._activation_counter += 1
         activation_id = (f"act-{namespace.name}-"

@@ -3,10 +3,14 @@
 Cold start pays container creation plus gVisor's Sentry/Gofer bring-up;
 every I/O pays syscall interception (the slowest I/O path in Fig 6(c)).
 Warm methodology matches §5.1: install, pause, resume on invocation — the
-function was never executed, so the first run still JITs.
+function was never executed, so the first run still JITs.  Paused sandboxes
+are host-local: they only help when placement sends the request back to
+the host that has one.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.platforms.base import (MODE_AUTO, MODE_COLD, MODE_WARM,
                                   ServerlessPlatform)
@@ -15,6 +19,9 @@ from repro.runtime import make_runtime
 from repro.sandbox.gvisor import GVisorSandbox
 from repro.sandbox.worker import Worker
 from repro.workloads.base import FunctionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.host import Host
 
 
 class GVisorPlatform(ServerlessPlatform):
@@ -28,41 +35,52 @@ class GVisorPlatform(ServerlessPlatform):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self.pool = WarmPool()
         self.cold_starts = 0
         self.warm_starts = 0
 
-    def _boot_worker(self, spec: FunctionSpec):
+    @property
+    def pool(self) -> WarmPool:
+        """Host 0's warm pool (the only pool on a single-host cluster)."""
+        return self.cluster.hosts[0].pool
+
+    def _boot_worker(self, spec: FunctionSpec, host: Host):
         worker = Worker(self.sim,
                         GVisorSandbox(self.sim, self.params,
-                                      self.host_memory, spec.language),
+                                      host.memory, spec.language),
                         make_runtime(self.sim, self.params, spec.language))
         yield from worker.cold_start(spec.app)
         return worker
 
-    def provision_warm(self, name: str):
-        """§5.1 warm methodology: launch, install, pause."""
+    def provision_warm(self, name: str, host: Host = None):
+        """§5.1 warm methodology: launch, install, pause.
+
+        Defaults to the function's home host, where the hash policy (and
+        a single-host cluster trivially) will look for it.
+        """
         spec = self.spec(name)
-        worker = yield from self._boot_worker(spec)
+        if host is None:
+            host = self.cluster.home_host(name)
+        worker = yield from self._boot_worker(spec, host)
         yield from worker.pause()
-        self.pool.add(name, WarmEntry(worker, float("inf"), paused=True))
+        host.pool.add(name, WarmEntry(worker, float("inf"), paused=True))
         return worker
 
-    def _acquire_worker(self, spec: FunctionSpec, mode: str):
+    def _acquire_worker(self, spec: FunctionSpec, mode: str, host: Host):
         if mode in (MODE_AUTO, MODE_WARM):
-            entry = self.pool.take(spec.name, self.sim.now)
+            entry = host.pool.take(spec.name, self.sim.now)
             if mode == MODE_WARM:
                 entry = require_warm(entry, spec.name, self.name)
             if entry is not None:
                 yield from entry.worker.resume()
                 self.warm_starts += 1
                 return entry.worker, MODE_WARM, 0.0
-        worker = yield from self._boot_worker(spec)
+        worker = yield from self._boot_worker(spec, host)
         self.cold_starts += 1
         return worker, MODE_COLD, 0.0
 
-    def _release_worker(self, spec: FunctionSpec, worker: Worker):
-        del spec
+    def _release_worker(self, spec: FunctionSpec, worker: Worker,
+                        host: Host):
+        del spec, host
         if not self.retain_workers:
             self.sim.process(worker.stop(),
                              name=f"teardown:{worker.sandbox.name}")

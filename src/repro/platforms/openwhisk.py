@@ -8,24 +8,27 @@ state survives between them (§5.1: OpenWhisk warm = previously invoked).
 
 OpenWhisk is the only baseline that can execute chains of functions (§5.3).
 
-Optionally the platform schedules across an :class:`InvokerPool` (Figure 1's
-backend servers): warm containers then live on a *specific* invoker, so the
-scheduling policy decides how often requests actually find them.
+Warm containers live on a *specific host* of the cluster (Figure 1's
+backend servers), so the placement policy decides how often requests
+actually find them: hashing each function to a home host concentrates
+warm state, round-robin sprays requests past it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.platforms.base import (MODE_AUTO, MODE_COLD, MODE_WARM,
                                   ServerlessPlatform)
 from repro.platforms.keepalive import FixedKeepAlive, KeepAlivePolicy
 from repro.platforms.pooling import WarmEntry, WarmPool, require_warm
-from repro.platforms.scheduler import InvokerNode, InvokerPool
 from repro.runtime import make_runtime
 from repro.sandbox.container import Container
 from repro.sandbox.worker import Worker
 from repro.workloads.base import FunctionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.host import Host
 
 
 class OpenWhiskPlatform(ServerlessPlatform):
@@ -37,33 +40,25 @@ class OpenWhiskPlatform(ServerlessPlatform):
     memory_label = "Low (pre-launching)"
     supports_chains = True
 
-    def __init__(self, *args, invokers: Optional[InvokerPool] = None,
+    def __init__(self, *args,
                  keepalive_policy: Optional[KeepAlivePolicy] = None,
                  **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self.pool = WarmPool()
-        self.invokers = invokers
         self.keepalive = keepalive_policy or FixedKeepAlive(
             self.params.control_plane.warm_keepalive_ms)
         self.cold_starts = 0
         self.warm_starts = 0
-        self._worker_nodes: Dict[int, InvokerNode] = {}
 
-    # -- invoker-aware pooling ----------------------------------------------------
-    def _pool_key(self, spec: FunctionSpec,
-                  node: Optional[InvokerNode]) -> str:
-        # Warm containers are node-local when a pool of invokers exists.
-        if node is None:
-            return spec.name
-        return f"invoker{node.node_id}:{spec.name}"
+    @property
+    def pool(self) -> WarmPool:
+        """Host 0's warm pool (the only pool on a single-host cluster)."""
+        return self.cluster.hosts[0].pool
 
     # -- backend hooks -----------------------------------------------------------
-    def _acquire_worker(self, spec: FunctionSpec, mode: str):
+    def _acquire_worker(self, spec: FunctionSpec, mode: str, host: Host):
         self.keepalive.observe_arrival(spec.name, self.sim.now)
-        node = self.invokers.pick(spec.name) if self.invokers else None
-        key = self._pool_key(spec, node)
         if mode in (MODE_AUTO, MODE_WARM):
-            entry = self.pool.take(key, self.sim.now)
+            entry = host.pool.take(spec.name, self.sim.now)
             if mode == MODE_WARM:
                 entry = require_warm(entry, spec.name, self.name)
             if entry is not None:
@@ -73,49 +68,43 @@ class OpenWhiskPlatform(ServerlessPlatform):
                     yield self.sim.timeout(
                         self.params.control_plane.openwhisk_warm_route_ms)
                 self.warm_starts += 1
-                self._note_node(entry.worker, node)
                 return entry.worker, MODE_WARM, 0.0
-        self._reap_expired()
+        self._reap_expired(host)
         worker = Worker(self.sim,
-                        Container(self.sim, self.params, self.host_memory,
+                        Container(self.sim, self.params, host.memory,
                                   spec.language),
                         make_runtime(self.sim, self.params, spec.language))
         yield from worker.cold_start(spec.app)
         self.cold_starts += 1
-        self._note_node(worker, node)
         return worker, MODE_COLD, 0.0
 
-    def _release_worker(self, spec: FunctionSpec, worker: Worker):
-        node = self._worker_nodes.pop(id(worker), None)
-        if node is not None:
-            node.release()
+    def _release_worker(self, spec: FunctionSpec, worker: Worker,
+                        host: Host):
         # Keep the container alive for the (possibly per-function,
-        # policy-decided) keep-alive window, on the node that hosts it.
+        # policy-decided) keep-alive window, on the host that ran it.
         window = self.keepalive.window_ms(spec.name)
-        self.pool.add(self._pool_key(spec, node), WarmEntry(
+        host.pool.add(spec.name, WarmEntry(
             worker, self.sim.now + window, paused=False))
         return
         yield  # pragma: no cover
 
     # -- housekeeping ----------------------------------------------------------------
-    def _note_node(self, worker: Worker,
-                   node: Optional[InvokerNode]) -> None:
-        if node is not None:
-            self._worker_nodes[id(worker)] = node
-
-    def _reap_expired(self) -> None:
+    def _reap_expired(self, host: Host) -> None:
         """Tear down keep-alive-expired containers in the background."""
-        for entry in self.pool.drain_expired():
+        for entry in host.pool.drain_expired():
             self.sim.process(entry.worker.stop(),
                              name=f"reap:{entry.worker.sandbox.name}")
 
     def reap_idle(self) -> int:
-        """Periodic reaper: sweep all pools and tear down expired
+        """Periodic reaper: sweep every host's pools and tear down expired
         containers now (a real OpenWhisk runs this on a timer).  Returns
         how many containers were reclaimed."""
-        self.pool.expire_all(self.sim.now)
-        expired = self.pool.drain_expired()
-        for entry in expired:
-            self.sim.process(entry.worker.stop(),
-                             name=f"reap:{entry.worker.sandbox.name}")
-        return len(expired)
+        reclaimed = 0
+        for host in self.cluster.hosts:
+            host.pool.expire_all(self.sim.now)
+            expired = host.pool.drain_expired()
+            for entry in expired:
+                self.sim.process(entry.worker.stop(),
+                                 name=f"reap:{entry.worker.sandbox.name}")
+            reclaimed += len(expired)
+        return reclaimed

@@ -1,32 +1,102 @@
-"""Invoker pool and load-balancing policies (the backend of Figure 1).
+"""Placement policies and the invoker pool (the backend of Figure 1).
 
 Figure 1's controller relays requests "to one of the backend servers" —
-the invokers.  Which invoker a request lands on matters because warm
-containers live *on a specific invoker*: a scheduler that sprays requests
-(round-robin) keeps missing its own warm pools, while OpenWhisk's actual
-scheme — hashing each function to a *home invoker* — concentrates warmth.
+the invokers.  Which server a request lands on matters because per-node
+state lives *on a specific node*: warm containers, snapshot images, page
+cache.  A scheduler that sprays requests (round-robin) keeps missing its
+own warm pools and snapshot stores, while OpenWhisk's actual scheme —
+hashing each function to a *home invoker* — concentrates state.
 
-Three policies:
+Four policies, shared by :class:`InvokerPool` (the lightweight counting
+view) and :class:`repro.cluster.Cluster` (real hosts on the invoke path):
 
-* ``round-robin``  — spread blindly;
-* ``least-loaded`` — spread by instantaneous load;
-* ``hash``         — home-invoker per function (OpenWhisk's default),
-                     falling over to the next node when the home is full.
+* ``round-robin``       — spread blindly;
+* ``least-loaded``      — spread by instantaneous load;
+* ``hash``              — home invoker per function (OpenWhisk's default),
+                          falling over to the next node when the home is
+                          full;
+* ``snapshot-locality`` — prefer nodes where the function's state (snapshot
+                          image or warm sandbox) is already resident,
+                          falling back to the hash home so the first
+                          request seeds locality deterministically.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PlatformError
 
 POLICY_ROUND_ROBIN = "round-robin"
 POLICY_LEAST_LOADED = "least-loaded"
 POLICY_HASH = "hash"
+POLICY_SNAPSHOT_LOCALITY = "snapshot-locality"
 
-_POLICIES = (POLICY_ROUND_ROBIN, POLICY_LEAST_LOADED, POLICY_HASH)
+POLICIES = (POLICY_ROUND_ROBIN, POLICY_LEAST_LOADED, POLICY_HASH,
+            POLICY_SNAPSHOT_LOCALITY)
+_POLICIES = POLICIES  # backward-compatible alias
+
+
+def home_index(function: str, n_nodes: int) -> int:
+    """The function's home node: a stable hash of its name (OpenWhisk)."""
+    digest = hashlib.sha256(function.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % n_nodes
+
+
+def select_node(nodes: Sequence, policy: str, function: str,
+                rr_cursor: int = 0,
+                locality: Optional[Callable[[object], bool]] = None
+                ) -> Tuple[object, int]:
+    """Pick a node for one request; returns ``(node, new_rr_cursor)``.
+
+    *nodes* is any sequence of objects exposing ``node_id``, ``active``
+    and ``has_room`` (both :class:`InvokerNode` and
+    :class:`repro.cluster.Host` qualify).  *locality* is an optional
+    predicate marking nodes where the function's state is already
+    resident; only the ``snapshot-locality`` policy consults it.  Raises
+    :class:`PlatformError` when every node is at capacity.
+    """
+    if policy not in POLICIES:
+        raise PlatformError(f"unknown scheduling policy {policy!r}")
+    if not nodes:
+        raise PlatformError("cannot place a request on zero nodes")
+
+    if policy == POLICY_ROUND_ROBIN:
+        for _ in range(len(nodes)):
+            node = nodes[rr_cursor]
+            rr_cursor = (rr_cursor + 1) % len(nodes)
+            if node.has_room:
+                return node, rr_cursor
+        raise PlatformError("all invokers at capacity")
+
+    if policy == POLICY_LEAST_LOADED:
+        candidates = [node for node in nodes if node.has_room]
+        if not candidates:
+            raise PlatformError("all invokers at capacity")
+        return min(candidates,
+                   key=lambda node: (node.active, node.node_id)), rr_cursor
+
+    if policy == POLICY_SNAPSHOT_LOCALITY and locality is not None:
+        preferred = [node for node in nodes
+                     if node.has_room and locality(node)]
+        if preferred:
+            # Deterministic: least-loaded among the state-resident nodes.
+            return min(preferred,
+                       key=lambda node: (node.active, node.node_id)), \
+                rr_cursor
+        # No resident node has room: fall through to the hash home so the
+        # first request (and capacity overflow) seeds locality
+        # deterministically.
+
+    # hash (and snapshot-locality fallback): home node, then linear probe.
+    home = home_index(function, len(nodes))
+    for offset in range(len(nodes)):
+        node = nodes[(home + offset) % len(nodes)]
+        if node.has_room:
+            return node, rr_cursor
+    raise PlatformError("all invokers at capacity")
 
 
 @dataclass
@@ -69,7 +139,7 @@ class InvokerPool:
                  policy: str = POLICY_HASH) -> None:
         if nodes < 1:
             raise PlatformError(f"need >= 1 invoker, got {nodes}")
-        if policy not in _POLICIES:
+        if policy not in POLICIES:
             raise PlatformError(f"unknown scheduling policy {policy!r}")
         self.policy = policy
         self.nodes: List[InvokerNode] = [
@@ -78,37 +148,17 @@ class InvokerPool:
         self._rr_next = 0
 
     # -- policy ---------------------------------------------------------------
-    def pick(self, function: str) -> InvokerNode:
+    def pick(self, function: str,
+             locality: Optional[Callable[[InvokerNode], bool]] = None
+             ) -> InvokerNode:
         """Choose (and assign to) an invoker for one request."""
-        node = self._select(function)
+        node, self._rr_next = select_node(self.nodes, self.policy, function,
+                                          self._rr_next, locality)
         node.assign(function)
         return node
 
-    def _select(self, function: str) -> InvokerNode:
-        if self.policy == POLICY_ROUND_ROBIN:
-            for _ in range(len(self.nodes)):
-                node = self.nodes[self._rr_next]
-                self._rr_next = (self._rr_next + 1) % len(self.nodes)
-                if node.has_room:
-                    return node
-            raise PlatformError("all invokers at capacity")
-        if self.policy == POLICY_LEAST_LOADED:
-            candidates = [node for node in self.nodes if node.has_room]
-            if not candidates:
-                raise PlatformError("all invokers at capacity")
-            return min(candidates, key=lambda node: (node.active,
-                                                     node.node_id))
-        # hash: home invoker, then linear probe on overflow.
-        home = self._home_index(function)
-        for offset in range(len(self.nodes)):
-            node = self.nodes[(home + offset) % len(self.nodes)]
-            if node.has_room:
-                return node
-        raise PlatformError("all invokers at capacity")
-
     def _home_index(self, function: str) -> int:
-        digest = hashlib.sha256(function.encode("utf-8")).digest()
-        return int.from_bytes(digest[:4], "big") % len(self.nodes)
+        return home_index(function, len(self.nodes))
 
     # -- stats -----------------------------------------------------------------
     def total_active(self) -> int:

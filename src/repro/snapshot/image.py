@@ -86,6 +86,29 @@ class SnapshotImage:
             segment.unpin()
         self._segments.clear()
 
+    def clone_for_transfer(self) -> "SnapshotImage":
+        """A same-generation replica for another host's snapshot store.
+
+        Page-cache segments are per-host (``materialize`` pins them on one
+        ``HostMemory``), so a cross-host copy must be a distinct image
+        object that materializes its own segments on the destination.  The
+        key and generation are unchanged: it is the same snapshot file, so
+        recorded working-set profiles keyed on them still match.
+        """
+        return SnapshotImage(
+            key=self.key,
+            language=self.language,
+            stage=self.stage,
+            regions_mb=dict(self.regions_mb),
+            guest_ip=self.guest_ip,
+            guest_mac=self.guest_mac,
+            app=self.app,
+            jit_state={name: state.clone()
+                       for name, state in self.jit_state.items()},
+            created_at_ms=self.created_at_ms,
+            generation=self.generation,
+        )
+
     def clone_for_regeneration(self) -> "SnapshotImage":
         """A fresh-generation image (periodic ASLR re-randomization, §6)."""
         return SnapshotImage(

@@ -82,7 +82,9 @@ def _nested_invoke_ms(span: Span) -> float:
 def phase_breakdown(invoke_span: Span) -> PhaseBreakdown:
     """Derive the start-up / exec / other split from one ``invoke`` span.
 
-    * ``frontend`` and ``queue`` stages are control-plane ("other") time;
+    * ``frontend``, ``placement`` and ``queue`` stages are control-plane
+      ("other") time (placement is an instantaneous decision today, so it
+      contributes zero);
     * the ``acquire`` stage is start-up, minus any descendant explicitly
       tagged ``phase="other"`` (e.g. Fireworks' parameter publish);
     * the ``exec`` stage is in-guest execution, minus nested ``invoke``
@@ -93,6 +95,8 @@ def phase_breakdown(invoke_span: Span) -> PhaseBreakdown:
     startup = exec_ms = other = queue = chain = 0.0
     for child in invoke_span.children:
         if child.name == "frontend":
+            other += child.duration_ms
+        elif child.name == "placement":
             other += child.duration_ms
         elif child.name == "queue":
             queue += child.duration_ms

@@ -31,36 +31,36 @@ class TestSchedulingComparison:
             comparison[POLICY_ROUND_ROBIN].latency.mean_ms
 
 
-class TestOpenWhiskWithInvokers:
-    def test_warm_containers_are_node_local(self):
-        from repro.bench import fresh_platform, install_all, invoke_once
+class TestOpenWhiskOnCluster:
+    def test_warm_containers_are_host_local(self):
+        from repro.bench import (fresh_cluster_platform, install_all,
+                                 invoke_once)
         from repro.platforms.openwhisk import OpenWhiskPlatform
-        from repro.platforms.scheduler import InvokerPool
         from repro.workloads import faasdom_spec
 
-        pool = InvokerPool(nodes=2, policy=POLICY_ROUND_ROBIN)
-        platform = fresh_platform(OpenWhiskPlatform, invokers=pool)
+        platform = fresh_cluster_platform(OpenWhiskPlatform, n_hosts=2,
+                                          policy=POLICY_ROUND_ROBIN)
         spec = faasdom_spec("faas-netlatency", "nodejs")
         install_all(platform, [spec])
-        # Round-robin alternates nodes; with one function the second
-        # request lands on the other node and must cold start.
+        # Round-robin alternates hosts; with one function the second
+        # request lands on the other host and must cold start.
         invoke_once(platform, spec.name)
         invoke_once(platform, spec.name)
         assert platform.cold_starts == 2
-        # Third request wraps to node 0, whose container is warm.
+        # Third request wraps to host 0, whose container is warm.
         invoke_once(platform, spec.name)
         assert platform.warm_starts == 1
 
-    def test_invoker_slots_released_after_invocation(self):
-        from repro.bench import fresh_platform, install_all, invoke_once
+    def test_host_slots_released_after_invocation(self):
+        from repro.bench import (fresh_cluster_platform, install_all,
+                                 invoke_once)
         from repro.platforms.openwhisk import OpenWhiskPlatform
-        from repro.platforms.scheduler import InvokerPool
         from repro.workloads import faasdom_spec
 
-        pool = InvokerPool(nodes=1, capacity_per_node=1)
-        platform = fresh_platform(OpenWhiskPlatform, invokers=pool)
+        platform = fresh_cluster_platform(OpenWhiskPlatform, n_hosts=1,
+                                          capacity_per_host=1)
         spec = faasdom_spec("faas-netlatency", "nodejs")
         install_all(platform, [spec])
         for _ in range(3):  # would deadlock if slots leaked
             invoke_once(platform, spec.name)
-        assert pool.total_active() == 0
+        assert platform.cluster.total_active() == 0

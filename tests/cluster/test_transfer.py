@@ -1,0 +1,69 @@
+"""Cross-host snapshot transfer on the Fireworks platform."""
+
+import pytest
+
+from repro.bench import fresh_cluster_platform, install_all, invoke_once
+from repro.core import FireworksPlatform
+from repro.platforms.scheduler import POLICY_ROUND_ROBIN, home_index
+from repro.workloads import faasdom_spec
+
+
+@pytest.fixture
+def spec():
+    return faasdom_spec("faas-netlatency", "nodejs")
+
+
+@pytest.fixture
+def platform(spec):
+    platform = fresh_cluster_platform(FireworksPlatform, n_hosts=2,
+                                      policy=POLICY_ROUND_ROBIN)
+    install_all(platform, [spec])
+    return platform
+
+
+class TestCrossHostTransfer:
+    def test_install_seeds_only_the_home_host(self, platform, spec):
+        home = home_index(spec.name, 2)
+        assert platform.cluster.host(home).store.contains(spec.name)
+        assert not platform.cluster.host(1 - home).store.contains(spec.name)
+
+    def test_miss_on_other_host_pays_one_transfer(self, platform, spec):
+        # Round-robin alternates hosts; one of the first two requests
+        # lands off the home host and must copy the image across.
+        invoke_once(platform, spec.name)
+        invoke_once(platform, spec.name)
+        assert platform.cross_host_transfers == 1
+        assert platform.local_restores == 1
+        # The replica is now resident, so the next round is all-local.
+        invoke_once(platform, spec.name)
+        invoke_once(platform, spec.name)
+        assert platform.cross_host_transfers == 1
+        assert platform.local_restores == 3
+
+    def test_transfer_span_records_route_and_cost(self, platform, spec):
+        home = home_index(spec.name, 2)
+        first = invoke_once(platform, spec.name)
+        second = invoke_once(platform, spec.name)
+        transferred = second if home == 0 else first
+        transfer = transferred.span.find("snapshot-transfer")
+        assert transfer is not None
+        assert transfer.attrs["src"] == home
+        assert transfer.attrs["dst"] == 1 - home
+        cfg = platform.params.cluster
+        expected = (cfg.snapshot_transfer_base_ms
+                    + cfg.snapshot_transfer_per_mb_ms
+                    * transfer.attrs["size_mb"])
+        assert transfer.duration_ms == pytest.approx(expected)
+        # The local restore on the other host never paid a transfer.
+        local = first if home == 0 else second
+        assert local.span.find("snapshot-transfer") is None
+
+    def test_replica_shares_key_and_generation(self, platform, spec):
+        invoke_once(platform, spec.name)
+        invoke_once(platform, spec.name)
+        home = home_index(spec.name, 2)
+        original = platform.cluster.host(home).store.get(spec.name)
+        replica = platform.cluster.host(1 - home).store.get(spec.name)
+        assert replica is not original
+        assert replica.key == original.key
+        assert replica.generation == original.generation

@@ -21,8 +21,8 @@ def catalyzer():
 class TestLifecycle:
     def test_install_builds_resident_template(self, catalyzer):
         platform, spec = catalyzer
-        assert spec.name in platform._templates
-        template = platform._templates[spec.name]
+        assert (0, spec.name) in platform._templates
+        template = platform._templates[(0, spec.name)]
         assert template.worker.sandbox.state == "paused"
         assert platform.host_memory.used_mb > 50  # template stays resident
 

@@ -51,12 +51,37 @@ class TestAuthentication:
         with pytest.raises(PlatformError):
             gw.create_namespace("alice")
 
+    def test_truncated_key_rejected(self, gateway):
+        """A prefix of a real key must not authenticate."""
+        gw, key, platform = gateway
+        with pytest.raises(AuthenticationError):
+            run(platform.sim, gw.handle_request(key[:-1], FN))
+        assert gw.rejected_requests == 1
+
+    def test_lookup_scales_past_first_namespace(self, gateway):
+        """Key lookup is by dict, not scan order: a later namespace's key
+        authenticates as that namespace even with many earlier ones."""
+        gw, _alice_key, platform = gateway
+        keys = {name: gw.create_namespace(name)
+                for name in ("bob", "carol", "dave")}
+        activation = run(platform.sim,
+                         gw.handle_request(keys["dave"], FN))
+        assert activation.namespace == "dave"
+        assert gw.rejected_requests == 0
+
 
 class TestValidation:
     def test_unknown_function_404s(self, gateway):
         gw, key, platform = gateway
         with pytest.raises(FunctionNotFoundError):
             run(platform.sim, gw.handle_request(key, "ghost"))
+
+    def test_404s_count_as_rejected(self, gateway):
+        gw, key, platform = gateway
+        for _ in range(2):
+            with pytest.raises(FunctionNotFoundError):
+                run(platform.sim, gw.handle_request(key, "ghost"))
+        assert gw.rejected_requests == 2
 
     def test_payload_cap(self, gateway):
         gw, key, platform = gateway

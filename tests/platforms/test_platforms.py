@@ -43,6 +43,27 @@ class TestRegistry:
         with pytest.raises(PlatformError):
             run(platform.sim, platform.install(spec))
 
+    def test_failed_backend_install_rolls_back(self, params, spec):
+        """A backend failure must not leave a half-installed function
+        registered — the install should be retryable."""
+        class FlakyInstall(OpenWhiskPlatform):
+            fail_next = True
+
+            def _install_backend(self, spec, host):
+                yield from super()._install_backend(spec, host)
+                if FlakyInstall.fail_next:
+                    FlakyInstall.fail_next = False
+                    raise PlatformError("disk full")
+
+        sim = Simulation()
+        platform = FlakyInstall(sim, params)
+        with pytest.raises(PlatformError, match="disk full"):
+            run(sim, platform.install(spec))
+        assert spec.name not in platform.installed_functions()
+        # Rollback means the retry is not rejected as a double install.
+        run(sim, platform.install(spec))
+        assert spec.name in platform.installed_functions()
+
     def test_installed_functions_listed(self, params, spec):
         platform = _installed(OpenWhiskPlatform, params, spec)
         assert platform.installed_functions() == (spec.name,)

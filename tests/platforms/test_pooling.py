@@ -53,6 +53,33 @@ class TestWarmPool:
         pool.add("fn", WarmEntry(FakeWorker(), 100.0, paused=True))
         assert pool.size("fn", now_ms=150.0) == 0
 
+    def test_expire_all_sweeps_every_function(self, pool):
+        stale_a, stale_b = FakeWorker(), FakeWorker()
+        pool.add("a", WarmEntry(stale_a, 100.0, paused=True))
+        pool.add("a", WarmEntry(FakeWorker(), 500.0, paused=True))
+        pool.add("b", WarmEntry(stale_b, 200.0, paused=False))
+        pool.expire_all(now_ms=300.0)
+        # Both stale entries land in one drain batch; live entry stays.
+        assert {e.worker for e in pool.drain_expired()} == {stale_a, stale_b}
+        assert pool.size("a", 300.0) == 1
+        assert pool.size("b", 300.0) == 0
+
+    def test_expire_all_then_take_does_not_redrain(self, pool):
+        """Entries expired by the sweep are not queued for teardown twice
+        when a later take() expires the (now-empty) pool again."""
+        pool.add("fn", WarmEntry(FakeWorker(), 100.0, paused=True))
+        pool.expire_all(now_ms=150.0)
+        assert len(pool.drain_expired()) == 1
+        assert pool.take("fn", now_ms=200.0) is None
+        assert pool.drain_expired() == []
+
+    def test_live_entries_excludes_expired(self, pool):
+        live = FakeWorker()
+        pool.add("a", WarmEntry(FakeWorker(), 100.0, paused=True))
+        pool.add("b", WarmEntry(live, 1000.0, paused=True))
+        assert [e.worker for e in pool.live_entries(now_ms=500.0)] == [live]
+        assert len(pool.drain_expired()) == 1
+
 
 class TestRequireWarm:
     def test_passes_through_entry(self):

@@ -70,6 +70,29 @@ class TestChromeExport:
         assert module.validate_trace([]) == \
             ["top level must be an object, got list"]
 
+    def test_validator_checks_placement_args(self, tmp_path):
+        import importlib.util
+        from pathlib import Path
+        tools = (Path(__file__).resolve().parents[2] / "tools"
+                 / "validate_trace.py")
+        spec = importlib.util.spec_from_file_location("validate_trace",
+                                                      tools)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        def placement_event(args):
+            return {"name": "placement", "ph": "X", "ts": 0.0, "dur": 0.0,
+                    "pid": 1, "tid": 1, "cat": "placement", "args": args}
+
+        good = {"traceEvents":
+                [placement_event({"host": 2, "policy": "hash"})]}
+        assert module.validate_trace(good) == []
+        bad = {"traceEvents": [placement_event({"policy": "hash"}),
+                               placement_event({"host": 2})]}
+        problems = module.validate_trace(bad)
+        assert any("args.host" in problem for problem in problems)
+        assert any("args.policy" in problem for problem in problems)
+
 
 class TestTreeExport:
     def test_tree_lists_every_span_with_timings(self, trace_root):

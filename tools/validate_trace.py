@@ -10,7 +10,9 @@ Checks the shape ``chrome://tracing``/Perfetto expects from
 * every event is an object carrying ``name``, ``ph``, ``ts``, ``pid`` and
   ``tid``;
 * complete events (``ph == "X"``) carry a non-negative ``dur``;
-* timestamps are non-negative and finite.
+* timestamps are non-negative and finite;
+* placement events (``cat == "placement"``) carry the chosen ``host`` and
+  the ``policy`` that chose it in ``args``.
 
 Exit code 0 when the file is valid, 1 otherwise (problems on stderr).
 """
@@ -55,6 +57,17 @@ def validate_trace(payload: Any) -> List[str]:
                     or dur < 0:
                 problems.append(f"{where}: complete event needs dur >= 0, "
                                 f"got {dur!r}")
+        if event.get("cat") == "placement":
+            args = event.get("args")
+            if not isinstance(args, dict):
+                problems.append(f"{where}: placement event needs args")
+                continue
+            if not isinstance(args.get("host"), int):
+                problems.append(f"{where}: placement event needs an integer "
+                                f"args.host, got {args.get('host')!r}")
+            if not isinstance(args.get("policy"), str):
+                problems.append(f"{where}: placement event needs a string "
+                                f"args.policy, got {args.get('policy')!r}")
     return problems
 
 
