@@ -149,6 +149,11 @@ def _sh_cluster(params, seed):
     return run_cluster_scheduling(params, seed=seed)
 
 
+def _sh_chaos(params, seed):
+    from repro.bench.chaos import run_chaos_experiment
+    return run_chaos_experiment(params, seed=seed)
+
+
 _SHARD_FNS: Dict[str, Callable[..., Any]] = {
     "table1": _sh_table1,
     "table2": _sh_table2,
@@ -166,6 +171,7 @@ _SHARD_FNS: Dict[str, Callable[..., Any]] = {
     "policies": _sh_policies,
     "keepalive": _sh_keepalive,
     "cluster": _sh_cluster,
+    "chaos": _sh_chaos,
 }
 
 
@@ -374,6 +380,8 @@ def _build_registry() -> Dict[str, ExperimentDef]:
                 "keepalive"))
     add(_single("cluster", "cluster placement policies (extension)",
                 "cluster"))
+    add(_single("chaos", "host-failure chaos experiment (extension)",
+                "chaos"))
     return registry
 
 

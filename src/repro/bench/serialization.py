@@ -41,6 +41,7 @@ def register_result_type(cls: Type) -> Type:
 
 def _register_builtin_result_types() -> None:
     """Register every result dataclass the experiment registry produces."""
+    from repro.bench.chaos import ChaosOutcome
     from repro.bench.cluster import ClusterPolicyOutcome
     from repro.bench.concurrency import BurstResult, LoadPoint
     from repro.bench.ablations import (DeoptResult, KeepAliveOutcome,
@@ -51,7 +52,7 @@ def _register_builtin_result_types() -> None:
     from repro.bench.sensitivity import SensitivityPoint, SensitivityResult
     from repro.bench.stats import LatencyStats
 
-    for cls in (BurstResult, ClusterPolicyOutcome, DeoptResult,
+    for cls in (BurstResult, ChaosOutcome, ClusterPolicyOutcome, DeoptResult,
                 FactorRow, FigureResult,
                 KeepAliveOutcome, LatencyRow, LatencyStats, LoadPoint,
                 MemoryPoint, MemorySeries, PaperComparison,

@@ -10,6 +10,9 @@ Commands:
 * ``burst [-n N] [-c CORES]`` — the burst-storm extension experiment;
 * ``cluster [--hosts N] [--policy P]`` — placement policies across a
                                 multi-host cluster (extension);
+* ``chaos [--crash-at-ms T] [--crash-host H]`` — replay the cluster trace
+                                under a host-failure fault plan and report
+                                availability / p99 / recovery (extension);
 * ``trace <target>``          — re-run one figure's invocations and export
                                 one invocation's span tree (Chrome
                                 ``trace_event`` JSON or a text tree).
@@ -31,7 +34,7 @@ FIGURES = ("table1", "table2", "snapshot-creation", "fig6", "fig7", "fig9",
 
 #: Extension experiments only the ``figure`` command exposes.
 EXTENSIONS = ("burst", "load-sweep", "sensitivity", "ablations", "policies",
-              "keepalive", "cluster")
+              "keepalive", "cluster", "chaos")
 
 
 def _print_fig_dict(results, chart: bool = False) -> None:
@@ -124,6 +127,9 @@ def _render_experiment(name: str, result, chart: bool = False) -> None:
     elif name == "cluster":
         for outcome in result.values():
             print(outcome.as_line())
+    elif name == "chaos":
+        for outcome in result.values():
+            print(outcome.as_line())
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown figure {name!r}")
 
@@ -172,6 +178,21 @@ def _cmd_cluster(hosts: int, functions: int, duration_ms: float,
     outcomes = run_cluster_scheduling(
         n_hosts=hosts, n_functions=functions, duration_ms=duration_ms,
         seed=seed, policies=selected)
+    for outcome in outcomes.values():
+        print(outcome.as_line())
+
+
+def _cmd_chaos(hosts: int, functions: int, duration_ms: float, seed: int,
+               crash_at_ms: float, crash_host: Optional[int],
+               policy: str) -> None:
+    """``chaos``: the cluster trace under a host-failure fault plan."""
+    from repro.bench.chaos import DEFAULT_ROWS, run_chaos_experiment
+    rows = (DEFAULT_ROWS if policy == "all"
+            else tuple(row for row in DEFAULT_ROWS if row[0] == policy))
+    outcomes = run_chaos_experiment(
+        n_hosts=hosts, n_functions=functions, duration_ms=duration_ms,
+        seed=seed, crash_at_ms=crash_at_ms, crash_host=crash_host,
+        rows=rows)
     for outcome in outcomes.values():
         print(outcome.as_line())
 
@@ -307,6 +328,26 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--policy", default="all",
                                 choices=POLICIES + ("all",))
 
+    from repro.bench.chaos import DEFAULT_CRASH_AT_MS
+    from repro.platforms.scheduler import (POLICY_ROUND_ROBIN,
+                                           POLICY_SNAPSHOT_LOCALITY)
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="cluster trace under a host-failure fault plan (extension)")
+    chaos_parser.add_argument("--hosts", type=_positive_int, default=4)
+    chaos_parser.add_argument("--functions", type=_positive_int, default=12)
+    chaos_parser.add_argument("--duration-ms", type=float,
+                              default=600_000.0)
+    chaos_parser.add_argument("--seed", type=int, default=11)
+    chaos_parser.add_argument("--crash-at-ms", type=float,
+                              default=DEFAULT_CRASH_AT_MS)
+    chaos_parser.add_argument(
+        "--crash-host", type=int, default=None,
+        help="host to crash (default: the busiest home host)")
+    chaos_parser.add_argument(
+        "--policy", default="all",
+        choices=(POLICY_ROUND_ROBIN, POLICY_SNAPSHOT_LOCALITY, "all"))
+
     trace_parser = sub.add_parser(
         "trace", help="export one invocation's span tree")
     trace_parser.add_argument("target", choices=TRACE_TARGETS,
@@ -360,6 +401,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "cluster":
         _cmd_cluster(args.hosts, args.functions, args.duration_ms,
                      args.seed, args.policy)
+    elif args.command == "chaos":
+        _cmd_chaos(args.hosts, args.functions, args.duration_ms, args.seed,
+                   args.crash_at_ms, args.crash_host, args.policy)
     elif args.command == "trace":
         return _cmd_trace(args.target, args.benchmark, args.invocation,
                           args.output_format, args.output)

@@ -65,6 +65,13 @@ class Host:
         self.active = 0
         self.assigned_total = 0
         self.per_function: Dict[str, int] = {}
+        # Chaos state (repro.chaos): a down host is skipped by every
+        # placement policy via has_room; degradation adds latency without
+        # taking the host out of rotation.
+        self.down = False
+        self.down_since_ms: Optional[float] = None
+        self.degraded_until_ms = float("-inf")
+        self.degraded_penalty_ms = 0.0
 
     # -- scheduler node interface ----------------------------------------------
     @property
@@ -73,7 +80,32 @@ class Host:
 
     @property
     def has_room(self) -> bool:
+        if self.down:
+            return False
         return self.capacity is None or self.active < self.capacity
+
+    # -- chaos state (repro.chaos drives these) --------------------------------
+    def mark_down(self, now_ms: float) -> None:
+        """Crash the host: placement skips it until :meth:`mark_up`."""
+        self.down = True
+        self.down_since_ms = now_ms
+
+    def mark_up(self) -> None:
+        """Recover a crashed host (its pool/store were lost at crash)."""
+        self.down = False
+        self.down_since_ms = None
+
+    def degrade(self, until_ms: float, penalty_ms: float) -> None:
+        """Slow the host down: invocations placed here before *until_ms*
+        pay an extra *penalty_ms* of dispatch latency."""
+        self.degraded_until_ms = until_ms
+        self.degraded_penalty_ms = penalty_ms
+
+    def degradation_penalty_ms(self, now_ms: float) -> float:
+        """The extra dispatch latency this host charges at *now_ms*."""
+        if now_ms < self.degraded_until_ms:
+            return self.degraded_penalty_ms
+        return 0.0
 
     def assign(self, function: str) -> None:
         """Count one in-flight invocation onto this host; errors when full."""

@@ -346,11 +346,23 @@ class ClusterConfig:
     (Figure 1); when the chosen host does not hold the function's snapshot
     image, the image is copied from a host that does before the restore —
     the cost the ``snapshot-locality`` placement policy exists to avoid.
+
+    The ``retry_*`` knobs bound the control plane's failover loop
+    (:mod:`repro.chaos`): a retryable infrastructure failure (host crash,
+    bus partition) is retried up to ``retry_max_attempts`` times with
+    exponential backoff ``min(cap, base * factor**(attempt-1))``, jittered
+    by up to ``retry_jitter_frac`` from a dedicated seeded RNG stream so
+    the delays are deterministic per root seed.
     """
 
     snapshot_transfer_base_ms: float = 4.0   # connection setup + image metadata
     snapshot_transfer_per_mb_ms: float = 0.8  # ~10 GbE effective goodput
     #                                           (~170 MiB image -> ~140 ms)
+    retry_max_attempts: int = 3              # total tries per invocation
+    retry_base_ms: float = 2.0               # first backoff delay
+    retry_backoff_factor: float = 2.0        # exponential growth per retry
+    retry_cap_ms: float = 250.0              # backoff ceiling
+    retry_jitter_frac: float = 0.1           # +/- fraction of the delay
 
 
 # ---------------------------------------------------------------------------

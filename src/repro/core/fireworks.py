@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 from repro.core.installer import Installer, InstallReport
 from repro.core.microvm_manager import MicroVMManager
 from repro.core.parameter_passer import ParameterPasser
-from repro.errors import PlatformError
+from repro.errors import PlatformError, SnapshotNotFoundError
 from repro.faults import (FaultInjector, InjectedFault,
                           SnapshotCorruptedError)
 from repro.platforms.base import MODE_SNAPSHOT, ServerlessPlatform
@@ -64,6 +64,7 @@ class FireworksPlatform(ServerlessPlatform):
                                       self.params.fireworks, faults=faults)
         self.restore_failures = 0
         self.param_fetch_retries = 0
+        self.regenerations = 0   # failover regenerations (lost replicas)
         self.install_reports: Dict[str, InstallReport] = {}
         # REAP-style working-set recording (§7): profiles are captured after
         # each invocation and consulted by POLICY_REAP restores.  The
@@ -92,8 +93,15 @@ class FireworksPlatform(ServerlessPlatform):
                                      host.bridge, fc_prefix=prefix)
             manager.restorer.faults = self.faults
             manager.restorer.recorder = self.recorder
+            manager.restorer.chaos = self.chaos
             self._managers[host.host_id] = manager
         return manager
+
+    def on_chaos_attached(self) -> None:
+        """Wire the chaos controller into restorers built before it
+        attached, so they honour its slow-restore windows too."""
+        for manager in self._managers.values():
+            manager.restorer.chaos = self.chaos
 
     @property
     def installer(self) -> Installer:
@@ -135,7 +143,17 @@ class FireworksPlatform(ServerlessPlatform):
         del mode  # Fireworks has no cold/warm distinction (§5.1).
         tracer = self.sim.tracer
         manager = self.manager_for(host)
-        image = yield from self._fetch_image_to_host(spec.name, host)
+        try:
+            image = yield from self._fetch_image_to_host(spec.name, host)
+        except SnapshotNotFoundError:
+            # Every replica died (the home host crashed before the image
+            # spread).  With failover on, re-create the snapshot on this
+            # host from the installed image's metadata; otherwise the
+            # function is simply unavailable.
+            if self.chaos is None or not self.chaos.failover \
+                    or spec.name not in self.install_reports:
+                raise
+            image = yield from self._regenerate_on_host(spec.name, host)
         fc_id = manager.next_fc_id()
 
         # (5) put the arguments into the parameter passer queue *before*
@@ -215,4 +233,27 @@ class FireworksPlatform(ServerlessPlatform):
                     + new_image.size_mb * self.params.snapshot.create_per_mb_ms)
         yield self.sim.timeout(write_ms)
         host.store.put(name, new_image)
+        return new_image
+
+    def _regenerate_on_host(self, name: str, host: Host):
+        """Failover regeneration: re-create *name*'s snapshot on *host*.
+
+        The installation report's image is metadata (layout, sizes, JIT
+        state) — cloning it for a new generation does not need the dead
+        replica's bytes, only the snapshot-creation work (§3.1 step 4).
+        The span is untagged, so the time counts as start-up: the
+        failover host pays it on the critical path.
+        """
+        report = self.install_reports[name]
+        new_image = report.image.clone_for_regeneration()
+        regen_span = self.sim.tracer.span(
+            "regenerate", key=name, dst=host.host_id,
+            size_mb=new_image.size_mb)
+        with regen_span:
+            write_ms = (self.params.snapshot.create_base_ms
+                        + new_image.size_mb
+                        * self.params.snapshot.create_per_mb_ms)
+            yield self.sim.timeout(write_ms)
+            host.store.put(name, new_image)
+        self.regenerations += 1
         return new_image

@@ -59,6 +59,60 @@ class FunctionNotFoundError(PlatformError):
     """Invocation of a function that was never installed/registered."""
 
 
+class ChaosError(ReproError):
+    """An injected infrastructure failure (chaos engine, repro.chaos)."""
+
+
+class RetryableChaosError(ChaosError):
+    """A chaos failure the invoke path may retry (the fault can heal or a
+    different host can serve the request)."""
+
+
+class HostDownError(RetryableChaosError):
+    """The chosen host crashed before the invocation could complete on it."""
+
+    def __init__(self, host_id: int, stage: str) -> None:
+        super().__init__(f"host{host_id} is down (observed at {stage})")
+        self.host_id = host_id
+        self.stage = stage
+
+
+class BusPartitionedError(RetryableChaosError):
+    """The controller cannot reach the message bus (network partition)."""
+
+
+class NoHostAvailableError(PlatformError, RetryableChaosError):
+    """Placement found no live host with room.
+
+    A :class:`PlatformError` subclass so pre-chaos callers that expect
+    "all invokers at capacity" to be a platform error keep working, and a
+    :class:`RetryableChaosError` because a crashed host may recover.
+    """
+
+
+class ExecutionLostError(ChaosError):
+    """The host died after the function executed but before the response
+    was accounted.  Deliberately *not* retryable: re-running would execute
+    the function twice (at-most-once billing)."""
+
+    def __init__(self, host_id: int) -> None:
+        super().__init__(
+            f"host{host_id} crashed after execution; result lost")
+        self.host_id = host_id
+
+
+class InvocationFailedError(ChaosError):
+    """An invocation exhausted its retry budget (or hit an unretryable
+    fault) under an attached chaos controller.  Carries the
+    ``FailedInvocation`` result object as ``failed``."""
+
+    def __init__(self, failed) -> None:
+        super().__init__(
+            f"invocation of {failed.function!r} failed after "
+            f"{failed.attempts} attempt(s): {failed.reason}")
+        self.failed = failed
+
+
 class AnnotationError(ReproError):
     """The code annotator could not transform the user's source."""
 

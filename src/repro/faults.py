@@ -71,3 +71,14 @@ class FaultInjector:
     def armed(self, kind: str, key: str) -> int:
         """How many failures remain armed for (kind, key)."""
         return self._budgets.get((kind, key), 0)
+
+    def reset(self) -> None:
+        """Drop all armed budgets and fired counts.
+
+        Experiments that repeat a run in-process (the parallel engine's
+        uncached path, a bench replaying per policy) must reset — or build
+        a fresh injector — per run, otherwise leftover budgets from run N
+        fire during run N+1 and cached/uncached results disagree.
+        """
+        self._budgets.clear()
+        self.fired.clear()

@@ -8,11 +8,11 @@ subset of records) can be summarized.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
 
 from repro.bench.stats import LatencyStats
-from repro.platforms.base import InvocationRecord
+from repro.platforms.base import FailedInvocation, InvocationRecord
 from repro.trace import phase_breakdown
 
 
@@ -44,6 +44,18 @@ class PlatformMetrics:
     total_invocations: int
     by_mode: Dict[str, int]
     functions: List[FunctionMetrics]
+    # Chaos-era fields: requests that exhausted their retry budget.  The
+    # defaults keep pre-chaos callers (and their golden output) unchanged.
+    failed_invocations: int = 0
+    by_failure_reason: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def availability(self) -> float:
+        """Completed / (completed + failed); 1.0 with no traffic."""
+        total = self.total_invocations + self.failed_invocations
+        if total == 0:
+            return 1.0
+        return self.total_invocations / total
 
     def function(self, name: str) -> FunctionMetrics:
         """Look up one function's metrics; KeyError if absent."""
@@ -56,6 +68,12 @@ class PlatformMetrics:
         """Render the dashboard."""
         lines = [f"== metrics: {self.platform} "
                  f"({self.total_invocations} invocations) =="]
+        if self.failed_invocations:
+            reasons = ",".join(
+                f"{reason}={count}" for reason, count
+                in sorted(self.by_failure_reason.items()))
+            lines.append(f"failed={self.failed_invocations} "
+                         f"availability={self.availability:.4%} [{reasons}]")
         lines.extend(entry.as_line() for entry in self.functions)
         return "\n".join(lines)
 
@@ -74,10 +92,23 @@ def _startup_and_total_ms(record: InvocationRecord):
     return record.startup_ms, record.total_ms
 
 
+def _failure_class(failed: FailedInvocation) -> str:
+    """Coarse failure bucket for the dashboard: the leading word of the
+    reason ('host3 is down ...' -> 'host-down' style buckets would
+    over-fit message text, so bucket on the first token)."""
+    return failed.reason.split(" ", 1)[0] if failed.reason else "unknown"
+
+
 def summarize(platform_name: str,
               records: Iterable[InvocationRecord],
-              include_chains: bool = True) -> PlatformMetrics:
-    """Build the operational summary for *records*."""
+              include_chains: bool = True,
+              failed: Optional[Iterable[FailedInvocation]] = None
+              ) -> PlatformMetrics:
+    """Build the operational summary for *records*.
+
+    *failed* is the platform's ``failed_invocations`` list (chaos runs);
+    omitted, the summary is identical to the pre-chaos one.
+    """
     flat: List[InvocationRecord] = []
     for record in records:
         flat.extend(record.chain_records() if include_chains
@@ -106,8 +137,16 @@ def summarize(platform_name: str,
                 [total for _, total in splits]),
             startup_share=0.0 if total_ms == 0 else startup_ms / total_ms))
 
+    failed_list = list(failed) if failed is not None else []
+    by_reason: Dict[str, int] = {}
+    for entry in failed_list:
+        bucket = _failure_class(entry)
+        by_reason[bucket] = by_reason.get(bucket, 0) + 1
+
     return PlatformMetrics(
         platform=platform_name,
         total_invocations=len(flat),
         by_mode=total_by_mode,
-        functions=functions)
+        functions=functions,
+        failed_invocations=len(failed_list),
+        by_failure_reason=by_reason)

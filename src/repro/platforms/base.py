@@ -14,7 +14,10 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.config import CalibratedParameters
 from repro.db.couchdb import CouchServer
-from repro.errors import FunctionNotFoundError, PlatformError
+from repro.errors import (BusPartitionedError, ExecutionLostError,
+                          FunctionNotFoundError, HostDownError,
+                          InvocationFailedError, PlatformError, ReproError,
+                          RetryableChaosError, SimulationError, TraceError)
 from repro.faults import FaultInjector, InjectedFault
 from repro.mem.host_memory import HostMemory
 from repro.net.bridge import HostBridge
@@ -56,6 +59,7 @@ class InvocationRecord:
     completed_ms: Optional[float] = None  # wall clock when invoke() returned
     trace_id: str = ""                    # id of the invocation's trace
     span: Optional[Span] = None           # the root "invoke" span
+    attempts: int = 1                     # dispatch attempts (chaos retries)
 
     @property
     def total_ms(self) -> float:
@@ -102,6 +106,31 @@ class InvocationRecord:
         for child in self.children:
             records.extend(child.chain_records())
         return records
+
+
+@dataclass(frozen=True)
+class FailedInvocation:
+    """One invocation that exhausted its retry budget under chaos.
+
+    A first-class *result*, not a crash: chaos experiments count these
+    against availability instead of aborting, mirroring how a real
+    platform returns 5xx for requests it could not place.
+    """
+
+    function: str
+    platform: str
+    submitted_ms: float
+    failed_ms: float
+    attempts: int
+    reason: str
+    hosts_tried: Tuple[int, ...]
+    trace_id: str = ""
+    span: Optional[Span] = None
+
+    @property
+    def latency_ms(self) -> float:
+        """How long the platform tried before giving up."""
+        return self.failed_ms - self.submitted_ms
 
 
 class _PlatformHandlers(ExternalHandlers):
@@ -243,6 +272,13 @@ class ServerlessPlatform:
         self.retain_workers = False
         self.local_restores = 0      # snapshot found on the chosen host
         self.cross_host_transfers = 0  # snapshot copied over the network
+        # Chaos: a HostFailureController attaches itself here; with no
+        # controller the invoke path is byte-identical to the pre-chaos one
+        # (single attempt, no containment, no extra RNG draws).
+        self.chaos = None
+        self.retries = 0             # invoke-level retry spans emitted
+        self.failovers = 0           # attempts re-dispatched off a dead host
+        self.failed_invocations: List[FailedInvocation] = []
         self.active_workers: List[Worker] = []
         self.records: List[InvocationRecord] = []
         self._specs: Dict[str, FunctionSpec] = {}
@@ -341,6 +377,18 @@ class ServerlessPlatform:
         Returns the :class:`InvocationRecord` with the full latency
         breakdown.  ``mode`` forces a cold or warm path where the backend
         distinguishes them.
+
+        With a chaos controller attached (``self.chaos``), retryable
+        infrastructure failures (dead host, bus partition, no live host)
+        are retried with exponential backoff up to
+        ``params.cluster.retry_max_attempts`` total tries; an attempt that
+        follows a :class:`HostDownError` is marked with a zero-width
+        ``failover`` span.  An invocation that exhausts its budget (or
+        hits an unretryable fault) is recorded as a
+        :class:`FailedInvocation` and surfaces as
+        :class:`InvocationFailedError` rather than crashing the
+        experiment.  Without a controller the path is unchanged: one
+        attempt, failures propagate as before.
         """
         spec = self.spec(name)
         tracer = self.sim.tracer
@@ -352,77 +400,54 @@ class ServerlessPlatform:
             "invoke", kind="invoke",
             trace_id=f"{self.name}-inv{self._invocation_seq}",
             function=name, platform=self.name)
+        cfg = self.params.cluster
+        max_attempts = cfg.retry_max_attempts if self.chaos is not None else 1
+        hosts_tried: List[int] = []
 
-        with invoke_span:
-            # Frontend: gateway relays, controller dispatches over the bus.
-            cp = self.params.control_plane
-            frontend_ms = (cp.gateway_route_ms + cp.controller_dispatch_ms
-                           + cp.bus_publish_ms)
-            self.bus.produce(f"invoke-{name}", payload or {},
-                             timestamp_ms=self.sim.now)
-            with tracer.span("frontend", phase="other"):
-                yield self.sim.timeout(frontend_ms)
-
-            # Placement: the controller picks a backend host (Figure 1:
-            # "relays it to one of the backend servers").  The decision is
-            # instantaneous — the span records *where* and *why*, not time.
-            placement_span = tracer.span("placement", kind="placement",
-                                         policy=self.cluster.policy)
-            with placement_span:
-                host = self.cluster.place(
-                    spec.name,
-                    locality=lambda h: self._host_affinity(h, spec.name))
-                placement_span.attrs["host"] = host.host_id
-            record.host_id = host.host_id
-
-            try:
-                # Under burst load the chosen host's core pool gates
-                # everything past placement: claim a core for the sandbox
-                # work + execution.
-                cpu_claim = None
-                if host.cpu is not None:
-                    with tracer.span("queue", phase="queue"):
-                        cpu_claim = yield from host.cpu.acquire()
-
-                try:
-                    # Backend: acquire a worker (cold boot / warm pool /
-                    # snapshot) on the chosen host.  Time in this span is
-                    # start-up, except spans explicitly tagged
-                    # phase="other" (parameter publish).
-                    acquire_span = tracer.span("acquire", kind="acquire")
-                    with acquire_span:
-                        worker, mode_used, _extra_other_ms = \
-                            yield from self._acquire_worker(spec, mode, host)
-                        acquire_span.attrs["mode"] = mode_used
-                    record.mode = mode_used
-                    record.worker = worker
-
-                    # Execute the guest program.  Nested invoke spans
-                    # (chain hops) are accounted on the child records, not
-                    # here.
-                    handlers = self._make_handlers(worker, record)
-                    exec_span = tracer.span("exec", phase="exec")
-                    with exec_span:
-                        guest = yield from worker.invoke(
-                            spec.program(payload), handlers)
-                        exec_span.attrs["deopts"] = guest.deopt_count
-                        exec_span.attrs["jit_optimized"] = len(
-                            worker.runtime.jit.optimized_functions())
-                        # Pages this clone CoW-broke (its private/dirty
-                        # MiB).
-                        exec_span.attrs["uss_mb"] = \
-                            worker.sandbox.space.uss_mb()
-                    record.guest = guest
-                finally:
-                    if cpu_claim is not None:
-                        host.cpu.release(cpu_claim)
-
-                with tracer.span("release", kind="release"):
-                    yield from self._release_worker(spec, worker, host)
-                if self.retain_workers and worker not in self.active_workers:
-                    self.active_workers.append(worker)
-            finally:
-                self.cluster.finish(host)
+        try:
+            with invoke_span:
+                attempt = 1
+                failed_from: Optional[int] = None
+                while True:
+                    try:
+                        if failed_from is not None:
+                            # Zero-width marker: this attempt re-dispatches
+                            # a request whose previous host died.
+                            with tracer.span("failover", kind="failover",
+                                             from_host=failed_from,
+                                             attempt=attempt):
+                                pass
+                            self.failovers += 1
+                            failed_from = None
+                        yield from self._invoke_attempt(
+                            spec, mode, payload, record, hosts_tried)
+                        break
+                    except RetryableChaosError as error:
+                        if attempt >= max_attempts:
+                            raise
+                        delay_ms = self._retry_backoff_ms(attempt)
+                        with tracer.span("retry", kind="retry",
+                                         target="invoke", attempt=attempt,
+                                         error=type(error).__name__):
+                            yield self.sim.timeout(delay_ms)
+                        self.retries += 1
+                        if isinstance(error, HostDownError):
+                            failed_from = error.host_id
+                        attempt += 1
+                        record.attempts = attempt
+        except ReproError as error:
+            if self.chaos is None or \
+                    isinstance(error, (TraceError, SimulationError)):
+                raise
+            failed = FailedInvocation(
+                function=name, platform=self.name,
+                submitted_ms=record.submitted_ms, failed_ms=self.sim.now,
+                attempts=record.attempts,
+                reason=str(error) or type(error).__name__,
+                hosts_tried=tuple(hosts_tried),
+                trace_id=invoke_span.trace_id, span=invoke_span)
+            self.failed_invocations.append(failed)
+            raise InvocationFailedError(failed) from error
 
         # The record's breakdown is *derived* from the span tree, so the
         # Fig 6/7 bars and the trace cannot disagree (repro.trace.verify).
@@ -436,6 +461,141 @@ class ServerlessPlatform:
         record.queue_wait_ms = breakdown.queue_ms
         self.records.append(record)
         return record
+
+    def _invoke_attempt(self, spec: FunctionSpec, mode: str,
+                        payload: Optional[Dict[str, Any]],
+                        record: InvocationRecord,
+                        hosts_tried: List[int]):
+        """One dispatch attempt (a simulation generator).
+
+        Chaos failures surface at *stage boundaries*: a host that dies
+        mid-stage is observed when the stage completes, which keeps every
+        stage span well formed (docs/chaos.md).
+        """
+        tracer = self.sim.tracer
+        name = spec.name
+
+        # Frontend: gateway relays, controller dispatches over the bus.
+        if self.chaos is not None and \
+                self.chaos.bus_partitioned(self.sim.now):
+            raise BusPartitionedError(
+                f"message bus unreachable at {self.sim.now:.0f}ms")
+        cp = self.params.control_plane
+        frontend_ms = (cp.gateway_route_ms + cp.controller_dispatch_ms
+                       + cp.bus_publish_ms)
+        self.bus.produce(f"invoke-{name}", payload or {},
+                         timestamp_ms=self.sim.now)
+        with tracer.span("frontend", phase="other"):
+            yield self.sim.timeout(frontend_ms)
+
+        # Placement: the controller picks a backend host (Figure 1:
+        # "relays it to one of the backend servers").  The decision is
+        # instantaneous — the span records *where* and *why*, not time.
+        # Down hosts advertise no room, so every policy fails over here.
+        placement_span = tracer.span("placement", kind="placement",
+                                     policy=self.cluster.policy)
+        with placement_span:
+            host = self.cluster.place(
+                spec.name,
+                locality=lambda h: self._host_affinity(h, spec.name))
+            placement_span.attrs["host"] = host.host_id
+        record.host_id = host.host_id
+        hosts_tried.append(host.host_id)
+
+        try:
+            # An injected host degradation slows dispatch onto this host.
+            penalty_ms = host.degradation_penalty_ms(self.sim.now)
+            if penalty_ms > 0.0:
+                with tracer.span("degraded", kind="degraded",
+                                 host=host.host_id, penalty_ms=penalty_ms):
+                    yield self.sim.timeout(penalty_ms)
+
+            # Under burst load the chosen host's core pool gates
+            # everything past placement: claim a core for the sandbox
+            # work + execution.
+            cpu_claim = None
+            if host.cpu is not None:
+                with tracer.span("queue", phase="queue"):
+                    cpu_claim = yield from host.cpu.acquire()
+
+            try:
+                if cpu_claim is not None:
+                    self._check_host_alive(host, "queue")
+                # Backend: acquire a worker (cold boot / warm pool /
+                # snapshot) on the chosen host.  Time in this span is
+                # start-up, except spans explicitly tagged
+                # phase="other" (parameter publish).
+                acquire_span = tracer.span("acquire", kind="acquire")
+                with acquire_span:
+                    worker, mode_used, _extra_other_ms = \
+                        yield from self._acquire_worker(spec, mode, host)
+                    acquire_span.attrs["mode"] = mode_used
+                self._check_host_alive(host, "acquire")
+                record.mode = mode_used
+                record.worker = worker
+
+                # Execute the guest program.  Nested invoke spans
+                # (chain hops) are accounted on the child records, not
+                # here.
+                handlers = self._make_handlers(worker, record)
+                exec_span = tracer.span("exec", phase="exec")
+                with exec_span:
+                    guest = yield from worker.invoke(
+                        spec.program(payload), handlers)
+                    exec_span.attrs["deopts"] = guest.deopt_count
+                    exec_span.attrs["jit_optimized"] = len(
+                        worker.runtime.jit.optimized_functions())
+                    # Pages this clone CoW-broke (its private/dirty
+                    # MiB).
+                    exec_span.attrs["uss_mb"] = \
+                        worker.sandbox.space.uss_mb()
+                record.guest = guest
+            finally:
+                if cpu_claim is not None:
+                    host.cpu.release(cpu_claim)
+
+            if host.down:
+                # The function ran, then the host died before the response
+                # was accounted.  NOT retryable: at-most-once billing.
+                raise ExecutionLostError(host.host_id)
+
+            with tracer.span("release", kind="release"):
+                yield from self._release_worker(spec, worker, host)
+            if self.retain_workers and worker not in self.active_workers:
+                self.active_workers.append(worker)
+        finally:
+            self.cluster.finish(host)
+
+    def _check_host_alive(self, host: Host, stage: str) -> None:
+        """Raise :class:`HostDownError` if *host* died during *stage*."""
+        if host.down:
+            raise HostDownError(host.host_id, stage)
+
+    def _retry_backoff_ms(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt + 1``: capped exponential with
+        deterministic, seed-derived jitter (the ``chaos-retry`` stream is
+        only drawn on retries, so golden traces never see it)."""
+        cfg = self.params.cluster
+        delay = min(cfg.retry_cap_ms,
+                    cfg.retry_base_ms
+                    * cfg.retry_backoff_factor ** (attempt - 1))
+        if cfg.retry_jitter_frac > 0.0:
+            unit = self.sim.rng.stream("chaos-retry").random()
+            delay *= 1.0 + cfg.retry_jitter_frac * (2.0 * unit - 1.0)
+        return delay
+
+    # -- chaos hooks -----------------------------------------------------------------
+    def on_chaos_attached(self) -> None:
+        """Called once when a chaos controller binds to this platform.
+        Backends that cache per-host helpers override this to wire the
+        controller into them (e.g. restorers honouring slow-restore)."""
+
+    def on_host_crash(self, host: Host) -> None:
+        """Called by the chaos controller after *host* is marked down and
+        its warm pool / snapshot store are cleared.  Backends drop any
+        per-host caches that died with the machine (e.g. Catalyzer
+        templates)."""
+        del host
 
     def _make_handlers(self, worker: Worker,
                        record: InvocationRecord) -> ExternalHandlers:

@@ -86,6 +86,16 @@ class CatalyzerPlatform(ServerlessPlatform):
             self._templates[(target.host_id, spec.name)] = _Template(
                 worker, worker.runtime.export_jit_state())
 
+    def on_host_crash(self, host: "Host") -> None:
+        """Drop the crashed host's resident templates (they died with the
+        machine) and reclaim their sandboxes so nothing sforks a ghost."""
+        dead = [key for key in self._templates if key[0] == host.host_id]
+        for key in dead:
+            template = self._templates.pop(key)
+            self.sim.process(
+                template.worker.stop(),
+                name=f"chaos-teardown:{template.worker.sandbox.name}")
+
     # -- invocation ---------------------------------------------------------------
     def _host_affinity(self, host: Host, function: str) -> bool:
         return (host.host_id, function) in self._templates

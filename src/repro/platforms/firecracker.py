@@ -156,8 +156,15 @@ class FirecrackerSnapshotPlatform(FirecrackerPlatform):
         restorer = self._restorers.get(host.host_id)
         if restorer is None:
             restorer = Restorer(self.sim, self.params, host.memory)
+            restorer.chaos = self.chaos
             self._restorers[host.host_id] = restorer
         return restorer
+
+    def on_chaos_attached(self) -> None:
+        """Wire the chaos controller into restorers built before it
+        attached, so they honour its slow-restore windows too."""
+        for restorer in self._restorers.values():
+            restorer.chaos = self.chaos
 
     # -- installation ---------------------------------------------------------------
     def _install_backend(self, spec: FunctionSpec, host: Host):

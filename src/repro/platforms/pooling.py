@@ -58,6 +58,16 @@ class WarmPool:
         for pool in self._pools.values():
             self._expire(pool, now_ms)
 
+    def drain_all(self) -> List[WarmEntry]:
+        """Pop *every* entry — live, expired, all functions — and return
+        them (host crash: the caller tears the sandboxes down).  Also
+        flushes the pending-expired list so nothing is torn down twice."""
+        drained = [entry for pool in self._pools.values() for entry in pool]
+        drained.extend(self.expired_entries)
+        self._pools.clear()
+        self.expired_entries = []
+        return drained
+
     def live_entries(self, now_ms: float) -> List[WarmEntry]:
         """Every still-live entry across all pools."""
         self.expire_all(now_ms)

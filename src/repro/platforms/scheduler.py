@@ -27,7 +27,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import PlatformError
+from repro.errors import NoHostAvailableError, PlatformError
 
 POLICY_ROUND_ROBIN = "round-robin"
 POLICY_LEAST_LOADED = "least-loaded"
@@ -56,7 +56,8 @@ def select_node(nodes: Sequence, policy: str, function: str,
     :class:`repro.cluster.Host` qualify).  *locality* is an optional
     predicate marking nodes where the function's state is already
     resident; only the ``snapshot-locality`` policy consults it.  Raises
-    :class:`PlatformError` when every node is at capacity.
+    :class:`NoHostAvailableError` (a :class:`PlatformError`) when every
+    node is at capacity or down.
     """
     if policy not in POLICIES:
         raise PlatformError(f"unknown scheduling policy {policy!r}")
@@ -69,12 +70,12 @@ def select_node(nodes: Sequence, policy: str, function: str,
             rr_cursor = (rr_cursor + 1) % len(nodes)
             if node.has_room:
                 return node, rr_cursor
-        raise PlatformError("all invokers at capacity")
+        raise NoHostAvailableError("all invokers at capacity")
 
     if policy == POLICY_LEAST_LOADED:
         candidates = [node for node in nodes if node.has_room]
         if not candidates:
-            raise PlatformError("all invokers at capacity")
+            raise NoHostAvailableError("all invokers at capacity")
         return min(candidates,
                    key=lambda node: (node.active, node.node_id)), rr_cursor
 
@@ -96,7 +97,7 @@ def select_node(nodes: Sequence, policy: str, function: str,
         node = nodes[(home + offset) % len(nodes)]
         if node.has_room:
             return node, rr_cursor
-    raise PlatformError("all invokers at capacity")
+    raise NoHostAvailableError("all invokers at capacity")
 
 
 @dataclass

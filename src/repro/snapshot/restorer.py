@@ -52,6 +52,7 @@ class Restorer:
         self.host_memory = host_memory
         self.recorder = recorder  # optional ReapRecorder (POLICY_REAP)
         self.faults = faults      # optional FaultInjector
+        self.chaos = None         # optional chaos controller (slow-restore)
         self._clone_counter = 0
 
     def restore_ms(self, image: SnapshotImage,
@@ -94,6 +95,11 @@ class Restorer:
             image_mb=image.size_mb, generation=image.generation)
         with restore_span:
             duration = self.restore_ms(image, policy)  # validates policy
+            if self.chaos is not None:
+                slowdown = self.chaos.restore_slowdown(self.sim.now)
+                if slowdown != 1.0:
+                    duration *= slowdown
+                    restore_span.attrs["slowdown"] = slowdown
             if self.faults is not None:
                 cfg = self.params.snapshot
                 yield self.sim.timeout(cfg.restore_base_ms)

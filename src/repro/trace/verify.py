@@ -90,7 +90,11 @@ def phase_breakdown(invoke_span: Span) -> PhaseBreakdown:
     * the ``exec`` stage is in-guest execution, minus nested ``invoke``
       spans (a chain hop's time belongs to the child record);
     * the ``release`` stage is control-plane time (zero on every modeled
-      platform — reclamation is off the critical path).
+      platform — reclamation is off the critical path);
+    * chaos-era stages — ``retry`` (backoff between attempts),
+      ``failover`` (zero-width re-dispatch marker) and ``degraded``
+      (injected host slowness) — are control-plane ("other") time: the
+      platform, not the sandbox, made the request wait.
     """
     startup = exec_ms = other = queue = chain = 0.0
     for child in invoke_span.children:
@@ -110,6 +114,8 @@ def phase_breakdown(invoke_span: Span) -> PhaseBreakdown:
             chain += hops
             exec_ms += child.duration_ms - hops
         elif child.name == "release":
+            other += child.duration_ms
+        elif child.name in ("retry", "failover", "degraded"):
             other += child.duration_ms
     return PhaseBreakdown(startup_ms=startup, exec_ms=exec_ms,
                           other_ms=other, queue_ms=queue, chain_ms=chain)

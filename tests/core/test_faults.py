@@ -54,6 +54,34 @@ class TestInjector:
         assert injector.should_fail("restore", "a")
 
 
+class TestInjectorReset:
+    """Regression: armed budgets must not survive across experiment
+    repetitions — a shared injector once leaked a half-consumed budget
+    into the next run inside the parallel engine."""
+
+    def test_reset_clears_budgets_and_history(self):
+        injector = FaultInjector()
+        injector.arm("restore", "fn", count=3)
+        assert injector.should_fail("restore", "fn")
+        injector.reset()
+        assert not injector.should_fail("restore", "fn")
+        assert injector.fired == {}
+        assert injector.armed("restore", "fn") == 0
+
+    def test_reset_makes_repetitions_identical(self):
+        # Same injector, two "runs" of one-fault-then-invoke-twice: with
+        # reset between them the second run sees the same fault schedule
+        # as the first, not a depleted one.
+        injector = FaultInjector()
+        schedules = []
+        for _ in range(2):
+            injector.reset()
+            injector.arm("restore", "fn", count=1)
+            schedules.append([injector.should_fail("restore", "fn")
+                              for _ in range(3)])
+        assert schedules[0] == schedules[1] == [True, False, False]
+
+
 class TestRestoreRecovery:
     def test_one_corruption_is_recovered(self, faulty_platform):
         platform, spec, faults = faulty_platform

@@ -94,6 +94,87 @@ class TestChromeExport:
         assert any("args.policy" in problem for problem in problems)
 
 
+def _load_validator():
+    import importlib.util
+    from pathlib import Path
+    tools = (Path(__file__).resolve().parents[2] / "tools"
+             / "validate_trace.py")
+    spec = importlib.util.spec_from_file_location("validate_trace", tools)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestValidatorChaosChecks:
+    """The retry/failover span shape the chaos engine emits."""
+
+    def _event(self, name, cat, args, ts=0.0, dur=0.0, tid=1):
+        return {"name": name, "cat": cat, "ph": "X", "ts": ts, "dur": dur,
+                "pid": 1, "tid": tid, "args": args}
+
+    def _invoke(self, ts=0.0, dur=10_000.0, tid=1):
+        return self._event("invoke", "invoke", {"trace_id": "t"},
+                           ts=ts, dur=dur, tid=tid)
+
+    def test_well_nested_retry_and_failover_pass(self):
+        module = _load_validator()
+        good = {"traceEvents": [
+            self._invoke(),
+            self._event("retry", "retry", {"attempt": 1,
+                                           "target": "invoke"},
+                        ts=1000.0, dur=2000.0),
+            self._event("failover", "failover", {"from_host": 0,
+                                                 "attempt": 2},
+                        ts=3000.0, dur=0.0),
+        ]}
+        assert module.validate_trace(good) == []
+
+    def test_retry_needs_integer_attempt(self):
+        module = _load_validator()
+        bad = {"traceEvents": [
+            self._invoke(),
+            self._event("retry", "retry", {"attempt": "one"}, ts=1.0),
+            self._event("retry", "retry", {"attempt": 0}, ts=2.0),
+        ]}
+        problems = module.validate_trace(bad)
+        assert sum("args.attempt" in p for p in problems) == 2
+
+    def test_failover_needs_from_host(self):
+        module = _load_validator()
+        bad = {"traceEvents": [
+            self._invoke(),
+            self._event("failover", "failover", {"attempt": 2}, ts=1.0),
+        ]}
+        problems = module.validate_trace(bad)
+        assert any("args.from_host" in p for p in problems)
+
+    def test_retry_outside_invoke_is_flagged(self):
+        module = _load_validator()
+        bad = {"traceEvents": [
+            self._invoke(ts=0.0, dur=100.0),
+            self._event("retry", "retry", {"attempt": 1}, ts=500.0),
+            # Same window on another tid doesn't shelter it either.
+            self._event("failover", "failover", {"from_host": 1},
+                        ts=50.0, tid=9),
+        ]}
+        problems = module.validate_trace(bad)
+        assert sum("not nested inside any invoke" in p
+                   for p in problems) == 2
+
+    def test_real_chaos_trace_validates(self, tmp_path):
+        # A genuine crash-mid-restore trace: failover + retry spans, the
+        # regeneration, the works — exported and validated end to end.
+        from tests.chaos.helpers import run_crash_during
+        module = _load_validator()
+        _, _, record = run_crash_during("restore")
+        path = tmp_path / "chaos.trace.json"
+        write_trace_json(record.span, path)
+        assert module.validate_trace(json.loads(path.read_text())) == []
+        names = {e["cat"] for e in
+                 json.loads(path.read_text())["traceEvents"]}
+        assert {"invoke", "retry", "failover"} <= names
+
+
 class TestTreeExport:
     def test_tree_lists_every_span_with_timings(self, trace_root):
         rendered = render_tree(trace_root)

@@ -12,7 +12,12 @@ Checks the shape ``chrome://tracing``/Perfetto expects from
 * complete events (``ph == "X"``) carry a non-negative ``dur``;
 * timestamps are non-negative and finite;
 * placement events (``cat == "placement"``) carry the chosen ``host`` and
-  the ``policy`` that chose it in ``args``.
+  the ``policy`` that chose it in ``args``;
+* retry events (``cat == "retry"``) carry an integer ``args.attempt >= 1``;
+* failover events (``cat == "failover"``) carry an integer
+  ``args.from_host`` naming the host the request is fleeing;
+* every retry/failover event nests inside some ``invoke`` complete event
+  on its thread (a retry outside an invocation is a structural bug).
 
 Exit code 0 when the file is valid, 1 otherwise (problems on stderr).
 """
@@ -26,6 +31,32 @@ from typing import Any, List
 
 REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
 
+#: Nesting tolerance in microseconds: float noise from the ms->us scaling.
+_NEST_EPS_US = 1e-3
+
+
+def _invoke_windows(events: List[Any]) -> dict:
+    """``tid -> [(ts, ts+dur), ...]`` of every well-formed invoke event."""
+    windows: dict = {}
+    for event in events:
+        if not isinstance(event, dict) or event.get("cat") != "invoke":
+            continue
+        ts, dur = event.get("ts"), event.get("dur")
+        if isinstance(ts, (int, float)) and isinstance(dur, (int, float)):
+            windows.setdefault(event.get("tid"), []).append((ts, ts + dur))
+    return windows
+
+
+def _nested_in_invoke(event: dict, windows: dict) -> bool:
+    ts = event.get("ts")
+    dur = event.get("dur") if isinstance(event.get("dur"),
+                                         (int, float)) else 0.0
+    if not isinstance(ts, (int, float)):
+        return False
+    return any(start - _NEST_EPS_US <= ts
+               and ts + dur <= end + _NEST_EPS_US
+               for start, end in windows.get(event.get("tid"), ()))
+
 
 def validate_trace(payload: Any) -> List[str]:
     """All shape problems found in *payload*; empty means valid."""
@@ -37,6 +68,7 @@ def validate_trace(payload: Any) -> List[str]:
         return ["missing or non-list 'traceEvents'"]
     if not events:
         problems.append("'traceEvents' is empty")
+    invoke_windows = _invoke_windows(events)
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
         if not isinstance(event, dict):
@@ -68,6 +100,27 @@ def validate_trace(payload: Any) -> List[str]:
             if not isinstance(args.get("policy"), str):
                 problems.append(f"{where}: placement event needs a string "
                                 f"args.policy, got {args.get('policy')!r}")
+        if event.get("cat") in ("retry", "failover"):
+            args = event.get("args")
+            if not isinstance(args, dict):
+                problems.append(f"{where}: {event['cat']} event needs args")
+                continue
+            if event["cat"] == "retry":
+                attempt = args.get("attempt")
+                if not isinstance(attempt, int) or attempt < 1:
+                    problems.append(
+                        f"{where}: retry event needs an integer "
+                        f"args.attempt >= 1, got {attempt!r}")
+            else:
+                from_host = args.get("from_host")
+                if not isinstance(from_host, int):
+                    problems.append(
+                        f"{where}: failover event needs an integer "
+                        f"args.from_host, got {from_host!r}")
+            if not _nested_in_invoke(event, invoke_windows):
+                problems.append(
+                    f"{where}: {event['cat']} event is not nested inside "
+                    "any invoke event on its tid")
     return problems
 
 
