@@ -1,0 +1,212 @@
+"""Warm-pool autoscaler: reactive and predictive pre-provisioning.
+
+A per-platform control loop that tops up each host's warm pool ahead of
+demand, so open-loop traffic hits warm (or pre-restored) workers instead
+of paying cold starts inside the latency-critical path:
+
+* ``reactive`` — scale on observed queue pressure: each tick, a host
+  whose admission queue is at least ``reactive_queue_threshold`` deep
+  gets ``reactive_step`` extra warm workers for its most-queued function.
+  Simple, but it only reacts *after* requests have already queued.
+* ``predictive`` — scale on predicted arrivals: the scaler feeds every
+  arrival into a :class:`~repro.platforms.keepalive.HybridHistogramKeepAlive`
+  histogram (the Shahrad et al. policy the keep-alive ablation already
+  uses) and pre-provisions on a function's home host when the next
+  arrival is predicted within ``predictive_horizon_ms``.
+
+Both policies park workers with a finite TTL (``warm_expiry_ms``) so
+scale-*down* is lazy expiry, and both are chaos-aware: down hosts are
+skipped when targets are computed, and a provisioning that completes
+after its host crashed discards the worker instead of parking it (no
+leaked warm workers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import PlatformError
+from repro.platforms.keepalive import HybridHistogramKeepAlive
+
+MODES = ("none", "reactive", "predictive")
+
+
+class WarmPoolAutoscaler:
+    """Per-platform warm-pool control loop (one of :data:`MODES`)."""
+
+    def __init__(self, platform, mode: str = "reactive",
+                 until_ms: float = None, cfg=None) -> None:
+        if mode not in MODES:
+            raise PlatformError(
+                f"unknown autoscaler mode {mode!r}; pick one of {MODES}")
+        self.platform = platform
+        self.sim = platform.sim
+        self.cfg = cfg if cfg is not None else platform.params.autoscale
+        self.mode = mode
+        self.until_ms = until_ms
+        #: Arrival histograms (predictive policy's data source).
+        self.history = HybridHistogramKeepAlive()
+        #: (host_id, function) -> in-flight provisioning count.
+        self._pending: Dict[Tuple[int, str], int] = {}
+        #: (host_id, function) -> current policy target, refreshed every
+        #: tick; consumption-driven top-ups read it between ticks.
+        self.targets: Dict[Tuple[int, str], int] = {}
+        #: Reactive state: (host_id, function) -> (level, hold ticks left).
+        #: Levels ramp by ``reactive_step`` per pressured tick and linger
+        #: for ``reactive_hold_ticks`` pressure-free ticks (scale-down
+        #: hysteresis, as in HPA-style reactive autoscalers).
+        self._reactive: Dict[Tuple[int, str], Tuple[int, int]] = {}
+        self.provisioned = 0       # provisioning processes launched
+        self.parked = 0            # workers that reached a warm pool
+        self.discarded_down = 0    # provisioned for a host that crashed
+        self.expired = 0           # TTL'd warm workers torn down
+        self.ticks = 0
+        platform.autoscaler = self
+        if mode != "none":
+            if until_ms is None:
+                raise PlatformError(
+                    "an active autoscaler needs until_ms: its control loop "
+                    "must stop ticking for the simulation to quiesce")
+            self.process = self.sim.process(self._run(), name="autoscaler")
+
+    # -- arrival feed (called by the platform on every invoke) ---------------
+    def observe_arrival(self, function: str, now_ms: float) -> None:
+        """Feed one arrival into the prediction histograms."""
+        self.history.observe_arrival(function, now_ms)
+
+    def on_warm_taken(self, function: str, host) -> None:
+        """A pooled worker was consumed on the invoke path.
+
+        Platforms whose warm workers are single-use (Fireworks parks
+        pre-restored clones, and a clone serves exactly one request)
+        call this so the pool is topped back up to the policy's current
+        target immediately — waiting for the next tick would cap the
+        warm-hit rate at ``target / scale_interval``.
+        """
+        if self.mode == "none":
+            return
+        if self.until_ms is not None and self.sim.now >= self.until_ms:
+            return   # the run is draining: stop replenishing
+        target = self.targets.get((host.host_id, function), 0)
+        if target > 0 and not host.down:
+            self._ensure_warm(function, host, target, self.sim.now)
+
+    # -- control loop --------------------------------------------------------
+    def _run(self):
+        while self.sim.now + self.cfg.scale_interval_ms <= self.until_ms:
+            yield self.sim.timeout(self.cfg.scale_interval_ms)
+            self._tick()
+
+    def _tick(self) -> None:
+        self.ticks += 1
+        now = self.sim.now
+        # Targets are a per-tick policy decision: recompute from scratch
+        # so a function that stopped qualifying stops being replenished.
+        self.targets.clear()
+        # Scale-down: reap TTL-expired warm workers on every host.
+        for host in self.platform.cluster.hosts:
+            host.pool.expire_all(now)
+            for entry in host.pool.drain_expired():
+                self.expired += 1
+                self.platform.discard_warm(entry, host)
+        if self.mode == "reactive":
+            self._tick_reactive(now)
+        elif self.mode == "predictive":
+            self._tick_predictive(now)
+
+    def _tick_reactive(self, now: float) -> None:
+        """Queue-pressure policy: a pressured host gets warm workers for
+        every function waiting in its admission queue, ramping by
+        ``reactive_step`` per tick, and holds each target for
+        ``reactive_hold_ticks`` pressure-free ticks before dropping it.
+        The hysteresis is what makes it *reactive*: it scales where the
+        queue was, late, and keeps paying for it after the burst passed —
+        the memory/timeliness trade the predictive policy avoids."""
+        cfg = self.cfg
+        pressured = set()
+        for host in self.platform.cluster.hosts:
+            if host.down or host.admission is None:
+                continue
+            if host.admission.depth < cfg.reactive_queue_threshold:
+                continue
+            for function in set(host.admission.waiting_functions()):
+                key = (host.host_id, function)
+                pressured.add(key)
+                level = self._reactive.get(key, (0, 0))[0]
+                self._reactive[key] = (
+                    min(level + cfg.reactive_step,
+                        cfg.max_warm_per_function),
+                    cfg.reactive_hold_ticks)
+        for key in list(self._reactive):
+            level, hold = self._reactive[key]
+            if key not in pressured:
+                hold -= 1
+                if hold <= 0:
+                    del self._reactive[key]
+                    continue
+                self._reactive[key] = (level, hold)
+            host = self.platform.cluster.host(key[0])
+            if host.down:
+                del self._reactive[key]   # chaos-aware: down host, no target
+                continue
+            self._ensure_warm(key[1], host, level, now)
+
+    def _tick_predictive(self, now: float) -> None:
+        cfg = self.cfg
+        for function in self.platform.installed_functions():
+            last = self.history.last_arrival_ms(function)
+            gap = self.history.gap_percentile_ms(
+                function, cfg.predictive_gap_quantile)
+            if last is None or gap is None:
+                continue
+            if gap <= cfg.predictive_horizon_ms:
+                # Arrives at least once per horizon: keep enough warm
+                # workers to absorb the expected arrivals.
+                want = min(cfg.max_warm_per_function,
+                           max(1, int(cfg.predictive_horizon_ms / gap)))
+            else:
+                predicted = last + gap
+                if not now <= predicted <= now + cfg.predictive_horizon_ms:
+                    continue
+                want = 1
+            host = self.platform.cluster.home_host(function)
+            if host.down:
+                continue   # chaos-aware: down hosts drop their targets
+            self._ensure_warm(function, host, want, now)
+
+    def _ensure_warm(self, function: str, host, target: int,
+                     now: float) -> None:
+        key = (host.host_id, function)
+        self.targets[key] = min(target, self.cfg.max_warm_per_function)
+        have = host.pool.size(function, now) + self._pending.get(key, 0)
+        for _ in range(max(0, min(target, self.cfg.max_warm_per_function)
+                           - have)):
+            self._pending[key] = self._pending.get(key, 0) + 1
+            self.provisioned += 1
+            self.sim.process(
+                self._provision(function, host, key),
+                name=f"autoscale:{function}@host{host.host_id}")
+
+    def _provision(self, function: str, host, key):
+        """Off-critical-path provisioning of one warm worker."""
+        try:
+            spec = self.platform.spec(function)
+            entry = yield from self.platform.provision_warm_on(spec, host)
+        finally:
+            self._pending[key] -= 1
+        if entry is None:
+            return
+        if host.down:
+            # The host crashed while we were booting: never park a warm
+            # worker on a dead host (its pool was drained at crash time).
+            self.discarded_down += 1
+            self.platform.discard_warm(entry, host)
+            return
+        entry.expires_at_ms = self.sim.now + self.cfg.warm_expiry_ms
+        host.pool.add(function, entry)
+        self.parked += 1
+
+    # -- bench helpers -------------------------------------------------------
+    def pending_total(self) -> int:
+        """In-flight provisioning count across all hosts/functions."""
+        return sum(self._pending.values())

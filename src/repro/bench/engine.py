@@ -154,6 +154,11 @@ def _sh_chaos(params, seed):
     return run_chaos_experiment(params, seed=seed)
 
 
+def _sh_load(params, seed, platform, mode):
+    from repro.bench.load import run_load_platform
+    return run_load_platform(platform, mode, params=params, seed=seed)
+
+
 _SHARD_FNS: Dict[str, Callable[..., Any]] = {
     "table1": _sh_table1,
     "table2": _sh_table2,
@@ -172,6 +177,7 @@ _SHARD_FNS: Dict[str, Callable[..., Any]] = {
     "keepalive": _sh_keepalive,
     "cluster": _sh_cluster,
     "chaos": _sh_chaos,
+    "load": _sh_load,
 }
 
 
@@ -340,6 +346,20 @@ def _ablations_experiment() -> ExperimentDef:
         merge=lambda shards: {arm: shards[arm] for arm in ABLATION_ARMS})
 
 
+def _load_experiment() -> ExperimentDef:
+    from repro.bench.load import LOAD_MODES, LOAD_PLATFORMS
+    keys = [(platform, mode) for platform in LOAD_PLATFORMS
+            for mode in LOAD_MODES]
+    return ExperimentDef(
+        id="load", title="open-loop serving-layer load (extension)",
+        shards=tuple(_shard("load", f"{platform}@{mode}", "load",
+                            platform=platform, mode=mode)
+                     for platform, mode in keys),
+        merge=lambda shards: {f"{platform}@{mode}":
+                              shards[f"{platform}@{mode}"]
+                              for platform, mode in keys})
+
+
 def _build_registry() -> Dict[str, ExperimentDef]:
     from repro.bench.memory import FIG10_PLATFORMS
     registry: Dict[str, ExperimentDef] = {}
@@ -382,6 +402,7 @@ def _build_registry() -> Dict[str, ExperimentDef]:
                 "cluster"))
     add(_single("chaos", "host-failure chaos experiment (extension)",
                 "chaos"))
+    add(_load_experiment())
     return registry
 
 

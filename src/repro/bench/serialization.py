@@ -47,6 +47,7 @@ def _register_builtin_result_types() -> None:
     from repro.bench.ablations import (DeoptResult, KeepAliveOutcome,
                                        PolicyComparison)
     from repro.bench.factors import FactorRow
+    from repro.bench.load import LoadOutcome
     from repro.bench.results import (FigureResult, LatencyRow, MemoryPoint,
                                      MemorySeries, PaperComparison)
     from repro.bench.sensitivity import SensitivityPoint, SensitivityResult
@@ -54,8 +55,8 @@ def _register_builtin_result_types() -> None:
 
     for cls in (BurstResult, ChaosOutcome, ClusterPolicyOutcome, DeoptResult,
                 FactorRow, FigureResult,
-                KeepAliveOutcome, LatencyRow, LatencyStats, LoadPoint,
-                MemoryPoint, MemorySeries, PaperComparison,
+                KeepAliveOutcome, LatencyRow, LatencyStats, LoadOutcome,
+                LoadPoint, MemoryPoint, MemorySeries, PaperComparison,
                 PolicyComparison, SensitivityPoint, SensitivityResult):
         register_result_type(cls)
 

@@ -81,6 +81,11 @@ class HostFailureController:
             if host.down:
                 self._note(event, "already down (no-op)")
                 return
+            # Serving layer: mark_down flushes queued admission waiters
+            # with HostDownError (they retry/fail over); count them here
+            # so the log shows what the crash displaced.
+            queued = (host.admission.depth
+                      if host.admission is not None else 0)
             host.mark_down(now)
             drained = host.pool.drain_all()
             for entry in drained:
@@ -88,7 +93,8 @@ class HostFailureController:
             lost = host.store.clear()
             self.platform.on_host_crash(host)
             self._note(event, f"drained {len(drained)} warm worker(s), "
-                              f"lost {lost} snapshot(s)")
+                              f"lost {lost} snapshot(s), "
+                              f"flushed {queued} queued request(s)")
         elif event.kind == KIND_HOST_RECOVER:
             host = self.platform.cluster.host(event.host_id)
             if not host.down:

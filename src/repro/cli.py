@@ -13,6 +13,10 @@ Commands:
 * ``chaos [--crash-at-ms T] [--crash-host H]`` — replay the cluster trace
                                 under a host-failure fault plan and report
                                 availability / p99 / recovery (extension);
+* ``load [--platform P] [--mode M]`` — open-loop Azure-like traffic through
+                                the admission controller + warm-pool
+                                autoscaler; p50/p99, queue wait, shed rate,
+                                cold-start share, warm memory (extension);
 * ``trace <target>``          — re-run one figure's invocations and export
                                 one invocation's span tree (Chrome
                                 ``trace_event`` JSON or a text tree).
@@ -34,7 +38,7 @@ FIGURES = ("table1", "table2", "snapshot-creation", "fig6", "fig7", "fig9",
 
 #: Extension experiments only the ``figure`` command exposes.
 EXTENSIONS = ("burst", "load-sweep", "sensitivity", "ablations", "policies",
-              "keepalive", "cluster", "chaos")
+              "keepalive", "cluster", "chaos", "load")
 
 
 def _print_fig_dict(results, chart: bool = False) -> None:
@@ -128,6 +132,9 @@ def _render_experiment(name: str, result, chart: bool = False) -> None:
         for outcome in result.values():
             print(outcome.as_line())
     elif name == "chaos":
+        for outcome in result.values():
+            print(outcome.as_line())
+    elif name == "load":
         for outcome in result.values():
             print(outcome.as_line())
     else:  # pragma: no cover - argparse restricts choices
@@ -231,6 +238,31 @@ def _trace_records(target: str, benchmark: str) -> list:
                          FirecrackerPlatform):
         records.extend(cold_and_warm(platform_cls, spec))
     return records
+
+
+def _cmd_load(platform: str, mode: str, hosts: int, functions: int,
+              duration_ms: float, seed: int,
+              popular_interarrival_ms: float, as_json: bool) -> None:
+    """``load``: the open-loop serving-layer experiment (extension)."""
+    import json as json_module
+
+    from repro.bench.load import (LOAD_MODES, LOAD_PLATFORMS,
+                                  run_load_experiment)
+    from repro.bench.serialization import encode_result
+    platforms = tuple(LOAD_PLATFORMS) if platform == "all" else (platform,)
+    modes = LOAD_MODES if mode == "all" else (mode,)
+    outcomes = run_load_experiment(
+        platforms=platforms, modes=modes, n_hosts=hosts,
+        n_functions=functions, duration_ms=duration_ms, seed=seed,
+        popular_interarrival_ms=popular_interarrival_ms)
+    if as_json:
+        payload = {f"{p}@{m}": encode_result(outcome)
+                   for (p, m), outcome in outcomes.items()}
+        print(json_module.dumps(payload, sort_keys=True,
+                                separators=(",", ":")))
+        return
+    for outcome in outcomes.values():
+        print(outcome.as_line())
 
 
 def _cmd_trace(target: str, benchmark: str, invocation: int,
@@ -348,6 +380,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", default="all",
         choices=(POLICY_ROUND_ROBIN, POLICY_SNAPSHOT_LOCALITY, "all"))
 
+    from repro.bench.load import (DEFAULT_DURATION_MS, DEFAULT_N_FUNCTIONS,
+                                  DEFAULT_N_HOSTS,
+                                  DEFAULT_POPULAR_INTERARRIVAL_MS,
+                                  DEFAULT_SEED, LOAD_MODES, LOAD_PLATFORMS)
+    load_parser = sub.add_parser(
+        "load",
+        help="open-loop serving-layer load experiment (extension)")
+    load_parser.add_argument("--platform", default="all",
+                             choices=tuple(LOAD_PLATFORMS) + ("all",))
+    load_parser.add_argument("--mode", default="all",
+                             choices=LOAD_MODES + ("all",),
+                             help="warm-pool scaling policy")
+    load_parser.add_argument("--hosts", type=_positive_int,
+                             default=DEFAULT_N_HOSTS)
+    load_parser.add_argument("--functions", type=_positive_int,
+                             default=DEFAULT_N_FUNCTIONS)
+    load_parser.add_argument("--duration-ms", type=float,
+                             default=DEFAULT_DURATION_MS)
+    load_parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    load_parser.add_argument(
+        "--popular-interarrival-ms", type=float,
+        default=DEFAULT_POPULAR_INTERARRIVAL_MS,
+        help="mean arrival gap of a popular function at modulation "
+             "midline (smaller = heavier load)")
+    load_parser.add_argument(
+        "--json", action="store_true",
+        help="emit canonical JSON (byte-identical across equal seeds)")
+
     trace_parser = sub.add_parser(
         "trace", help="export one invocation's span tree")
     trace_parser.add_argument("target", choices=TRACE_TARGETS,
@@ -404,6 +464,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "chaos":
         _cmd_chaos(args.hosts, args.functions, args.duration_ms, args.seed,
                    args.crash_at_ms, args.crash_host, args.policy)
+    elif args.command == "load":
+        _cmd_load(args.platform, args.mode, args.hosts, args.functions,
+                  args.duration_ms, args.seed,
+                  args.popular_interarrival_ms, args.json)
     elif args.command == "trace":
         return _cmd_trace(args.target, args.benchmark, args.invocation,
                           args.output_format, args.output)

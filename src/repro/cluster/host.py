@@ -72,6 +72,14 @@ class Host:
         self.down_since_ms: Optional[float] = None
         self.degraded_until_ms = float("-inf")
         self.degraded_penalty_ms = 0.0
+        # Serving layer (repro.autoscale): the bounded admission queue
+        # ahead of the capacity gate.  Created only when
+        # params.autoscale.enabled — None keeps the legacy invoke path
+        # byte-identical.
+        self.admission = None
+        if params.autoscale.enabled:
+            from repro.autoscale.admission import AdmissionQueue
+            self.admission = AdmissionQueue(sim, self, params.autoscale)
 
     # -- scheduler node interface ----------------------------------------------
     @property
@@ -86,9 +94,15 @@ class Host:
 
     # -- chaos state (repro.chaos drives these) --------------------------------
     def mark_down(self, now_ms: float) -> None:
-        """Crash the host: placement skips it until :meth:`mark_up`."""
+        """Crash the host: placement skips it until :meth:`mark_up`.
+
+        Queued admission waiters are flushed with ``HostDownError`` so
+        their invoke processes retry/fail over — no queue slot leaks.
+        """
         self.down = True
         self.down_since_ms = now_ms
+        if self.admission is not None:
+            self.admission.flush_down()
 
     def mark_up(self) -> None:
         """Recover a crashed host (its pool/store were lost at crash)."""
@@ -182,9 +196,40 @@ class Cluster:
         self.placements += 1
         return host
 
+    def place_queued(self, function: str,
+                     locality: Optional[Callable[[Host], bool]] = None
+                     ) -> Host:
+        """Choose a host for *queued* admission — without assigning.
+
+        The serving-layer variant of :meth:`place`: when some host has
+        room the normal policy picks it; when every live host is full the
+        request is not bounced (``NoHostAvailableError``) but directed at
+        the live host with the shortest admission queue, where it will
+        wait or be shed.  The admission queue performs the ``assign``.
+        """
+        from repro.errors import NoHostAvailableError
+        try:
+            host, self._rr_next = select_node(
+                self.hosts, self.policy, function, self._rr_next, locality)
+        except NoHostAvailableError:
+            live = [h for h in self.hosts if not h.down]
+            if not live:
+                raise
+            host = min(live, key=lambda h: (
+                h.admission.depth if h.admission is not None else 0,
+                h.host_id))
+        self.placements += 1
+        return host
+
     def finish(self, host: Host) -> None:
-        """Release the slot claimed by :meth:`place`."""
+        """Release the slot claimed by :meth:`place` (or by admission).
+
+        With a serving layer attached, a freed slot is handed to the
+        host's next queued waiter before anyone else can take it.
+        """
         host.release()
+        if host.admission is not None:
+            host.admission.on_release()
 
     # -- stats ------------------------------------------------------------------
     def total_active(self) -> int:

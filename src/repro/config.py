@@ -382,6 +382,45 @@ class ControlPlaneConfig:
 
 
 # ---------------------------------------------------------------------------
+# Serving layer: admission control + warm-pool autoscaling
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Heavy-traffic serving layer (:mod:`repro.autoscale`).
+
+    ``enabled=False`` (the default) keeps the invoke path byte-identical to
+    the pre-serving-layer behaviour: no admission spans, no queue events,
+    no extra RNG draws.  When enabled, each :class:`~repro.cluster.Host`
+    gets a bounded FIFO admission queue ahead of its capacity gate, and a
+    :class:`~repro.autoscale.WarmPoolAutoscaler` may pre-provision warm
+    workers per host.
+
+    The shed policy rejects a request as a first-class
+    ``SheddedInvocation`` when the queue is full on arrival
+    (``queue-full``) or when it has waited longer than
+    ``max_queue_wait_ms`` (``wait-budget``) — a 429, not a failure.
+    """
+
+    enabled: bool = False
+    queue_capacity: int = 16           # per-host admission queue depth
+    max_queue_wait_ms: float = 2000.0  # wait budget before shedding (0 = none)
+    scale_interval_ms: float = 2000.0  # autoscaler control-loop period
+    reactive_queue_threshold: int = 1  # queue depth that triggers scale-up
+    reactive_step: int = 1             # target increment per pressured tick
+    #                                    (reactive policy ramp rate)
+    reactive_hold_ticks: int = 6       # scale-down hysteresis: pressure-free
+    #                                    ticks before a reactive target drops
+    #                                    (HPA-style stabilization window —
+    #                                    12 s here vs HPA's 5 min default)
+    predictive_horizon_ms: float = 4000.0  # pre-provision when the next
+    #                                        arrival is predicted this soon
+    predictive_gap_quantile: float = 0.5   # gap percentile used as the
+    #                                        next-arrival estimate
+    max_warm_per_function: int = 2     # per-host cap on pooled warm workers
+    warm_expiry_ms: float = 30000.0    # TTL of autoscaler-provisioned workers
+
+
+# ---------------------------------------------------------------------------
 # Bundle
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -410,6 +449,7 @@ class CalibratedParameters:
     fireworks: FireworksConfig = field(default_factory=FireworksConfig)
     control_plane: ControlPlaneConfig = field(default_factory=ControlPlaneConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    autoscale: AutoscaleConfig = field(default_factory=AutoscaleConfig)
     latency_jitter_rel_stddev: float = 0.0  # deterministic by default;
     #                                         benches may turn jitter on
 

@@ -26,7 +26,8 @@ from repro.core.parameter_passer import ParameterPasser
 from repro.errors import PlatformError, SnapshotNotFoundError
 from repro.faults import (FaultInjector, InjectedFault,
                           SnapshotCorruptedError)
-from repro.platforms.base import MODE_SNAPSHOT, ServerlessPlatform
+from repro.platforms.base import MODE_SNAPSHOT, MODE_WARM, ServerlessPlatform
+from repro.platforms.pooling import WarmEntry
 from repro.sandbox.worker import Worker
 from repro.snapshot.image import SnapshotImage
 from repro.snapshot.prefetch import ReapRecorder
@@ -66,6 +67,11 @@ class FireworksPlatform(ServerlessPlatform):
         self.param_fetch_retries = 0
         self.regenerations = 0   # failover regenerations (lost replicas)
         self.install_reports: Dict[str, InstallReport] = {}
+        # Autoscaler support: pre-restored live clones parked in a host's
+        # warm pool keep the fcID they were launched with — the invoke
+        # fast path publishes parameters straight to that topic.
+        self._warm_fc_ids: Dict[Worker, tuple] = {}
+        self.pool_hits = 0   # invocations served by a pre-restored clone
         # REAP-style working-set recording (§7): profiles are captured after
         # each invocation and consulted by POLICY_REAP restores.  The
         # recorder is cluster-global — profiles are keyed on image
@@ -142,6 +148,23 @@ class FireworksPlatform(ServerlessPlatform):
     def _acquire_worker(self, spec: FunctionSpec, mode: str, host: Host):
         del mode  # Fireworks has no cold/warm distinction (§5.1).
         tracer = self.sim.tracer
+        if self.autoscaler is not None:
+            # Serving-layer fast path: a clone the autoscaler pre-restored
+            # on this host skips image fetch, netns/MMDS wiring and the
+            # restore — only parameter publish + fetch remain.
+            entry = host.pool.take(spec.name, self.sim.now)
+            if entry is not None:
+                fc_rec = self._warm_fc_ids.pop(entry.worker, None)
+                if fc_rec is not None:
+                    # Clones are single-use: tell the scaler so it tops
+                    # the pool back up instead of waiting for a tick.
+                    self.autoscaler.on_warm_taken(spec.name, host)
+                    result = yield from self._invoke_pooled(
+                        spec, entry.worker, fc_rec[0])
+                    return result
+                # Unknown provenance: never serve a clone whose fcID we
+                # lost — reclaim it and fall through to a normal restore.
+                self.discard_warm(entry, host)
         manager = self.manager_for(host)
         try:
             image = yield from self._fetch_image_to_host(spec.name, host)
@@ -204,6 +227,61 @@ class FireworksPlatform(ServerlessPlatform):
                 f"parameter passer mismatch: expected {spec.name!r}, "
                 f"got {params!r}")
         return worker, MODE_SNAPSHOT, publish_ms
+
+    def _invoke_pooled(self, spec: FunctionSpec, worker: Worker,
+                       fc_id: str):
+        """Steps (5)+(8) only: the clone is already restored and waiting.
+
+        Publish the arguments to its topic, let the guest fetch them —
+        the restore (and everything before it) was paid off the critical
+        path when the autoscaler pre-provisioned the clone.
+        """
+        tracer = self.sim.tracer
+        started = self.sim.now
+        with tracer.span("publish", phase="other", fc_id=fc_id,
+                         pooled=True):
+            yield from self.passer.publish(fc_id, {"function": spec.name})
+        publish_ms = self.sim.now - started
+        with tracer.span("param-fetch", fc_id=fc_id, attempt=1):
+            params = yield from self.passer.fetch(fc_id,
+                                                  fault_key=spec.name)
+        if params.get("function") != spec.name:
+            raise PlatformError(
+                f"parameter passer mismatch: expected {spec.name!r}, "
+                f"got {params!r}")
+        self.pool_hits += 1
+        return worker, MODE_WARM, publish_ms
+
+    # -- autoscaler hooks ---------------------------------------------------------
+    def provision_warm_on(self, spec: FunctionSpec, host: Host):
+        """Pre-restore one clone on *host*, off the critical path.
+
+        The clone is parked *live* (not paused): resuming a paused
+        microVM costs more than a snapshot restore, so pausing would turn
+        the warm pool into a pessimization.  Its memory is CoW-shared
+        with the snapshot, so an idle clone is cheap to keep.
+        """
+        manager = self.manager_for(host)
+        image = yield from self._fetch_image_to_host(spec.name, host)
+        fc_id = manager.next_fc_id()
+        worker = yield from manager.launch_clone(
+            image, fc_id, policy=self.restore_policy)
+        self._warm_fc_ids[worker] = (fc_id, host.host_id)
+        return WarmEntry(worker, float("inf"), paused=False)
+
+    def discard_warm(self, entry, host: Host) -> None:
+        """Retire a pooled clone through its host's manager (netns/NAT
+        teardown), like post-invocation reclamation."""
+        self._warm_fc_ids.pop(entry.worker, None)
+        self.sim.process(self.manager_for(host).retire(entry.worker),
+                         name=f"warm-discard:{entry.worker.sandbox.name}")
+
+    def on_host_crash(self, host: Host) -> None:
+        """Drop fcID bookkeeping for clones that died with the host (the
+        chaos controller already drained and stopped them)."""
+        self._warm_fc_ids = {
+            worker: rec for worker, rec in self._warm_fc_ids.items()
+            if rec[1] != host.host_id}
 
     def _release_worker(self, spec: FunctionSpec, worker: Worker,
                         host: Host):

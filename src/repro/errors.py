@@ -90,6 +90,28 @@ class NoHostAvailableError(PlatformError, RetryableChaosError):
     """
 
 
+class InvocationSheddedError(PlatformError):
+    """The admission controller rejected the request (HTTP-429 analogue).
+
+    Raised when the per-host admission queue is full on arrival
+    (``reason == "queue-full"``) or the request exceeded its wait budget
+    while queued (``reason == "wait-budget"``).  Deliberately *not*
+    retryable: shedding is a deliberate overload-protection decision, and
+    retrying against the same overloaded cluster would defeat it.  Carries
+    the ``SheddedInvocation`` result object as ``shedded`` once the
+    platform has accounted it.
+    """
+
+    def __init__(self, host_id: int, reason: str, queue_depth: int) -> None:
+        super().__init__(
+            f"host{host_id} shed the request ({reason}, "
+            f"queue depth {queue_depth})")
+        self.host_id = host_id
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.shedded = None
+
+
 class ExecutionLostError(ChaosError):
     """The host died after the function executed but before the response
     was accounted.  Deliberately *not* retryable: re-running would execute

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from repro.bench.stats import LatencyStats
+from repro.bench.stats import LatencyStats, percentile
 from repro.platforms.base import FailedInvocation, InvocationRecord
 from repro.trace import phase_breakdown
 
@@ -48,6 +48,13 @@ class PlatformMetrics:
     # defaults keep pre-chaos callers (and their golden output) unchanged.
     failed_invocations: int = 0
     by_failure_reason: Dict[str, int] = field(default_factory=dict)
+    # Serving-layer fields (repro.autoscale): requests the admission
+    # controller rejected, and how long admitted requests queued.  Same
+    # backward-compatible contract: the defaults are inert.
+    shedded_invocations: int = 0
+    by_shed_reason: Dict[str, int] = field(default_factory=dict)
+    queue_wait_p50_ms: float = 0.0
+    queue_wait_p99_ms: float = 0.0
 
     @property
     def availability(self) -> float:
@@ -56,6 +63,25 @@ class PlatformMetrics:
         if total == 0:
             return 1.0
         return self.total_invocations / total
+
+    @property
+    def shed_rate(self) -> float:
+        """Shedded / submitted (completed + failed + shedded)."""
+        total = (self.total_invocations + self.failed_invocations
+                 + self.shedded_invocations)
+        if total == 0:
+            return 0.0
+        return self.shedded_invocations / total
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of submitted requests that completed successfully
+        (sheds and failures are the badput)."""
+        submitted = (self.total_invocations + self.failed_invocations
+                     + self.shedded_invocations)
+        if submitted == 0:
+            return 1.0
+        return self.total_invocations / submitted
 
     def function(self, name: str) -> FunctionMetrics:
         """Look up one function's metrics; KeyError if absent."""
@@ -74,6 +100,14 @@ class PlatformMetrics:
                 in sorted(self.by_failure_reason.items()))
             lines.append(f"failed={self.failed_invocations} "
                          f"availability={self.availability:.4%} [{reasons}]")
+        if self.shedded_invocations:
+            reasons = ",".join(
+                f"{reason}={count}" for reason, count
+                in sorted(self.by_shed_reason.items()))
+            lines.append(f"shed={self.shedded_invocations} "
+                         f"shed-rate={self.shed_rate:.4%} "
+                         f"queue-wait p50={self.queue_wait_p50_ms:.1f}ms "
+                         f"p99={self.queue_wait_p99_ms:.1f}ms [{reasons}]")
         lines.extend(entry.as_line() for entry in self.functions)
         return "\n".join(lines)
 
@@ -102,12 +136,16 @@ def _failure_class(failed: FailedInvocation) -> str:
 def summarize(platform_name: str,
               records: Iterable[InvocationRecord],
               include_chains: bool = True,
-              failed: Optional[Iterable[FailedInvocation]] = None
+              failed: Optional[Iterable[FailedInvocation]] = None,
+              shedded: Optional[Iterable] = None
               ) -> PlatformMetrics:
     """Build the operational summary for *records*.
 
     *failed* is the platform's ``failed_invocations`` list (chaos runs);
-    omitted, the summary is identical to the pre-chaos one.
+    *shedded* its ``shedded_invocations`` (serving-layer runs); omitted,
+    the summary is identical to the pre-chaos one.  Queue-wait
+    percentiles come from the records' derived ``queue_wait_ms`` (the
+    admission + core-pool queue spans).
     """
     flat: List[InvocationRecord] = []
     for record in records:
@@ -143,10 +181,22 @@ def summarize(platform_name: str,
         bucket = _failure_class(entry)
         by_reason[bucket] = by_reason.get(bucket, 0) + 1
 
+    shed_list = list(shedded) if shedded is not None else []
+    by_shed: Dict[str, int] = {}
+    for entry in shed_list:
+        by_shed[entry.reason] = by_shed.get(entry.reason, 0) + 1
+    waits = [record.queue_wait_ms for record in flat]
+    queue_p50 = percentile(waits, 50) if waits else 0.0
+    queue_p99 = percentile(waits, 99) if waits else 0.0
+
     return PlatformMetrics(
         platform=platform_name,
         total_invocations=len(flat),
         by_mode=total_by_mode,
         functions=functions,
         failed_invocations=len(failed_list),
-        by_failure_reason=by_reason)
+        by_failure_reason=by_reason,
+        shedded_invocations=len(shed_list),
+        by_shed_reason=by_shed,
+        queue_wait_p50_ms=queue_p50,
+        queue_wait_p99_ms=queue_p99)

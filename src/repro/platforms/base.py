@@ -16,8 +16,9 @@ from repro.config import CalibratedParameters
 from repro.db.couchdb import CouchServer
 from repro.errors import (BusPartitionedError, ExecutionLostError,
                           FunctionNotFoundError, HostDownError,
-                          InvocationFailedError, PlatformError, ReproError,
-                          RetryableChaosError, SimulationError, TraceError)
+                          InvocationFailedError, InvocationSheddedError,
+                          PlatformError, ReproError, RetryableChaosError,
+                          SimulationError, TraceError)
 from repro.faults import FaultInjector, InjectedFault
 from repro.mem.host_memory import HostMemory
 from repro.net.bridge import HostBridge
@@ -279,6 +280,10 @@ class ServerlessPlatform:
         self.retries = 0             # invoke-level retry spans emitted
         self.failovers = 0           # attempts re-dispatched off a dead host
         self.failed_invocations: List[FailedInvocation] = []
+        # Serving layer (repro.autoscale): a WarmPoolAutoscaler attaches
+        # itself here; sheds are first-class results, like failures.
+        self.autoscaler = None
+        self.shedded_invocations: List = []
         self.active_workers: List[Worker] = []
         self.records: List[InvocationRecord] = []
         self._specs: Dict[str, FunctionSpec] = {}
@@ -391,6 +396,10 @@ class ServerlessPlatform:
         attempt, failures propagate as before.
         """
         spec = self.spec(name)
+        if self.autoscaler is not None:
+            # Feed the predictive scaler's arrival histograms (pure
+            # bookkeeping: no sim events, no RNG draws).
+            self.autoscaler.observe_arrival(name, self.sim.now)
         tracer = self.sim.tracer
         self._invocation_seq += 1
         record = InvocationRecord(
@@ -435,6 +444,19 @@ class ServerlessPlatform:
                             failed_from = error.host_id
                         attempt += 1
                         record.attempts = attempt
+        except InvocationSheddedError as error:
+            # Overload protection, not a failure: account the shed as a
+            # first-class result and let the caller observe the 429.
+            from repro.autoscale.admission import SheddedInvocation
+            shedded = SheddedInvocation(
+                function=name, platform=self.name,
+                submitted_ms=record.submitted_ms, shed_ms=self.sim.now,
+                host_id=error.host_id, reason=error.reason,
+                queue_depth=error.queue_depth,
+                trace_id=invoke_span.trace_id, span=invoke_span)
+            self.shedded_invocations.append(shedded)
+            error.shedded = shedded
+            raise
         except ReproError as error:
             if self.chaos is None or \
                     isinstance(error, (TraceError, SimulationError)):
@@ -492,15 +514,36 @@ class ServerlessPlatform:
         # "relays it to one of the backend servers").  The decision is
         # instantaneous — the span records *where* and *why*, not time.
         # Down hosts advertise no room, so every policy fails over here.
+        serving = self.params.autoscale.enabled
         placement_span = tracer.span("placement", kind="placement",
                                      policy=self.cluster.policy)
         with placement_span:
-            host = self.cluster.place(
-                spec.name,
-                locality=lambda h: self._host_affinity(h, spec.name))
+            if serving:
+                # Serving layer: full clusters queue instead of bouncing.
+                host = self.cluster.place_queued(
+                    spec.name,
+                    locality=lambda h: self._host_affinity(h, spec.name))
+            else:
+                host = self.cluster.place(
+                    spec.name,
+                    locality=lambda h: self._host_affinity(h, spec.name))
             placement_span.attrs["host"] = host.host_id
         record.host_id = host.host_id
         hosts_tried.append(host.host_id)
+
+        if serving:
+            # Admission: wait in the host's bounded FIFO for a capacity
+            # slot, or get shed (InvocationSheddedError).  Zero-width
+            # when the host has room and nobody is queued ahead.
+            if host.admission is None:
+                host.assign(spec.name)   # legacy cluster, no queue
+            else:
+                admission_span = tracer.span("admission", phase="queue",
+                                             host=host.host_id)
+                with admission_span:
+                    wait_ms = yield from host.admission.admit(spec.name)
+                    admission_span.attrs["wait_ms"] = wait_ms
+                    admission_span.attrs["depth"] = host.admission.depth
 
         try:
             # An injected host degradation slows dispatch onto this host.
@@ -596,6 +639,29 @@ class ServerlessPlatform:
         per-host caches that died with the machine (e.g. Catalyzer
         templates)."""
         del host
+
+    # -- autoscaler hooks (repro.autoscale) --------------------------------------
+    def provision_warm_on(self, spec: FunctionSpec, host: Host):
+        """Autoscaler hook (a simulation generator): boot one warm worker
+        for *spec* on *host*, off the invoke critical path.
+
+        Returns a :class:`~repro.platforms.pooling.WarmEntry` for the
+        scaler to stamp with a TTL and park in ``host.pool`` — or ``None``
+        when the backend has nothing useful to pre-provision (the default;
+        e.g. Catalyzer's templates are already resident on every host).
+        """
+        del spec, host
+        return None
+        yield  # pragma: no cover - makes this function a generator
+
+    def discard_warm(self, entry, host: Host) -> None:
+        """Tear down a pooled warm worker (TTL expiry, crashed host).
+
+        Runs detached: teardown cost is off every request's critical path.
+        """
+        del host
+        self.sim.process(entry.worker.stop(),
+                         name=f"warm-discard:{entry.worker.sandbox.name}")
 
     def _make_handlers(self, worker: Worker,
                        record: InvocationRecord) -> ExternalHandlers:

@@ -96,6 +96,15 @@ class CatalyzerPlatform(ServerlessPlatform):
                 template.worker.stop(),
                 name=f"chaos-teardown:{template.worker.sandbox.name}")
 
+    # -- autoscaler hook ---------------------------------------------------------
+    def provision_warm_on(self, spec, host):
+        """Nothing to pre-provision: Catalyzer's resident templates make
+        every auto invocation an sfork (<1 ms) already — there is no cold
+        start for a warm pool to hide.  Explicit no-op."""
+        del spec, host
+        return None
+        yield  # pragma: no cover - makes this function a generator
+
     # -- invocation ---------------------------------------------------------------
     def _host_affinity(self, host: Host, function: str) -> bool:
         return (host.host_id, function) in self._templates

@@ -85,6 +85,19 @@ class FirecrackerPlatform(ServerlessPlatform):
         host.pool.add(name, WarmEntry(worker, float("inf"), paused=True))
         return worker
 
+    # -- autoscaler hook ---------------------------------------------------------
+    def provision_warm_on(self, spec: FunctionSpec, host: Host):
+        """Boot + pause one microVM on *host* (the §5.1 warm methodology,
+        driven by the autoscaler instead of the bench harness)."""
+        worker = yield from self._boot_worker(spec, host)
+        yield from worker.pause()
+        return WarmEntry(worker, float("inf"), paused=True)
+
+    def discard_warm(self, entry, host: Host) -> None:
+        """Warm microVMs hold a bridge endpoint: disconnect on teardown."""
+        self.sim.process(self._teardown(entry.worker, host),
+                         name=f"warm-discard:{entry.worker.sandbox.name}")
+
     # -- backend hooks -----------------------------------------------------------------
     def _acquire_worker(self, spec: FunctionSpec, mode: str, host: Host):
         if mode in (MODE_AUTO, MODE_WARM):

@@ -65,6 +65,12 @@ class GVisorPlatform(ServerlessPlatform):
         host.pool.add(name, WarmEntry(worker, float("inf"), paused=True))
         return worker
 
+    def provision_warm_on(self, spec: FunctionSpec, host: Host):
+        """Autoscaler hook: launch + pause one gVisor sandbox on *host*."""
+        worker = yield from self._boot_worker(spec, host)
+        yield from worker.pause()
+        return WarmEntry(worker, float("inf"), paused=True)
+
     def _acquire_worker(self, spec: FunctionSpec, mode: str, host: Host):
         if mode in (MODE_AUTO, MODE_WARM):
             entry = host.pool.take(spec.name, self.sim.now)

@@ -98,3 +98,22 @@ class HybridHistogramKeepAlive(KeepAlivePolicy):
     def observed_gap_count(self, function: str) -> int:
         """How many inter-arrival gaps the policy has seen."""
         return len(self._gaps.get(function, []))
+
+    def gap_percentile_ms(self, function: str, quantile: float):
+        """The *quantile* of observed inter-arrival gaps, or ``None``
+        until ``warmup_samples`` gaps are available.
+
+        The predictive autoscaler uses this as its next-arrival estimate:
+        ``last_arrival + gap_percentile(q)`` is when the next request is
+        expected (q=0.5, the median) or nearly certain (q→coverage).
+        """
+        gaps = self._gaps.get(function, [])
+        if len(gaps) < self.warmup_samples:
+            return None
+        ordered = sorted(gaps)
+        index = min(len(ordered) - 1, int(quantile * len(ordered)))
+        return ordered[index]
+
+    def last_arrival_ms(self, function: str):
+        """When *function* last arrived, or ``None`` if never seen."""
+        return self._last_arrival.get(function)

@@ -88,6 +88,17 @@ class OpenWhiskPlatform(ServerlessPlatform):
         return
         yield  # pragma: no cover
 
+    # -- autoscaler hook ---------------------------------------------------------
+    def provision_warm_on(self, spec: FunctionSpec, host: Host):
+        """Pre-boot one container on *host*, off the critical path: the
+        next request finds it warm and pays only the warm route."""
+        worker = Worker(self.sim,
+                        Container(self.sim, self.params, host.memory,
+                                  spec.language),
+                        make_runtime(self.sim, self.params, spec.language))
+        yield from worker.cold_start(spec.app)
+        return WarmEntry(worker, float("inf"), paused=False)
+
     # -- housekeeping ----------------------------------------------------------------
     def _reap_expired(self, host: Host) -> None:
         """Tear down keep-alive-expired containers in the background."""

@@ -73,6 +73,12 @@ class WarmPool:
         self.expire_all(now_ms)
         return [entry for pool in self._pools.values() for entry in pool]
 
+    def total_pss_mb(self, now_ms: float) -> float:
+        """Σ PSS of every live entry — the pool's memory footprint, the
+        cost side of the warm-start trade the autoscaler navigates."""
+        return sum(entry.worker.pss_mb()
+                   for entry in self.live_entries(now_ms))
+
     def _expire(self, pool: List[WarmEntry], now_ms: float) -> None:
         live = [entry for entry in pool if entry.expires_at_ms > now_ms]
         self.expired_entries.extend(

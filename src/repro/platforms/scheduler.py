@@ -147,16 +147,31 @@ class InvokerPool:
             InvokerNode(node_id=index, capacity=capacity_per_node)
             for index in range(nodes)]
         self._rr_next = 0
+        self.rejected_assigns = 0   # select/assign capacity races absorbed
 
     # -- policy ---------------------------------------------------------------
     def pick(self, function: str,
              locality: Optional[Callable[[InvokerNode], bool]] = None
              ) -> InvokerNode:
-        """Choose (and assign to) an invoker for one request."""
-        node, self._rr_next = select_node(self.nodes, self.policy, function,
-                                          self._rr_next, locality)
-        node.assign(function)
-        return node
+        """Choose (and assign to) an invoker for one request.
+
+        ``select_node`` and ``assign`` are two steps, and the *locality*
+        callback (or any re-entrant controller logic) can admit work in
+        between — so a selected node may be full by the time we assign.
+        That race is a queueable "no room" event, not a gateway crash:
+        re-select among the remaining nodes and raise
+        :class:`NoHostAvailableError` only when every node is full.
+        """
+        for _ in range(len(self.nodes)):
+            node, self._rr_next = select_node(
+                self.nodes, self.policy, function, self._rr_next, locality)
+            try:
+                node.assign(function)
+                return node
+            except PlatformError:
+                self.rejected_assigns += 1
+        raise NoHostAvailableError(
+            "all invokers at capacity (assign raced with select)")
 
     def _home_index(self, function: str) -> int:
         return home_index(function, len(self.nodes))

@@ -82,9 +82,10 @@ def _nested_invoke_ms(span: Span) -> float:
 def phase_breakdown(invoke_span: Span) -> PhaseBreakdown:
     """Derive the start-up / exec / other split from one ``invoke`` span.
 
-    * ``frontend``, ``placement`` and ``queue`` stages are control-plane
-      ("other") time (placement is an instantaneous decision today, so it
-      contributes zero);
+    * ``frontend``, ``placement``, ``queue`` and ``admission`` stages are
+      control-plane ("other") time (placement is an instantaneous decision
+      today, so it contributes zero; ``queue`` and ``admission`` also
+      count as queue time);
     * the ``acquire`` stage is start-up, minus any descendant explicitly
       tagged ``phase="other"`` (e.g. Fireworks' parameter publish);
     * the ``exec`` stage is in-guest execution, minus nested ``invoke``
@@ -103,6 +104,12 @@ def phase_breakdown(invoke_span: Span) -> PhaseBreakdown:
         elif child.name == "placement":
             other += child.duration_ms
         elif child.name == "queue":
+            queue += child.duration_ms
+            other += child.duration_ms
+        elif child.name == "admission":
+            # Serving layer: time spent in the host's bounded admission
+            # queue waiting for a capacity slot (repro.autoscale) — queue
+            # time the platform charged, like the core-pool "queue" stage.
             queue += child.duration_ms
             other += child.duration_ms
         elif child.name == "acquire":

@@ -6,6 +6,7 @@ from repro.workloads.faasdom import (BENCHMARK_NAMES,
                                      all_faasdom_specs, faasdom_spec)
 from repro.workloads.generator import (POPULAR_FRACTION, FunctionPopularity,
                                        TraceEvent, assign_popularity,
+                                       modulated_poisson_trace,
                                        poisson_trace, trace_stats)
 from repro.workloads.serverlessbench import (ALEXA_SKILLS, DEVICES_DB,
                                              REMINDER_DB, WAGE_STATS_DB,
@@ -33,6 +34,7 @@ __all__ = [
     "assign_popularity",
     "data_analysis_chain",
     "faasdom_spec",
+    "modulated_poisson_trace",
     "poisson_trace",
     "trace_stats",
 ]

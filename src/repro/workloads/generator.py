@@ -86,6 +86,47 @@ def poisson_trace(popularities: Sequence[FunctionPopularity],
     return events
 
 
+def modulated_poisson_trace(popularities: Sequence[FunctionPopularity],
+                            duration_ms: float, rng: RngStreams,
+                            period_ms: float = 60000.0,
+                            depth: float = 0.6) -> List[TraceEvent]:
+    """A *non-homogeneous* Poisson trace: the arrival rate swings
+    sinusoidally around each function's mean (diurnal-pattern analogue,
+    compressed to *period_ms*), via Lewis–Shedler thinning.
+
+    ``rate(t) = base_rate * (1 + depth * sin(2π t / period))`` — candidate
+    arrivals are drawn at the peak rate and accepted with probability
+    ``rate(t)/peak``, so bursts at the crests stress admission queues
+    while troughs let warm pools drain.  ``depth=0`` degenerates to
+    :func:`poisson_trace`'s homogeneous process (different draws, same
+    law).  Deterministic per seed: one RNG stream per function.
+    """
+    if duration_ms <= 0:
+        raise PlatformError(f"duration must be positive, got {duration_ms}")
+    if not 0.0 <= depth < 1.0:
+        raise PlatformError(f"modulation depth must be in [0, 1), "
+                            f"got {depth}")
+    if period_ms <= 0:
+        raise PlatformError(f"modulation period must be positive, "
+                            f"got {period_ms}")
+    events: List[TraceEvent] = []
+    omega = 2.0 * math.pi / period_ms
+    for pop in popularities:
+        stream = rng.stream(f"arrivals:{pop.function}")
+        peak_mean_ms = pop.mean_interarrival_ms / (1.0 + depth)
+        t = 0.0
+        while True:
+            u = stream.random()
+            t += -peak_mean_ms * math.log(1.0 - u)
+            if t >= duration_ms:
+                break
+            accept = (1.0 + depth * math.sin(omega * t)) / (1.0 + depth)
+            if stream.random() < accept:
+                events.append(TraceEvent(at_ms=t, function=pop.function))
+    events.sort(key=lambda e: (e.at_ms, e.function))
+    return events
+
+
 def trace_stats(events: Sequence[TraceEvent],
                 duration_ms: float) -> dict:
     """Per-function rates, for sanity checks against the 18.6% claim."""

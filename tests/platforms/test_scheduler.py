@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.errors import PlatformError
+from repro.errors import NoHostAvailableError, PlatformError
 from repro.platforms.scheduler import (POLICY_HASH, POLICY_LEAST_LOADED,
-                                       POLICY_ROUND_ROBIN, InvokerNode,
+                                       POLICY_ROUND_ROBIN,
+                                       POLICY_SNAPSHOT_LOCALITY, InvokerNode,
                                        InvokerPool)
 
 
@@ -110,3 +111,56 @@ class TestStats:
         node2 = pool.pick("b")
         node2.release()
         assert pool.load_spread() <= 2
+
+
+class TestPickAssignRace:
+    """pick() = select + assign, and re-entrant controller logic (the
+    locality callback here) can admit work in between — a selected node
+    may be full by assign time.  That race must be absorbed as a
+    queueable no-room event (re-select, count ``rejected_assigns``), and
+    NoHostAvailableError raised only when every node is genuinely full.
+    """
+
+    @staticmethod
+    def _racing_locality(pool, victim_id, function):
+        """A locality callback that admits one request onto *victim*
+        while the scheduler is mid-select — after its has_room check,
+        before pick() assigns."""
+        fired = []
+
+        def locality(node):
+            if node.node_id == victim_id and not fired:
+                fired.append(True)
+                node.assign(function)   # re-entrant admission
+            return node.node_id == victim_id
+        return locality
+
+    def test_pick_reselects_when_assign_races_with_select(self):
+        pool = InvokerPool(nodes=2, capacity_per_node=1,
+                           policy=POLICY_SNAPSHOT_LOCALITY)
+        victim = 0
+        node = pool.pick("fn", self._racing_locality(pool, victim, "fn"))
+        # The racing admission filled the victim; pick fell over to the
+        # other node instead of crashing the gateway.
+        assert node.node_id != victim
+        assert pool.rejected_assigns == 1
+        assert pool.total_active() == 2      # racer's + ours
+        for n in pool.nodes:
+            assert 0 <= n.active <= n.capacity
+
+    def test_pick_raises_only_when_race_filled_the_last_slot(self):
+        pool = InvokerPool(nodes=1, capacity_per_node=1,
+                           policy=POLICY_SNAPSHOT_LOCALITY)
+        with pytest.raises(NoHostAvailableError):
+            pool.pick("fn", self._racing_locality(pool, 0, "fn"))
+        assert pool.rejected_assigns == 1
+        assert pool.total_active() == 1      # the racer's admission only
+
+    def test_no_rejects_without_contention(self):
+        pool = InvokerPool(nodes=2, capacity_per_node=2,
+                           policy=POLICY_SNAPSHOT_LOCALITY)
+        for _ in range(4):
+            pool.pick("fn", lambda node: True)
+        assert pool.rejected_assigns == 0
+        with pytest.raises(NoHostAvailableError):
+            pool.pick("fn", lambda node: True)

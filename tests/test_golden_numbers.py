@@ -79,3 +79,83 @@ class TestGoldenDeterminism:
         assert first.startup_ms == second.startup_ms
         assert first.exec_ms == second.exec_ms
         assert first.other_ms == second.other_ms
+
+
+def _canonical_hash(result) -> str:
+    """SHA-256 of the loss-free canonical JSON encoding of *result* —
+    the same bytes the engine's result cache stores."""
+    import hashlib
+    import json
+
+    from repro.bench.serialization import encode_result
+    blob = json.dumps(encode_result(result), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+#: Pristine (pre-serving-layer) figure hashes; the disabled autoscale
+#: defaults must reproduce them bit-for-bit.
+GOLDEN_FIGURE_HASHES = {
+    "fig6:faas-fact":
+        "4b214b3ad461b9b9d3e81751f52b4289b8bc025eb26c0c51313cbf5de2c42cee",
+    "fig7:faas-fact":
+        "d0a486034e58b8f7635fb1d6759195883c0070cdcfd4d6af2235685db8033449",
+    "fig9:all":
+        "1f21f019ac6571b22fba816f6bf29bc48fe960b6f527db3dfe063bd5fe16ec15",
+    "fig10:firecracker":
+        "3fbc9636a87f7bb336be487c84fe51c5ee22b76f74c48497f5dbae63485a2d8c",
+    "fig10:fireworks":
+        "7d3ed7a73aea311202e07584654bcf52bfbcf1cc819716c1b5403d9f4619f97b",
+}
+
+
+class TestGoldenFigureHashes:
+    """Whole-figure outputs, pinned bit-for-bit.
+
+    The serving layer (repro.autoscale) threads through the shared invoke
+    path; these hashes prove its disabled defaults leave every existing
+    figure *byte*-identical, not merely within tolerance.  If you change
+    the model deliberately, re-capture with ``_canonical_hash`` and
+    update EXPERIMENTS.md alongside.
+    """
+
+    def test_autoscale_is_disabled_by_default(self):
+        from repro.config import default_parameters
+        params = default_parameters()
+        assert params.autoscale.enabled is False
+
+    def test_fig6_fact_nodejs(self):
+        from repro.bench.faasdom_experiments import run_faasdom_benchmark
+        from repro.config import default_parameters
+        result = run_faasdom_benchmark("faas-fact", "nodejs",
+                                       default_parameters())
+        assert _canonical_hash(result) == \
+            GOLDEN_FIGURE_HASHES["fig6:faas-fact"]
+
+    def test_fig7_fact_python(self):
+        from repro.bench.faasdom_experiments import run_faasdom_benchmark
+        from repro.config import default_parameters
+        result = run_faasdom_benchmark("faas-fact", "python",
+                                       default_parameters())
+        assert _canonical_hash(result) == \
+            GOLDEN_FIGURE_HASHES["fig7:faas-fact"]
+
+    def test_fig9_applications(self):
+        from repro.bench.realworld import run_fig9
+        from repro.config import default_parameters
+        result = run_fig9(default_parameters())
+        assert _canonical_hash(result) == GOLDEN_FIGURE_HASHES["fig9:all"]
+
+    def test_fig10_firecracker(self):
+        from repro.bench.memory import run_fig10_platform
+        from repro.config import default_parameters
+        result = run_fig10_platform("firecracker", default_parameters())
+        assert _canonical_hash(result) == \
+            GOLDEN_FIGURE_HASHES["fig10:firecracker"]
+
+    def test_fig10_fireworks(self):
+        from repro.bench.memory import run_fig10_platform
+        from repro.config import default_parameters
+        result = run_fig10_platform("fireworks", default_parameters())
+        assert _canonical_hash(result) == \
+            GOLDEN_FIGURE_HASHES["fig10:fireworks"]
