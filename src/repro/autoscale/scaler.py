@@ -67,7 +67,7 @@ class WarmPoolAutoscaler:
                 raise PlatformError(
                     "an active autoscaler needs until_ms: its control loop "
                     "must stop ticking for the simulation to quiesce")
-            self.process = self.sim.process(self._run(), name="autoscaler")
+            self._arm_tick()
 
     # -- arrival feed (called by the platform on every invoke) ---------------
     def observe_arrival(self, function: str, now_ms: float) -> None:
@@ -92,10 +92,17 @@ class WarmPoolAutoscaler:
             self._ensure_warm(function, host, target, self.sim.now)
 
     # -- control loop --------------------------------------------------------
-    def _run(self):
-        while self.sim.now + self.cfg.scale_interval_ms <= self.until_ms:
-            yield self.sim.timeout(self.cfg.scale_interval_ms)
-            self._tick()
+    # The loop rides the kernel's pooled fast-path timers rather than a
+    # generator process: nothing ever waits on the control loop, so the
+    # Event/Process machinery was pure per-tick overhead.
+    def _arm_tick(self) -> None:
+        if self.sim.now + self.cfg.scale_interval_ms <= self.until_ms:
+            self.sim.schedule_timeout(
+                self.cfg.scale_interval_ms, self._on_tick)
+
+    def _on_tick(self, _value) -> None:
+        self._tick()
+        self._arm_tick()
 
     def _tick(self) -> None:
         self.ticks += 1

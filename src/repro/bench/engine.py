@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,7 +40,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.config import (CalibratedParameters, canonical_jsonable,
                           default_parameters, params_fingerprint)
 from repro.errors import ReproError
-from repro.bench.serialization import decode_result, encode_result
+from repro.bench.serialization import (decode_result, dumps_result,
+                                       encode_result, loads_result)
+
+_LOG = logging.getLogger(__name__)
 
 #: Bump when the shard decomposition or payload layout changes shape.
 CACHE_SCHEMA_VERSION = 1
@@ -426,7 +431,13 @@ def experiment_ids() -> Tuple[str, ...]:
 # Content-addressed result cache
 # ---------------------------------------------------------------------------
 class ResultCache:
-    """JSON shard results under *root*, addressed by content hash.
+    """Shard results under *root*, addressed by content hash.
+
+    Entries are written in the compact binary format
+    (:func:`repro.bench.serialization.dumps_result`) as ``<key>.bin``;
+    pre-rewrite ``<key>.json`` entries are still read as a legacy
+    fallback, so an existing cache survives the upgrade.  Corruption in
+    either format is a miss, never an error.
 
     The key bakes in everything a shard's output depends on; see the module
     docstring for the invalidation story.
@@ -453,22 +464,47 @@ class ResultCache:
         return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
 
     def _path(self, shard: Shard, key: str) -> Path:
+        return self.root / shard.experiment / f"{key}.bin"
+
+    def _legacy_path(self, shard: Shard, key: str) -> Path:
         return self.root / shard.experiment / f"{key}.json"
+
+    def _read_entry(self, shard: Shard, key: str) -> Optional[Dict]:
+        """The entry dict from disk (binary first, then legacy JSON)."""
+        try:
+            entry = loads_result(self._path(shard, key).read_bytes())
+            if isinstance(entry, dict):
+                return entry
+        except (OSError, ReproError):
+            pass
+        try:
+            entry = json.loads(self._legacy_path(shard, key).read_text())
+            if isinstance(entry, dict):
+                return entry
+        except (OSError, ValueError):
+            pass
+        return None
 
     def load(self, shard: Shard, fingerprint: str, seed: int
              ) -> Optional[Any]:
         """The cached encoded payload, or None on miss/corruption."""
-        path = self._path(shard, self.key(shard, fingerprint, seed))
-        try:
-            entry = json.loads(path.read_text())
-        except (OSError, ValueError):
-            self.misses += 1
-            return None
-        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+        entry = self._read_entry(shard, self.key(shard, fingerprint, seed))
+        if entry is None or entry.get("schema") != CACHE_SCHEMA_VERSION:
             self.misses += 1
             return None
         self.hits += 1
-        return entry["payload"]
+        if "payload" in entry:       # legacy JSON entry: already encoded
+            return entry["payload"]
+        if "result" not in entry:    # malformed: treat as a miss
+            self.hits -= 1
+            self.misses += 1
+            return None
+        # Binary entries store the *decoded* result (the binary codec
+        # encodes dataclasses natively and positionally — far more
+        # compact than the tagged JSON form); re-encode to keep load()'s
+        # contract.  encode/decode are exact inverses, so the cache-hit
+        # path still cannot diverge from the compute path.
+        return encode_result(entry["result"])
 
     def store(self, shard: Shard, fingerprint: str, seed: int,
               payload: Any, elapsed_s: float) -> None:
@@ -483,26 +519,32 @@ class ResultCache:
             "params": fingerprint,
             "seed": seed,
             "elapsed_s": round(elapsed_s, 6),
-            "payload": payload,
+            "result": decode_result(payload),
         }
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(entry, separators=(",", ":")))
+        tmp.write_bytes(dumps_result(entry))
         tmp.replace(path)
 
     def prune(self, params: Optional[CalibratedParameters] = None,
               seed: int = DEFAULT_SEED) -> int:
-        """Delete entries not reachable from the current registry/params."""
+        """Delete entries not reachable from the current registry/params.
+
+        Both binary and legacy-JSON entries at a live key survive; every
+        other ``.bin``/``.json`` file under the root is removed.
+        """
         fingerprint = params_fingerprint(params or default_parameters())
-        live = {
-            str(self._path(shard, self.key(shard, fingerprint, seed)))
-            for definition in experiment_registry().values()
-            for shard in definition.shards
-        }
+        live = set()
+        for definition in experiment_registry().values():
+            for shard in definition.shards:
+                key = self.key(shard, fingerprint, seed)
+                live.add(str(self._path(shard, key)))
+                live.add(str(self._legacy_path(shard, key)))
         removed = 0
-        for path in self.root.glob("*/*.json"):
-            if str(path) not in live:
-                path.unlink()
-                removed += 1
+        for pattern in ("*/*.bin", "*/*.json"):
+            for path in self.root.glob(pattern):
+                if str(path) not in live:
+                    path.unlink()
+                    removed += 1
         return removed
 
 
@@ -559,6 +601,12 @@ def _execute_missing(missing: List[Shard], params: CalibratedParameters,
     """Encoded payloads for *missing* shards, serially or on a pool."""
     if not missing:
         return {}
+    if jobs > 1 and (os.cpu_count() or 1) == 1:
+        # A pool of forks on a single-CPU host only adds fork/IPC
+        # overhead on top of the same serial compute — run inline.
+        _LOG.info("single-CPU host: running %d shard(s) serially "
+                  "(jobs=%d requested)", len(missing), jobs)
+        jobs = 1
     if jobs <= 1 or len(missing) == 1:
         return {(shard.experiment, shard.key):
                 _execute_shard(shard.fn, shard.kwargs_dict(), params, seed)

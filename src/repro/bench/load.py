@@ -25,7 +25,8 @@ byte-identical (the seeded E2E determinism test locks this).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from array import array
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.autoscale import WarmPoolAutoscaler
 from repro.bench.harness import fresh_cluster_platform, install_all
@@ -143,33 +144,41 @@ def _submit(platform, function: str):
         pass
 
 
-def _sample_warm_memory(platform, until_ms: float, interval_ms: float,
-                        samples: List[float]):
+def _start_memory_sampler(platform, until_ms: float, interval_ms: float,
+                          samples: "array") -> None:
     """Periodic Σ pool-PSS sampler (runs for all modes, so the memory
-    comparison is apples-to-apples even without an active scaler)."""
+    comparison is apples-to-apples even without an active scaler).
+
+    Rides the kernel's pooled fast-path timers: the sampler is
+    fire-and-forget, so a generator process per run was pure overhead.
+    """
     sim = platform.sim
-    while sim.now + interval_ms <= until_ms:
-        yield sim.timeout(interval_ms)
+    hosts = platform.cluster.hosts
+
+    def tick(_value) -> None:
         samples.append(sum(host.pool.total_pss_mb(sim.now)
-                           for host in platform.cluster.hosts))
+                           for host in hosts))
+        if sim.now + interval_ms <= until_ms:
+            sim.schedule_timeout(interval_ms, tick)
+
+    if sim.now + interval_ms <= until_ms:
+        sim.schedule_timeout(interval_ms, tick)
 
 
 def open_loop_replay(platform, trace, duration_ms: float,
                      sample_interval_ms: float = DEFAULT_SAMPLE_INTERVAL_MS
-                     ) -> List[float]:
+                     ) -> "array":
     """Fire every trace event at its time as a detached process, then
-    drain.  Returns the warm-memory samples.
+    drain.  Returns the warm-memory samples (an ``array('d')``).
 
     Trace times are relative to *now* (installs already advanced the
     clock), so event ``at_ms`` fires at ``start + at_ms``.
     """
     sim = platform.sim
     start_ms = sim.now
-    samples: List[float] = []
-    sim.process(
-        _sample_warm_memory(platform, start_ms + duration_ms,
-                            sample_interval_ms, samples),
-        name="warm-memory-sampler")
+    samples = array("d")
+    _start_memory_sampler(platform, start_ms + duration_ms,
+                          sample_interval_ms, samples)
     for event in trace:
         at_ms = start_ms + event.at_ms
         if sim.now < at_ms:
@@ -272,8 +281,8 @@ def run_load_platform(
 
     samples = open_loop_replay(platform, trace, duration_ms)
 
-    latencies = [record.total_ms for record in platform.records]
-    waits = [record.queue_wait_ms for record in platform.records]
+    latencies = array("d", (record.total_ms for record in platform.records))
+    waits = array("d", (record.queue_wait_ms for record in platform.records))
     warm = sum(1 for record in platform.records
                if record.mode == MODE_WARM)
     outcome = LoadOutcome(

@@ -7,13 +7,12 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 
-def percentile(samples: Sequence[float], q: float) -> float:
-    """The q-th percentile (0..100) by linear interpolation."""
-    if not samples:
+def percentile_sorted(ordered: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) of an already-sorted sample set."""
+    if not ordered:
         raise ValueError("percentile of no samples")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile q out of range: {q}")
-    ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
     rank = (q / 100.0) * (len(ordered) - 1)
@@ -25,6 +24,13 @@ def percentile(samples: Sequence[float], q: float) -> float:
     value = ordered[low] * (1 - fraction) + ordered[high] * fraction
     # Clamp away 1-ULP interpolation wobble so percentiles stay monotone.
     return min(max(value, ordered[low]), ordered[high])
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation."""
+    if not samples:
+        raise ValueError("percentile of no samples")
+    return percentile_sorted(sorted(samples), q)
 
 
 @dataclass(frozen=True)
@@ -42,13 +48,17 @@ class LatencyStats:
     def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
         if not samples:
             raise ValueError("no latency samples")
+        # One shared sort instead of one per percentile; the mean keeps
+        # the original accumulation order so results are bit-identical
+        # with the pre-batching implementation.
+        ordered = sorted(samples)
         return cls(
             count=len(samples),
             mean_ms=sum(samples) / len(samples),
-            p50_ms=percentile(samples, 50),
-            p95_ms=percentile(samples, 95),
-            p99_ms=percentile(samples, 99),
-            max_ms=max(samples),
+            p50_ms=percentile_sorted(ordered, 50),
+            p95_ms=percentile_sorted(ordered, 95),
+            p99_ms=percentile_sorted(ordered, 99),
+            max_ms=ordered[-1],
         )
 
     def as_line(self) -> str:

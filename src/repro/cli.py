@@ -19,7 +19,10 @@ Commands:
                                 cold-start share, warm memory (extension);
 * ``trace <target>``          — re-run one figure's invocations and export
                                 one invocation's span tree (Chrome
-                                ``trace_event`` JSON or a text tree).
+                                ``trace_event`` JSON or a text tree);
+* ``profile <experiment>``    — cProfile one experiment shard and print
+                                the top-N hot frames (the workflow behind
+                                ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -297,6 +300,47 @@ def _cmd_trace(target: str, benchmark: str, invocation: int,
     return 0
 
 
+def _cmd_profile(experiment: str, shard_key: Optional[str], top: int,
+                 sort: str) -> int:
+    """``profile``: cProfile one shard, print the hot frames.
+
+    Shards are the natural profiling unit: each one builds its own
+    simulation from a fixed seed, so the profile is deterministic work —
+    no cache, no pool, no other shards mixed into the numbers.
+    """
+    import cProfile
+    import pstats
+    from repro.bench.engine import (_SHARD_FNS, DEFAULT_SEED,
+                                    experiment_registry)
+    from repro.config import default_parameters
+    registry = experiment_registry()
+    if experiment not in registry:
+        print(f"error: unknown experiment {experiment!r}; known: "
+              f"{', '.join(registry)}", file=sys.stderr)
+        return 1
+    definition = registry[experiment]
+    if shard_key is None:
+        shard = definition.shards[0]
+    else:
+        matching = [one for one in definition.shards if one.key == shard_key]
+        if not matching:
+            keys = ", ".join(one.key for one in definition.shards)
+            print(f"error: {experiment} has no shard {shard_key!r}; "
+                  f"shards: {keys}", file=sys.stderr)
+            return 1
+        shard = matching[0]
+
+    params = default_parameters()
+    profiler = cProfile.Profile()
+    profiler.runcall(_SHARD_FNS[shard.fn], params, DEFAULT_SEED,
+                     **shard.kwargs_dict())
+    print(f"== profile: {experiment}/{shard.key} "
+          f"(top {top} by {sort}) ==")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return 0
+
+
 def _positive_int(text: str) -> int:
     """argparse type for ``--jobs``: an integer >= 1."""
     value = int(text)
@@ -425,6 +469,19 @@ def build_parser() -> argparse.ArgumentParser:
                               help="output path (default "
                                    "<target>-inv<N>.trace.json)")
 
+    profile_parser = sub.add_parser(
+        "profile", help="cProfile one experiment shard (hot-frame report)")
+    profile_parser.add_argument(
+        "experiment", help="experiment id (same ids as 'figure')")
+    profile_parser.add_argument(
+        "--shard", default=None,
+        help="shard key within the experiment (default: its first shard)")
+    profile_parser.add_argument("--top", type=_positive_int, default=25,
+                                help="how many frames to print (default 25)")
+    profile_parser.add_argument(
+        "--sort", choices=("tottime", "cumtime", "calls"),
+        default="tottime", help="pstats sort key (default tottime)")
+
     export_parser = sub.add_parser(
         "export", help="regenerate figures and write CSVs")
     export_parser.add_argument("directory")
@@ -471,6 +528,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "trace":
         return _cmd_trace(args.target, args.benchmark, args.invocation,
                           args.output_format, args.output)
+    elif args.command == "profile":
+        return _cmd_profile(args.experiment, args.shard, args.top,
+                            args.sort)
     elif args.command == "export":
         from repro.bench.export import export_all
         written = export_all(args.directory, figures=args.only)

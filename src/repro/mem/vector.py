@@ -1,0 +1,60 @@
+"""Vectorized fleet-level memory accounting (optional numpy).
+
+Replay-scale experiments sample the warm-pool footprint thousands of
+times, and each sample walks every parked sandbox's address space.  This
+module batches the per-space page counts into one contiguous ``array('d')``
+and reduces it with numpy when numpy is importable, falling back to a pure
+Python sum otherwise — the package itself stays dependency-free.
+
+Scope note: the reduction order (numpy vs. sequential Python sum) can
+differ in the last float ulp, so the **golden figure paths keep their
+plain sequential sums** (`AddressSpace.pss_mb`, `MemoryReport`); this
+module is only wired into the non-golden serving-layer paths (warm-pool
+sampling), where the guarantees are *determinism across identically
+seeded runs* — which both reductions satisfy — not a frozen byte hash.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable
+
+from repro.mem.host_memory import pages_to_mb
+
+try:  # pragma: no cover - exercised via both branches in tests
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in the dev image
+    _np = None
+
+__all__ = ["HAVE_NUMPY", "fleet_pss_pages", "fleet_pss_mb",
+           "fleet_pss_mb_python"]
+
+HAVE_NUMPY = _np is not None
+
+#: Below this many spaces the numpy round-trip costs more than it saves.
+_VECTOR_MIN = 8
+
+
+def fleet_pss_pages(spaces: Iterable) -> array:
+    """Per-space PSS page counts as one contiguous double array.
+
+    Each element is one address space's ``pss_pages()`` — constant time
+    per space thanks to the per-segment dirty aggregates — so building
+    the array is linear in fleet size with no per-element boxing beyond
+    the collection itself.
+    """
+    return array("d", (space.pss_pages() for space in spaces))
+
+
+def fleet_pss_mb_python(spaces: Iterable) -> float:
+    """Pure-Python reference reduction (also the no-numpy fallback)."""
+    return pages_to_mb(sum(fleet_pss_pages(spaces)))
+
+
+def fleet_pss_mb(spaces: Iterable) -> float:
+    """Total PSS in MiB across *spaces*, vectorized when numpy exists."""
+    pages = fleet_pss_pages(spaces)
+    if _np is not None and len(pages) >= _VECTOR_MIN:
+        return pages_to_mb(float(_np.frombuffer(pages, dtype=_np.float64)
+                                 .sum()))
+    return pages_to_mb(sum(pages))

@@ -8,6 +8,7 @@ subset of records) can be summarized.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -126,6 +127,20 @@ def _startup_and_total_ms(record: InvocationRecord):
     return record.startup_ms, record.total_ms
 
 
+class _FunctionAccumulator:
+    """Per-function running aggregates for the single-pass summary."""
+
+    __slots__ = ("modes", "totals", "startup_sum", "total_sum")
+
+    def __init__(self) -> None:
+        self.modes: Dict[str, int] = {}
+        self.totals = array("d")
+        # Seeded with int 0, like the sum() builtin the multi-pass
+        # implementation used, so float accumulation is bit-identical.
+        self.startup_sum = 0
+        self.total_sum = 0
+
+
 def _failure_class(failed: FailedInvocation) -> str:
     """Coarse failure bucket for the dashboard: the leading word of the
     reason ('host3 is down ...' -> 'host-down' style buckets would
@@ -147,33 +162,42 @@ def summarize(platform_name: str,
     percentiles come from the records' derived ``queue_wait_ms`` (the
     admission + core-pool queue spans).
     """
-    flat: List[InvocationRecord] = []
-    for record in records:
-        flat.extend(record.chain_records() if include_chains
-                    else [record])
-
-    by_function: Dict[str, List[InvocationRecord]] = {}
+    # One pass over the (chain-expanded) records accumulates everything:
+    # per-function mode counts, latency samples (unboxed array('d')),
+    # startup/total sums, the global mode counts, and the queue waits.
+    # Accumulation order matches the old multi-pass implementation
+    # exactly — record order within each function, sums seeded at 0 —
+    # so every derived number is bit-identical.
+    by_function: Dict[str, _FunctionAccumulator] = {}
     total_by_mode: Dict[str, int] = {}
-    for record in flat:
-        by_function.setdefault(record.function, []).append(record)
-        total_by_mode[record.mode] = total_by_mode.get(record.mode, 0) + 1
+    waits = array("d")
+    total_records = 0
+    for outer in records:
+        chain = outer.chain_records() if include_chains else (outer,)
+        for record in chain:
+            total_records += 1
+            acc = by_function.get(record.function)
+            if acc is None:
+                acc = by_function[record.function] = _FunctionAccumulator()
+            mode = record.mode
+            acc.modes[mode] = acc.modes.get(mode, 0) + 1
+            total_by_mode[mode] = total_by_mode.get(mode, 0) + 1
+            startup, total = _startup_and_total_ms(record)
+            acc.totals.append(total)
+            acc.startup_sum = acc.startup_sum + startup
+            acc.total_sum = acc.total_sum + total
+            waits.append(record.queue_wait_ms)
 
     functions = []
     for name in sorted(by_function):
-        entries = by_function[name]
-        modes: Dict[str, int] = {}
-        for record in entries:
-            modes[record.mode] = modes.get(record.mode, 0) + 1
-        splits = [_startup_and_total_ms(record) for record in entries]
-        total_ms = sum(total for _, total in splits)
-        startup_ms = sum(startup for startup, _ in splits)
+        acc = by_function[name]
         functions.append(FunctionMetrics(
             function=name,
-            invocations=len(entries),
-            by_mode=modes,
-            latency=LatencyStats.from_samples(
-                [total for _, total in splits]),
-            startup_share=0.0 if total_ms == 0 else startup_ms / total_ms))
+            invocations=len(acc.totals),
+            by_mode=acc.modes,
+            latency=LatencyStats.from_samples(acc.totals),
+            startup_share=(0.0 if acc.total_sum == 0
+                           else acc.startup_sum / acc.total_sum)))
 
     failed_list = list(failed) if failed is not None else []
     by_reason: Dict[str, int] = {}
@@ -185,13 +209,12 @@ def summarize(platform_name: str,
     by_shed: Dict[str, int] = {}
     for entry in shed_list:
         by_shed[entry.reason] = by_shed.get(entry.reason, 0) + 1
-    waits = [record.queue_wait_ms for record in flat]
     queue_p50 = percentile(waits, 50) if waits else 0.0
     queue_p99 = percentile(waits, 99) if waits else 0.0
 
     return PlatformMetrics(
         platform=platform_name,
-        total_invocations=len(flat),
+        total_invocations=total_records,
         by_mode=total_by_mode,
         functions=functions,
         failed_invocations=len(failed_list),

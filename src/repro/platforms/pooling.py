@@ -75,9 +75,15 @@ class WarmPool:
 
     def total_pss_mb(self, now_ms: float) -> float:
         """Σ PSS of every live entry — the pool's memory footprint, the
-        cost side of the warm-start trade the autoscaler navigates."""
-        return sum(entry.worker.pss_mb()
-                   for entry in self.live_entries(now_ms))
+        cost side of the warm-start trade the autoscaler navigates.
+
+        Aggregated at the page level through :mod:`repro.mem.vector`
+        (numpy-backed when available): load replays sample this on every
+        tick across every host.
+        """
+        from repro.mem.vector import fleet_pss_mb
+        return fleet_pss_mb(entry.worker.sandbox.space
+                            for entry in self.live_entries(now_ms))
 
     def _expire(self, pool: List[WarmEntry], now_ms: float) -> None:
         live = [entry for entry in pool if entry.expires_at_ms > now_ms]

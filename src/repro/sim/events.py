@@ -34,7 +34,13 @@ class Event:
     def __init__(self, sim: "Simulation", name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        # Callbacks lists are pooled: short-lived events dominate replays,
+        # and the empty list is the single hottest allocation after the
+        # queue entry tuple itself.  Lists are recycled (cleared) by
+        # _run_callbacks once the event is processed.
+        cb_pool = sim._cb_pool
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = (
+            cb_pool.pop() if cb_pool else [])
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
         #: Called when the last waiter detaches before the event fired
@@ -97,6 +103,12 @@ class Event:
         assert callbacks is not None
         for callback in callbacks:
             callback(self)
+        # Recycle only on clean completion: if a callback raised, the
+        # list may be mid-iteration state and is left for the GC.
+        callbacks.clear()
+        cb_pool = self.sim._cb_pool
+        if len(cb_pool) < 1024:
+            cb_pool.append(callbacks)
 
     def __repr__(self) -> str:
         state = "processed" if self.processed else (
@@ -119,7 +131,10 @@ class Timeout(Event):
                  name: str = "") -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name or f"timeout({delay:g})")
+        # The default name used to be rendered eagerly with an f-string;
+        # at millions of timeouts per replay that formatting dominated
+        # construction, so __repr__ now renders it lazily instead.
+        super().__init__(sim, name)
         self.delay = delay
         self._deferred_value = value
         sim._schedule(self, delay=delay)
@@ -128,6 +143,12 @@ class Timeout(Event):
         self._ok = True
         self._value = self._deferred_value
         self._run_callbacks()
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        label = self.name or f"timeout({self.delay:g})"
+        return f"<{label} {state} at t={self.sim.now:.3f}>"
 
 
 class Condition(Event):

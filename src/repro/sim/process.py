@@ -45,12 +45,9 @@ class Process(Event):
         # untraced processes pay one attribute slot and nothing else.
         self.trace_stack = None
         # Bootstrap: run the first step as soon as the kernel is able to.
-        init = Event(sim, name=f"{self.name}.init")
-        init._ok = True
-        init._value = None
-        assert init.callbacks is not None
-        init.callbacks.append(self._resume)
-        sim._schedule(init)
+        # A pooled kernel wakeup — nothing can wait on the bootstrap, so a
+        # full Event (name string, callbacks list) would be pure overhead.
+        sim._schedule_wakeup(self._resume, True, None)
 
     @property
     def is_alive(self) -> bool:
@@ -73,12 +70,8 @@ class Process(Event):
                         waited.on_abandoned is not None:
                     waited.on_abandoned()
             self._waiting_on = None
-        wakeup = Event(self.sim, name=f"{self.name}.interrupt")
-        wakeup._ok = False
-        wakeup._value = Interrupt(cause)
-        assert wakeup.callbacks is not None
-        wakeup.callbacks.append(self._resume)
-        self.sim._schedule(wakeup, priority_urgent=True)
+        self.sim._schedule_wakeup(
+            self._resume, False, Interrupt(cause), urgent=True)
 
     # -- internal -----------------------------------------------------------
     def _resume(self, trigger: Event) -> None:
@@ -113,13 +106,9 @@ class Process(Event):
                 f"{self.name} yielded an event from another simulation")
         if target.processed:
             # The event already fired and ran its callbacks; resume this
-            # process at the current time with the same outcome.
-            redelivery = Event(self.sim, name=f"{self.name}.redeliver")
-            redelivery._ok = target._ok
-            redelivery._value = target._value
-            assert redelivery.callbacks is not None
-            redelivery.callbacks.append(self._resume)
-            self.sim._schedule(redelivery)
+            # process at the current time with the same outcome, via a
+            # pooled wakeup instead of a throwaway Event.
+            self.sim._schedule_wakeup(self._resume, target._ok, target._value)
             return
         self._waiting_on = target
         assert target.callbacks is not None

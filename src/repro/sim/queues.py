@@ -1,0 +1,247 @@
+"""Event queue implementations backing the DES kernel.
+
+Two interchangeable priority queues over entries shaped
+``(time, urgent_rank, sequence, payload)``:
+
+:class:`HeapEventQueue`
+    The reference implementation — a single binary heap, exactly the
+    structure the kernel used before the calendar-queue rewrite.  Kept as
+    the ground truth for differential tests and selectable on the kernel
+    via ``Simulation(queue="heap")``.
+
+:class:`CalendarEventQueue`
+    A calendar queue (Brown 1988) specialised for the simulator's access
+    pattern: most events land either *at the current time* (event
+    triggers, zero-delay timeouts) or *a short delay ahead* (keep-alive
+    timers, service times).  Three tiers:
+
+    * a **deque** of same-time, normal-rank entries at the current pop
+      frontier — append/popleft keeps FIFO order because the sequence
+      number is assigned monotonically;
+    * a **bucket ring** of ``NB`` one-millisecond-wide buckets covering
+      the near-term window ``[int(now), int(now) + NB)`` — appends are
+      O(1), buckets are sorted lazily when they become the active
+      (lowest) bucket;
+    * an **overflow heap** for far-future entries and *all* urgent
+      (rank-0) entries, so urgency never has to be special-cased in the
+      ring.
+
+    Pops take the minimum of the three tier heads by plain tuple
+    comparison, which preserves the exact ``(time, rank, sequence)``
+    total order of the reference heap — this is the property the golden
+    figure hashes depend on, and the property
+    ``tests/property/test_kernel_equivalence.py`` checks exhaustively.
+
+The kernel (:mod:`repro.sim.kernel`) inlines the calendar structure
+directly onto :class:`Simulation` for speed; this module is the readable,
+self-contained specification of that structure and the unit under test
+for queue-level property checks.  Keep the two in sync.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["HeapEventQueue", "CalendarEventQueue", "NB_BUCKETS"]
+
+Entry = Tuple[float, int, int, Any]
+
+_INF = float("inf")
+
+#: Size of the calendar bucket ring (power of two; buckets are 1 ms wide,
+#: so the ring covers a 512 ms near-term window).
+NB_BUCKETS = 512
+_MASK = NB_BUCKETS - 1
+
+#: Below this many pending heap entries (with no bucketed entries), normal
+#: pushes go straight to the overflow heap: C-level heapq beats the
+#: Python-level bucket machinery until the pending set is large.  Routing
+#: never changes pop order (the three-way head comparison enforces the
+#: total order across tiers).  Mirrors ``repro.sim.kernel._SMALL_HEAP``.
+SMALL_HEAP = 1024
+
+
+class HeapEventQueue:
+    """Reference binary-heap event queue (the pre-rewrite kernel order)."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[Entry] = []
+
+    def push(self, entry: Entry) -> None:
+        """Add *entry*; O(log n)."""
+        heappush(self._heap, entry)
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the minimum entry, or ``None`` when empty."""
+        return heappop(self._heap) if self._heap else None
+
+    def peek_time(self) -> float:
+        """Time of the minimum entry, or ``inf`` when empty."""
+        return self._heap[0][0] if self._heap else _INF
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class CalendarEventQueue:
+    """Calendar queue: deque + bucket ring + overflow heap.
+
+    Invariants (all proven against the kernel's access pattern, where every
+    pushed time is ``>=`` the last popped time):
+
+    * every deque entry has ``time == _dq_time`` and rank 1, in sequence
+      order, and ``_dq_time`` is the minimum pending normal-rank time while
+      the deque is non-empty;
+    * every bucket entry has ``int(time)`` inside the ring window
+      ``[int(frontier), int(frontier) + NB)``, so bucket index
+      ``int(time) & MASK`` is collision-free across window laps;
+    * ``_scan_vb`` is a lower bound on every bucket entry's virtual bucket
+      number, making the head scan amortised O(1);
+    * the *active* bucket is the lowest non-empty bucket, sorted from
+      position ``_apos``; positions before ``_apos`` are already consumed.
+    """
+
+    __slots__ = ("_dq", "_dq_time", "_buckets", "_bcount", "_active",
+                 "_apos", "_scan_vb", "_heap", "_frontier")
+
+    def __init__(self) -> None:
+        self._dq: deque = deque()
+        self._dq_time = -1.0
+        self._buckets: List[List[Entry]] = [[] for _ in range(NB_BUCKETS)]
+        self._bcount = 0
+        self._active = -1
+        self._apos = 0
+        self._scan_vb = 0
+        self._heap: List[Entry] = []
+        self._frontier = 0.0
+
+    def push(self, entry: Entry) -> None:
+        """Add *entry*, routing it to the deque, ring, or heap tier.
+
+        Amortised O(1) for the common kernel access pattern (same-time
+        and near-term pushes); O(log n) for urgent or far-future ones.
+        """
+        t = entry[0]
+        if entry[1] == 0:
+            # Urgent entries always ride the heap: they are rare, and the
+            # three-way head comparison already ranks them correctly.
+            heappush(self._heap, entry)
+            return
+        dq = self._dq
+        if dq:
+            if t == self._dq_time:
+                dq.append(entry)
+                return
+        elif t == self._frontier:
+            self._dq_time = t
+            dq.append(entry)
+            return
+        if not self._bcount and len(self._heap) < SMALL_HEAP:
+            heappush(self._heap, entry)
+            return
+        if t - self._frontier < NB_BUCKETS:  # inf-safe float precheck
+            vb = int(t)
+            if vb - int(self._frontier) < NB_BUCKETS:
+                slot = vb & _MASK
+                bucket = self._buckets[slot]
+                if slot == self._active:
+                    insort(bucket, entry, lo=self._apos)
+                else:
+                    bucket.append(entry)
+                    if vb < self._scan_vb:
+                        self._scan_vb = vb
+                self._bcount += 1
+                return
+        heappush(self._heap, entry)
+
+    def _bucket_head(self) -> Entry:
+        """Head of the lowest non-empty bucket; activates (sorts) it."""
+        buckets = self._buckets
+        vbnow = int(self._frontier)
+        if self._scan_vb > vbnow:
+            vbnow = self._scan_vb
+        active = self._active
+        for k in range(NB_BUCKETS):
+            slot = (vbnow + k) & _MASK
+            if slot == active:
+                self._scan_vb = vbnow + k
+                return buckets[slot][self._apos]
+            bucket = buckets[slot]
+            if bucket:
+                if active >= 0:
+                    # A bucket earlier than the active one became
+                    # non-empty: demote the active bucket, compacting its
+                    # consumed prefix so it can be re-activated later.
+                    del buckets[active][: self._apos]
+                if len(bucket) > 1:
+                    bucket.sort()
+                self._active = slot
+                self._apos = 0
+                self._scan_vb = vbnow + k
+                return bucket[0]
+        raise AssertionError("calendar queue invariant violated: "
+                             "bcount > 0 but scan found no bucket")
+
+    def _bucket_pop(self) -> None:
+        bucket = self._buckets[self._active]
+        apos = self._apos + 1
+        if apos == len(bucket):
+            del bucket[:]
+            self._active = -1
+            self._apos = 0
+        else:
+            self._apos = apos
+        self._bcount -= 1
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the minimum entry (by ``(time, rank, seq)``
+        tuple order across all three tiers), or ``None`` when empty."""
+        dq = self._dq
+        best = dq[0] if dq else None
+        src = 1 if best is not None else 0
+        if self._bcount:
+            bhead = self._bucket_head()
+            if src == 0 or bhead < best:
+                best, src = bhead, 2
+        heap = self._heap
+        if heap:
+            hhead = heap[0]
+            if src == 0 or hhead < best:
+                best, src = hhead, 3
+        if src == 0:
+            return None
+        if src == 1:
+            dq.popleft()
+        elif src == 2:
+            self._bucket_pop()
+        else:
+            heappop(heap)
+        self._frontier = best[0]
+        return best
+
+    def peek_time(self) -> float:
+        """Time of the minimum entry, or ``inf`` when empty."""
+        dq = self._dq
+        best = dq[0] if dq else None
+        if self._bcount:
+            bhead = self._bucket_head()
+            if best is None or bhead < best:
+                best = bhead
+        heap = self._heap
+        if heap and (best is None or heap[0] < best):
+            best = heap[0]
+        return best[0] if best is not None else _INF
+
+    def __len__(self) -> int:
+        return len(self._dq) + self._bcount + len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._dq) or self._bcount > 0 or bool(self._heap)

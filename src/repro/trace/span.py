@@ -38,7 +38,10 @@ class Span:
         self.children: List["Span"] = []
         self.start_ms: Optional[float] = None
         self.end_ms: Optional[float] = None
-        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        # The span takes ownership of *attrs* (no defensive copy): every
+        # caller builds it fresh from ``**attrs``, and spans are opened on
+        # every invocation stage, so the copy was measurable.
+        self.attrs: Dict[str, Any] = attrs if attrs is not None else {}
 
     # -- timing --------------------------------------------------------------
     @property

@@ -35,7 +35,7 @@ class Tracer:
 
     # -- context -------------------------------------------------------------
     def _stack(self) -> List[Span]:
-        process = self.sim.active_process
+        process = self.sim._active_process
         if process is None:
             return self._default_stack
         stack = process.trace_stack
@@ -84,9 +84,12 @@ class Tracer:
 
     # -- lifecycle (called by Span.__enter__/__exit__) --------------------------
     def _start(self, span: Span) -> None:
-        self._attach(span)
-        span.start_ms = self.sim.now
-        self._stack().append(span)
+        # Resolve the stack once for both attach and push: span open/close
+        # runs for every stage of every invocation.
+        stack = self._stack()
+        self._attach(span, stack)
+        span.start_ms = self.sim._now
+        stack.append(span)
 
     def _finish(self, span: Span) -> None:
         stack = self._stack()
@@ -94,10 +97,11 @@ class Tracer:
             raise TraceError(
                 f"closing {span!r} which is not the innermost open span")
         stack.pop()
-        span.end_ms = self.sim.now
+        span.end_ms = self.sim._now
 
-    def _attach(self, span: Span) -> None:
-        stack = self._stack()
+    def _attach(self, span: Span, stack: Optional[List[Span]] = None) -> None:
+        if stack is None:
+            stack = self._stack()
         parent = stack[-1] if stack else None
         span.parent = parent
         if parent is not None:

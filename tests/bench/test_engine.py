@@ -10,6 +10,8 @@ import pytest
 from repro.bench.engine import (ResultCache, Shard, experiment_ids,
                                 experiment_registry, resolve_ids,
                                 run_experiments)
+from repro.bench.serialization import (dumps_result, encode_result,
+                                       loads_result)
 from repro.bench.results import FigureResult, MemorySeries
 from repro.config import default_parameters, params_fingerprint
 from repro.errors import ReproError
@@ -69,16 +71,51 @@ class TestDeterminism:
         assert outcome.results["fig6"] == run_fig6()
         assert outcome.results["fig10"] == run_fig10()
 
-    def test_cached_payload_survives_json(self, tmp_path):
-        """Cache hits literally re-read JSON from disk — and still match."""
+    def test_cached_payload_survives_disk(self, tmp_path):
+        """Cache hits literally re-read binary blobs from disk — and
+        still match."""
         cache_dir = str(tmp_path / "cache")
         first = run_experiments(["fig10"], cache_dir=cache_dir)
-        entries = list((tmp_path / "cache" / "fig10").glob("*.json"))
+        entries = list((tmp_path / "cache" / "fig10").glob("*.bin"))
         assert len(entries) == 2  # one per platform shard
         for entry in entries:
-            json.loads(entry.read_text())  # valid JSON on disk
+            loads_result(entry.read_bytes())  # valid binary blob on disk
         second = run_experiments(["fig10"], cache_dir=cache_dir)
         assert second.results == first.results
+
+    def test_legacy_json_entry_still_loads(self, tmp_path):
+        """A pre-rewrite .json cache entry is read as a fallback."""
+        cache_dir = str(tmp_path / "cache")
+        first = run_experiments(["table2"], cache_dir=cache_dir)
+        entry = next((tmp_path / "cache" / "table2").glob("*.bin"))
+        stale = loads_result(entry.read_bytes())
+        # Rewrite the entry in the legacy JSON format (encoded payload
+        # under "payload") and drop the binary.
+        stale["payload"] = encode_result(stale.pop("result"))
+        entry.with_suffix(".json").write_text(json.dumps(stale))
+        entry.unlink()
+        again = run_experiments(["table2"], cache_dir=cache_dir)
+        assert again.stats.cache_hits == 1
+        assert again.results == first.results
+
+
+class TestSingleCpuFallback:
+    def test_single_cpu_runs_serially_and_logs(self, monkeypatch, caplog):
+        import logging
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        with caplog.at_level(logging.INFO, logger="repro.bench.engine"):
+            outcome = run_experiments(["table2"], jobs=4, use_cache=False)
+        assert outcome.stats.executed == 1
+        assert any("serially" in record.message
+                   for record in caplog.records)
+
+    def test_multi_cpu_keeps_pool_path(self, monkeypatch, caplog):
+        import logging
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        with caplog.at_level(logging.INFO, logger="repro.bench.engine"):
+            run_experiments(["fig10"], jobs=2, use_cache=False)
+        assert not any("serially" in record.message
+                       for record in caplog.records)
 
 
 class TestResultCache:
@@ -107,8 +144,17 @@ class TestResultCache:
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache_dir = str(tmp_path / "cache")
         first = run_experiments(["table2"], cache_dir=cache_dir)
-        entry = next((tmp_path / "cache" / "table2").glob("*.json"))
-        entry.write_text("{not json")
+        entry = next((tmp_path / "cache" / "table2").glob("*.bin"))
+        entry.write_bytes(b"RBC\x01 truncated garbage")
+        again = run_experiments(["table2"], cache_dir=cache_dir)
+        assert again.stats.executed == 1
+        assert again.results == first.results
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        first = run_experiments(["table2"], cache_dir=cache_dir)
+        entry = next((tmp_path / "cache" / "table2").glob("*.bin"))
+        entry.write_bytes(entry.read_bytes()[:-10])
         again = run_experiments(["table2"], cache_dir=cache_dir)
         assert again.stats.executed == 1
         assert again.results == first.results
@@ -116,10 +162,10 @@ class TestResultCache:
     def test_schema_bump_invalidates(self, tmp_path):
         cache_dir = str(tmp_path / "cache")
         run_experiments(["table2"], cache_dir=cache_dir)
-        entry = next((tmp_path / "cache" / "table2").glob("*.json"))
-        stale = json.loads(entry.read_text())
+        entry = next((tmp_path / "cache" / "table2").glob("*.bin"))
+        stale = loads_result(entry.read_bytes())
         stale["schema"] = -1
-        entry.write_text(json.dumps(stale))
+        entry.write_bytes(dumps_result(stale))
         again = run_experiments(["table2"], cache_dir=cache_dir)
         assert again.stats.executed == 1
 
@@ -132,11 +178,14 @@ class TestResultCache:
     def test_prune_drops_foreign_entries(self, tmp_path):
         cache_dir = str(tmp_path / "cache")
         run_experiments(["table2"], cache_dir=cache_dir)
-        stale = tmp_path / "cache" / "table2" / ("f" * 32 + ".json")
-        stale.write_text("{}")
+        stale_bin = tmp_path / "cache" / "table2" / ("f" * 32 + ".bin")
+        stale_bin.write_bytes(b"junk")
+        stale_json = tmp_path / "cache" / "table2" / ("e" * 32 + ".json")
+        stale_json.write_text("{}")
         cache = ResultCache(cache_dir)
-        assert cache.prune() == 1
-        assert not stale.exists()
+        assert cache.prune() == 2
+        assert not stale_bin.exists()
+        assert not stale_json.exists()
         assert run_experiments(["table2"],
                                cache_dir=cache_dir).stats.cache_hits == 1
 

@@ -1,0 +1,51 @@
+"""Vectorized fleet PSS accounting agrees with the Python reference."""
+
+from __future__ import annotations
+
+import math
+
+from repro.mem import vector
+
+
+class _Space:
+    """Stub address space exposing only pss_pages()."""
+
+    def __init__(self, pages: float) -> None:
+        self._pages = pages
+
+    def pss_pages(self) -> float:
+        return self._pages
+
+
+class TestFleetPss:
+    def test_empty_fleet_is_zero(self):
+        assert vector.fleet_pss_mb([]) == 0.0
+        assert vector.fleet_pss_mb_python([]) == 0.0
+
+    def test_pages_array_matches_inputs(self):
+        pages = vector.fleet_pss_pages([_Space(1.5), _Space(0.0), _Space(7.0)])
+        assert list(pages) == [1.5, 0.0, 7.0]
+        assert pages.typecode == "d"
+
+    def test_small_fleet_uses_sequential_sum_exactly(self):
+        # Below _VECTOR_MIN the vector path IS the python path, so the
+        # two must be bit-identical, not merely close.
+        spaces = [_Space(float(i) / 3.0) for i in range(vector._VECTOR_MIN - 1)]
+        assert vector.fleet_pss_mb(spaces) == vector.fleet_pss_mb_python(spaces)
+
+    def test_large_fleet_parity_within_ulps(self):
+        # numpy's pairwise summation may reorder float adds; the results
+        # must agree to float precision (why golden paths stay sequential).
+        spaces = [_Space((i % 97) * 0.7 + 0.01) for i in range(500)]
+        fast = vector.fleet_pss_mb(spaces)
+        reference = vector.fleet_pss_mb_python(spaces)
+        assert math.isclose(fast, reference, rel_tol=1e-12)
+
+    def test_determinism_across_runs(self):
+        spaces = [_Space(float(i) * 0.31) for i in range(64)]
+        assert vector.fleet_pss_mb(spaces) == vector.fleet_pss_mb(spaces)
+
+    def test_python_fallback_ignores_numpy(self, monkeypatch):
+        monkeypatch.setattr(vector, "_np", None)
+        spaces = [_Space(2.0) for _ in range(64)]
+        assert vector.fleet_pss_mb(spaces) == vector.fleet_pss_mb_python(spaces)
