@@ -164,6 +164,17 @@ def _sh_load(params, seed, platform, mode):
     return run_load_platform(platform, mode, params=params, seed=seed)
 
 
+def _sh_restore_policy(params, seed, backend, policy, language):
+    from repro.bench.restore import run_restore_policy
+    return run_restore_policy(backend, policy, language, params=params,
+                              seed=seed)
+
+
+def _sh_restore_stream(params, seed, mode):
+    from repro.bench.restore import run_streaming_transfer
+    return run_streaming_transfer(mode, params=params, seed=seed)
+
+
 _SHARD_FNS: Dict[str, Callable[..., Any]] = {
     "table1": _sh_table1,
     "table2": _sh_table2,
@@ -183,6 +194,8 @@ _SHARD_FNS: Dict[str, Callable[..., Any]] = {
     "cluster": _sh_cluster,
     "chaos": _sh_chaos,
     "load": _sh_load,
+    "restore-policy": _sh_restore_policy,
+    "restore-stream": _sh_restore_stream,
 }
 
 
@@ -351,6 +364,24 @@ def _ablations_experiment() -> ExperimentDef:
         merge=lambda shards: {arm: shards[arm] for arm in ABLATION_ARMS})
 
 
+def _restore_experiment() -> ExperimentDef:
+    from repro.bench.restore import RESTORE_CELLS, STREAM_MODES
+    policy_shards = tuple(
+        _shard("restore", f"{backend}@{policy}@{language}", "restore-policy",
+               backend=backend, policy=policy, language=language)
+        for backend, policy, language in RESTORE_CELLS)
+    stream_shards = tuple(
+        _shard("restore", f"stream@{mode}", "restore-stream", mode=mode)
+        for mode in STREAM_MODES)
+    keys = ([f"{b}@{p}@{lang}" for b, p, lang in RESTORE_CELLS]
+            + [f"stream@{mode}" for mode in STREAM_MODES])
+    return ExperimentDef(
+        id="restore",
+        title="lazy restore + streaming transfer (extension)",
+        shards=policy_shards + stream_shards,
+        merge=lambda shards: {key: shards[key] for key in keys})
+
+
 def _load_experiment() -> ExperimentDef:
     from repro.bench.load import LOAD_MODES, LOAD_PLATFORMS
     keys = [(platform, mode) for platform in LOAD_PLATFORMS
@@ -408,6 +439,7 @@ def _build_registry() -> Dict[str, ExperimentDef]:
     add(_single("chaos", "host-failure chaos experiment (extension)",
                 "chaos"))
     add(_load_experiment())
+    add(_restore_experiment())
     return registry
 
 

@@ -64,6 +64,7 @@ def _register_builtin_result_types() -> None:
                                        PolicyComparison)
     from repro.bench.factors import FactorRow
     from repro.bench.load import LoadOutcome
+    from repro.bench.restore import RestorePolicyOutcome, StreamingOutcome
     from repro.bench.results import (FigureResult, LatencyRow, MemoryPoint,
                                      MemorySeries, PaperComparison)
     from repro.bench.sensitivity import SensitivityPoint, SensitivityResult
@@ -73,7 +74,8 @@ def _register_builtin_result_types() -> None:
                 FactorRow, FigureResult,
                 KeepAliveOutcome, LatencyRow, LatencyStats, LoadOutcome,
                 LoadPoint, MemoryPoint, MemorySeries, PaperComparison,
-                PolicyComparison, SensitivityPoint, SensitivityResult):
+                PolicyComparison, RestorePolicyOutcome, SensitivityPoint,
+                SensitivityResult, StreamingOutcome):
         register_result_type(cls)
 
 

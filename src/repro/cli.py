@@ -41,7 +41,7 @@ FIGURES = ("table1", "table2", "snapshot-creation", "fig6", "fig7", "fig9",
 
 #: Extension experiments only the ``figure`` command exposes.
 EXTENSIONS = ("burst", "load-sweep", "sensitivity", "ablations", "policies",
-              "keepalive", "cluster", "chaos", "load")
+              "keepalive", "cluster", "chaos", "load", "restore")
 
 
 def _print_fig_dict(results, chart: bool = False) -> None:
@@ -140,6 +140,10 @@ def _render_experiment(name: str, result, chart: bool = False) -> None:
     elif name == "load":
         for outcome in result.values():
             print(outcome.as_line())
+    elif name == "restore":
+        from repro.bench.restore import render_restore_figure
+        for line in render_restore_figure(result):
+            print(line)
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown figure {name!r}")
 
@@ -205,6 +209,14 @@ def _cmd_chaos(hosts: int, functions: int, duration_ms: float, seed: int,
         rows=rows)
     for outcome in outcomes.values():
         print(outcome.as_line())
+
+
+def _cmd_restore(seed: int) -> None:
+    """``restore``: lazy restore + streaming transfer figure, serially."""
+    from repro.bench.restore import render_restore_figure, run_restore_figure
+    results = run_restore_figure(seed=seed)
+    for line in render_restore_figure(results):
+        print(line)
 
 
 #: ``trace`` targets: which invocation set to re-run.
@@ -452,6 +464,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit canonical JSON (byte-identical across equal seeds)")
 
+    restore_parser = sub.add_parser(
+        "restore",
+        help="lazy restore + streaming transfer figure (extension)")
+    restore_parser.add_argument("--seed", type=int, default=2022)
+
     trace_parser = sub.add_parser(
         "trace", help="export one invocation's span tree")
     trace_parser.add_argument("target", choices=TRACE_TARGETS,
@@ -525,6 +542,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _cmd_load(args.platform, args.mode, args.hosts, args.functions,
                   args.duration_ms, args.seed,
                   args.popular_interarrival_ms, args.json)
+    elif args.command == "restore":
+        _cmd_restore(args.seed)
     elif args.command == "trace":
         return _cmd_trace(args.target, args.benchmark, args.invocation,
                           args.output_format, args.output)

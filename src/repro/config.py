@@ -319,6 +319,10 @@ class SnapshotConfig:
     #                                    reads from disk (REAP's bottleneck)
     prefetch_per_mb_ms: float = 0.09   # REAP-style sequential prefetch rate
     store_capacity_images: int = 1024  # snapshot store LRU capacity (§6)
+    # Lazy restore (POLICY_LAZY, repro.snapshot.chunks).  Only the lazy
+    # policy reads these, so defaults leave every other figure untouched.
+    chunk_mb: float = 2.0              # lazy-loading chunk granularity
+    demand_fault_chunk_ms: float = 0.12  # per-chunk fault trap + request
 
 
 # ---------------------------------------------------------------------------
@@ -358,6 +362,11 @@ class ClusterConfig:
     snapshot_transfer_base_ms: float = 4.0   # connection setup + image metadata
     snapshot_transfer_per_mb_ms: float = 0.8  # ~10 GbE effective goodput
     #                                           (~170 MiB image -> ~140 ms)
+    stream_transfers: bool = False           # stream the recorded working set
+    #                                          first, residual chunks in the
+    #                                          background (off by default so
+    #                                          existing figures stay
+    #                                          byte-identical)
     retry_max_attempts: int = 3              # total tries per invocation
     retry_base_ms: float = 2.0               # first backoff delay
     retry_backoff_factor: float = 2.0        # exponential growth per retry

@@ -73,10 +73,12 @@ class FireworksPlatform(ServerlessPlatform):
         self._warm_fc_ids: Dict[Worker, tuple] = {}
         self.pool_hits = 0   # invocations served by a pre-restored clone
         # REAP-style working-set recording (§7): profiles are captured after
-        # each invocation and consulted by POLICY_REAP restores.  The
-        # recorder is cluster-global — profiles are keyed on image
-        # key+generation, which a transferred replica shares.
-        self.recorder = ReapRecorder()
+        # each invocation and consulted by POLICY_REAP / POLICY_LAZY
+        # restores and by streaming cross-host transfers.  The recorder is
+        # cluster-global — profiles are keyed on image key+generation,
+        # which a transferred replica shares.
+        self.recorder = ReapRecorder(
+            chunk_size_mb=self.params.snapshot.chunk_mb)
 
     # -- per-host machinery -------------------------------------------------------
     def installer_for(self, host: Host) -> Installer:
@@ -144,6 +146,14 @@ class FireworksPlatform(ServerlessPlatform):
     def _host_affinity(self, host: Host, function: str) -> bool:
         # Restores are only cheap where the snapshot is already resident.
         return host.store.contains(function)
+
+    def _transfer_working_set_mb(self, image):
+        # Streaming transfers ship the recorded working-set chunks first;
+        # with no profile yet (or a stale generation) the whole image moves.
+        profile = self.recorder.profile_for(image)
+        if profile is None:
+            return None
+        return profile.chunk_bytes_mb(image)
 
     def _acquire_worker(self, spec: FunctionSpec, mode: str, host: Host):
         del mode  # Fireworks has no cold/warm distinction (§5.1).

@@ -15,6 +15,17 @@ class SimulationError(ReproError):
     """A discrete-event simulation invariant was violated."""
 
 
+class ValidationError(ReproError):
+    """A caller passed an argument outside the accepted domain (unknown
+    policy name, non-positive size, ...) — a usage error, not a runtime
+    failure of the modeled system."""
+
+
+class StateError(ReproError):
+    """An operation was invoked in a state where it is meaningless (e.g.
+    recording a working set before any invocation ran)."""
+
+
 class MemoryError_(ReproError):
     """Guest/host memory model misuse (bad address, double free, ...)."""
 

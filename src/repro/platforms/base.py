@@ -273,6 +273,12 @@ class ServerlessPlatform:
         self.retain_workers = False
         self.local_restores = 0      # snapshot found on the chosen host
         self.cross_host_transfers = 0  # snapshot copied over the network
+        self.duplicate_transfers = 0  # transfer lost the race to a concurrent
+        #                               one landing the same key (no re-put)
+        self.streamed_transfers = 0  # transfers that shipped the working set
+        #                              first, residual in background
+        self.transfer_foreground_mb = 0.0  # bytes moved on the critical path
+        self.transfer_background_mb = 0.0  # bytes streamed in the background
         # Chaos: a HostFailureController attaches itself here; with no
         # controller the invoke path is byte-identical to the pre-chaos one
         # (single attempt, no containment, no extra RNG draws).
@@ -685,6 +691,13 @@ class ServerlessPlatform:
         Default: a live warm-pool entry."""
         return host.pool.size(function, self.sim.now) > 0
 
+    def _transfer_working_set_mb(self, image) -> Optional[float]:
+        """Recorded working-set bytes a streaming transfer ships first, or
+        ``None`` when nothing is recorded (full up-front transfer).
+        Backends with a working-set recorder override this."""
+        del image
+        return None
+
     def _fetch_image_to_host(self, key: str, host: Host):
         """Make the snapshot under *key* resident on *host* (a generator).
 
@@ -692,6 +705,18 @@ class ServerlessPlatform:
         lowest-numbered host that has it, paying the modeled network
         transfer (``params.cluster``) as a ``snapshot-transfer`` span —
         the cost the ``snapshot-locality`` policy exists to avoid.
+
+        With ``cluster.stream_transfers`` on and a recorded working set,
+        only the working-set chunks move on the critical path (a
+        ``transfer-working-set`` child span); the residual chunks stream in
+        a detached background process at the same modeled bandwidth, so an
+        off-home placement is runnable as soon as its working set lands.
+
+        Concurrency and liveness are re-checked *after* the transfer wait:
+        a concurrent transfer that landed the same key first wins (no
+        double count, no clobbered replica), and a destination that died
+        mid-transfer surfaces :class:`HostDownError` instead of seeding a
+        crashed host's store with a replica that would survive recovery.
         """
         if host.store.contains(key):
             self.local_restores += 1
@@ -704,18 +729,65 @@ class ServerlessPlatform:
         source = min(sources, key=lambda other: other.host_id)
         image = source.store.get(key)
         cfg = self.params.cluster
+        working_set_mb = (self._transfer_working_set_mb(image)
+                          if cfg.stream_transfers else None)
+        streamed = (working_set_mb is not None
+                    and working_set_mb < image.size_mb)
         transfer_span = self.sim.tracer.span(
             "snapshot-transfer", kind="transfer", key=key,
-            src=source.host_id, dst=host.host_id)
+            src=source.host_id, dst=host.host_id, streamed=streamed)
         with transfer_span:
-            yield self.sim.timeout(
-                cfg.snapshot_transfer_base_ms
-                + image.size_mb * cfg.snapshot_transfer_per_mb_ms)
+            if streamed:
+                with self.sim.tracer.span(
+                        "transfer-working-set", kind="transfer-working-set",
+                        mb=working_set_mb):
+                    yield self.sim.timeout(
+                        cfg.snapshot_transfer_base_ms
+                        + working_set_mb * cfg.snapshot_transfer_per_mb_ms)
+                foreground_mb = working_set_mb
+            else:
+                yield self.sim.timeout(
+                    cfg.snapshot_transfer_base_ms
+                    + image.size_mb * cfg.snapshot_transfer_per_mb_ms)
+                foreground_mb = image.size_mb
             transfer_span.attrs["size_mb"] = image.size_mb
+            transfer_span.attrs["foreground_mb"] = foreground_mb
+        # Re-check the world after the wait: the transfer raced with
+        # whatever else happened on *host* during it.
+        if host.down:
+            raise HostDownError(host.host_id, "snapshot-transfer")
+        if host.store.contains(key):
+            # A concurrent transfer already landed this key here; keep the
+            # landed replica instead of clobbering it and double counting.
+            self.duplicate_transfers += 1
+            return host.store.get(key)
         replica = image.clone_for_transfer()
-        host.store.put(key, replica)
         self.cross_host_transfers += 1
+        self.transfer_foreground_mb += foreground_mb
+        if streamed:
+            residual_mb = image.size_mb - working_set_mb
+            host.store.put(key, replica, resident_mb=working_set_mb)
+            self.streamed_transfers += 1
+            self.sim.process(
+                self._stream_residual(key, host, residual_mb),
+                name=f"stream-residual:{key}@h{host.host_id}")
+        else:
+            host.store.put(key, replica)
         return replica
+
+    def _stream_residual(self, key: str, host: Host, residual_mb: float):
+        """Background tail of a streaming transfer: land the chunks outside
+        the working set at the modeled bandwidth (a detached process, so it
+        is off every request's critical path)."""
+        with self.sim.tracer.span(
+                "transfer-residual", kind="transfer-residual", key=key,
+                dst=host.host_id, mb=residual_mb):
+            yield self.sim.timeout(
+                residual_mb * self.params.cluster.snapshot_transfer_per_mb_ms)
+        if host.down or not host.store.contains(key):
+            return  # crashed or evicted mid-stream: nothing left to land
+        host.store.extend_resident(key, residual_mb)
+        self.transfer_background_mb += residual_mb
 
     # -- reporting ----------------------------------------------------------------
     def memory_pss_mb(self) -> List[float]:

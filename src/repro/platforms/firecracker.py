@@ -144,13 +144,18 @@ class FirecrackerSnapshotPlatform(FirecrackerPlatform):
 
     name = "firecracker-snapshot"
 
-    def __init__(self, *args, stage: str = STAGE_OS, **kwargs) -> None:
+    def __init__(self, *args, stage: str = STAGE_OS,
+                 restore_policy: str = POLICY_DEMAND, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         if stage not in (STAGE_OS, STAGE_POST_LOAD):
             raise PlatformError(
                 f"{self.name}: stage must be os/post-load, got {stage!r} — "
                 "post-JIT snapshots are what Fireworks adds")
         self.stage = stage
+        # No working-set recorder here: a ``lazy`` restore on this backend
+        # demand-faults everything — the honest recorder-less comparison
+        # point for the restore figure.
+        self.restore_policy = restore_policy
         self.snapshotter = Snapshotter(self.sim, self.params.snapshot)
         self._restorers: Dict[int, Restorer] = {}
 
@@ -215,7 +220,7 @@ class FirecrackerSnapshotPlatform(FirecrackerPlatform):
                 f"{self.name}: {spec.name!r} has no snapshot; install first")
         image = yield from self._fetch_image_to_host(spec.name, host)
         worker = yield from self.restorer_for(host).restore(
-            image, POLICY_DEMAND)
+            image, self.restore_policy)
         worker.endpoint = host.bridge.connect_guest(
             image.guest_ip, image.guest_mac)
         if self.stage == STAGE_OS:

@@ -23,6 +23,7 @@ from repro.mem.segments import SharedSegment
 from repro.net.address import IpAddress, MacAddress
 from repro.runtime.interpreter import AppCode
 from repro.runtime.jit import FunctionJitState
+from repro.snapshot.chunks import DEFAULT_CHUNK_MB, ChunkMap
 
 # Snapshot stages (Fig 11/12 factor analysis).
 STAGE_OS = "os"              # after guest OS boot + runtime agent launch
@@ -58,6 +59,10 @@ class SnapshotImage:
     def size_mb(self) -> float:
         """Image file size: all snapshotted guest memory."""
         return sum(self.regions_mb.values())
+
+    def chunk_map(self, chunk_size_mb: float = DEFAULT_CHUNK_MB) -> ChunkMap:
+        """The fixed-size chunk view of this image file (lazy loading)."""
+        return ChunkMap(self.size_mb, chunk_size_mb)
 
     # -- page cache management --------------------------------------------------
     def materialize(self, host: HostMemory) -> Dict[str, SharedSegment]:

@@ -10,20 +10,23 @@ reduce the overhead for reading snapshots from disk" — this module is that
 employment:
 
 * :class:`ReapRecorder` captures a per-function working-set profile from a
-  worker after its invocation;
+  worker after its invocation, including the *chunk set* covering the
+  working set on the image's :class:`~repro.snapshot.chunks.ChunkMap`;
 * :class:`Restorer` (see :mod:`repro.snapshot.restorer`) consults the
-  recorder under ``POLICY_REAP``: with a profile it prefetches just the
-  recorded working set; without one it falls back to whole-image prefetch
-  (the conservative first-invocation behaviour).
+  recorder under ``POLICY_REAP`` (scalar prefetch of the recorded bytes)
+  and ``POLICY_LAZY`` (prefetch exactly the recorded chunks, demand-fault
+  the rest); without a profile both fall back to conservative
+  first-invocation behaviour.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
-from repro.errors import SnapshotNotFoundError
+from repro.errors import StateError
 from repro.sandbox.worker import Worker
+from repro.snapshot.chunks import DEFAULT_CHUNK_MB
 from repro.snapshot.image import SnapshotImage
 
 #: Fraction of clean (shared, executed-over) pages an invocation touches
@@ -39,6 +42,11 @@ class WorkingSetProfile:
     generation: int
     working_set_mb: float
     recorded_at_ms: float
+    #: Chunk indices (on a ``ChunkMap(image.size_mb, chunk_size_mb)``)
+    #: covering the working set — what POLICY_LAZY prefetches and what a
+    #: streaming cross-host transfer ships first.
+    chunks: Tuple[int, ...] = field(default=())
+    chunk_size_mb: float = DEFAULT_CHUNK_MB
 
     def matches(self, image: SnapshotImage) -> bool:
         """A profile is only valid for the generation it was recorded on —
@@ -46,11 +54,19 @@ class WorkingSetProfile:
         return (self.image_key == image.key
                 and self.generation == image.generation)
 
+    def chunk_bytes_mb(self, image: SnapshotImage) -> float:
+        """MiB covered by the recorded chunk set (>= working_set_mb:
+        chunk-granular prefetch rounds the set up to whole chunks)."""
+        if not self.chunks:
+            return 0.0
+        return image.chunk_map(self.chunk_size_mb).bytes_mb(self.chunks)
+
 
 class ReapRecorder:
     """Records and serves working-set profiles, keyed by function."""
 
-    def __init__(self) -> None:
+    def __init__(self, chunk_size_mb: float = DEFAULT_CHUNK_MB) -> None:
+        self.chunk_size_mb = chunk_size_mb
         self._profiles: Dict[str, WorkingSetProfile] = {}
         self.recordings = 0
 
@@ -60,22 +76,27 @@ class ReapRecorder:
 
         The working set is what the invocation actually touched: its
         private (CoW-broken + fresh) pages plus the hot fraction of the
-        still-clean mapped pages it executed over.
+        still-clean mapped pages it executed over.  The covering chunk set
+        is derived on the image's chunk map with the recorder's
+        granularity.
         """
         if worker.invocations == 0:
-            raise SnapshotNotFoundError(
+            raise StateError(
                 "cannot record a working set before any invocation ran")
         space = worker.sandbox.space
         vmm_mb = (space.region_rss_mb("vmm")
                   if space.has_region("vmm") else 0.0)
         private_mb = space.uss_mb() - vmm_mb
         clean_mb = space.rss_mb() - space.uss_mb()
+        working_set_mb = max(0.0, private_mb
+                             + clean_mb * CLEAN_TOUCH_FRACTION)
         profile = WorkingSetProfile(
             image_key=image.key,
             generation=image.generation,
-            working_set_mb=max(0.0, private_mb
-                               + clean_mb * CLEAN_TOUCH_FRACTION),
+            working_set_mb=working_set_mb,
             recorded_at_ms=now_ms,
+            chunks=image.chunk_map(self.chunk_size_mb).spread(working_set_mb),
+            chunk_size_mb=self.chunk_size_mb,
         )
         self._profiles[image.key] = profile
         self.recordings += 1

@@ -5,7 +5,7 @@ as a file into memory".  The restored microVM maps every image region
 MAP_PRIVATE from the image's page-cache segments, so clones share all clean
 pages (Figure 4) and CoW-break only what they write.
 
-Three restore policies are modeled:
+Four restore policies are modeled:
 
 * ``demand``      — demand paging with a warm page cache (the common case on
                     a busy host; the paper's steady-state numbers).
@@ -15,14 +15,23 @@ Three restore policies are modeled:
 * ``reap``        — REAP-style working-set prefetch: one sequential read of
                     the image before resuming (§7: Fireworks "can also
                     employ REAP's prefetching").
+* ``lazy``        — chunk-granular lazy loading: sequentially prefetch only
+                    the *recorded* working-set chunks, demand-fault the rest
+                    with per-fault cost.  Without a profile (first restore)
+                    everything the invocation touches is demand-faulted —
+                    the honest fastpull cold case.  Emits ``prefetch`` /
+                    ``demand-fault`` child spans and exact bytes-moved
+                    counters.
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.config import CalibratedParameters
-from repro.errors import SnapshotNotFoundError
+from repro.errors import SnapshotNotFoundError, ValidationError
 from repro.mem.host_memory import HostMemory
 from repro.runtime import make_runtime
 from repro.runtime.interpreter import LanguageRuntime
@@ -37,8 +46,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 POLICY_DEMAND = "demand"
 POLICY_DEMAND_COLD = "demand-cold"
 POLICY_REAP = "reap"
+POLICY_LAZY = "lazy"
 
-_POLICIES = (POLICY_DEMAND, POLICY_DEMAND_COLD, POLICY_REAP)
+_POLICIES = (POLICY_DEMAND, POLICY_DEMAND_COLD, POLICY_REAP, POLICY_LAZY)
+
+
+@dataclass(frozen=True)
+class LazyRestorePlan:
+    """Exact byte/latency ledger of one lazy restore.
+
+    ``touched_mb == covered_mb + faulted_mb`` holds *exactly* (it is
+    defined as that sum): every byte the invocation touches is served by
+    the prefetched chunk set or by a demand fault, never both, never
+    neither.  ``prefetch_mb >= covered_mb`` — chunk-granular prefetch can
+    over-read by at most the rounding of the recorded set to whole chunks.
+    """
+
+    touched_mb: float     # bytes the invocation faults in, total
+    prefetch_mb: float    # bytes read by the sequential chunk prefetch
+    covered_mb: float     # touched bytes the prefetch satisfied
+    faulted_mb: float     # touched bytes served by demand faults
+    n_faults: int         # chunk-granular fault count
+    prefetch_ms: float
+    fault_ms: float
+
+    @property
+    def bytes_moved_mb(self) -> float:
+        """Bytes actually read from the store file."""
+        return self.prefetch_mb + self.faulted_mb
 
 
 class Restorer:
@@ -50,34 +85,96 @@ class Restorer:
         self.sim = sim
         self.params = params
         self.host_memory = host_memory
-        self.recorder = recorder  # optional ReapRecorder (POLICY_REAP)
+        self.recorder = recorder  # optional ReapRecorder (reap/lazy)
         self.faults = faults      # optional FaultInjector
         self.chaos = None         # optional chaos controller (slow-restore)
         self._clone_counter = 0
+        # Lazy-restore byte ledger (exact, see LazyRestorePlan).
+        self.bytes_prefetched_mb = 0.0
+        self.bytes_demand_faulted_mb = 0.0
+        self.demand_faults = 0
+        self.lazy_restores = 0
+
+    def _working_mb(self, image: SnapshotImage) -> float:
+        layout = self.params.memory_layout(image.language)
+        return image.size_mb * layout.snapshot_working_set_mb_fraction
+
+    def _profile(self, image: SnapshotImage):
+        if self.recorder is None:
+            return None
+        return self.recorder.profile_for(image)
+
+    def lazy_plan(self, image: SnapshotImage) -> LazyRestorePlan:
+        """The byte/latency ledger a lazy restore of *image* would incur
+        right now (depends on whether a working-set profile is recorded)."""
+        cfg = self.params.snapshot
+        touched_raw = self._working_mb(image)
+        profile = self._profile(image)
+        prefetch_mb = (profile.chunk_bytes_mb(image)
+                       if profile is not None else 0.0)
+        covered_mb = min(touched_raw, prefetch_mb)
+        faulted_mb = touched_raw - covered_mb
+        if faulted_mb > 0.0:
+            n_faults = max(1, int(math.ceil(faulted_mb / cfg.chunk_mb
+                                            - 1e-12)))
+        else:
+            n_faults = 0
+        return LazyRestorePlan(
+            touched_mb=covered_mb + faulted_mb,
+            prefetch_mb=prefetch_mb,
+            covered_mb=covered_mb,
+            faulted_mb=faulted_mb,
+            n_faults=n_faults,
+            prefetch_ms=prefetch_mb * cfg.prefetch_per_mb_ms,
+            fault_ms=(faulted_mb * cfg.restore_per_working_mb_cold_ms
+                      + n_faults * cfg.demand_fault_chunk_ms),
+        )
 
     def restore_ms(self, image: SnapshotImage,
                    policy: str = POLICY_DEMAND) -> float:
         """The restore latency for *image* under *policy*."""
         if policy not in _POLICIES:
-            raise SnapshotNotFoundError(f"unknown restore policy {policy!r}")
+            raise ValidationError(f"unknown restore policy {policy!r}")
         cfg = self.params.snapshot
-        layout = self.params.memory_layout(image.language)
-        working_mb = image.size_mb * layout.snapshot_working_set_mb_fraction
+        working_mb = self._working_mb(image)
         if policy == POLICY_DEMAND:
             return cfg.restore_base_ms + working_mb * cfg.restore_per_working_mb_ms
         if policy == POLICY_DEMAND_COLD:
             return (cfg.restore_base_ms
                     + working_mb * cfg.restore_per_working_mb_cold_ms)
+        if policy == POLICY_LAZY:
+            plan = self.lazy_plan(image)
+            return cfg.restore_base_ms + plan.prefetch_ms + plan.fault_ms
         # REAP: one sequential prefetch, then cheap faults.  With a recorded
         # working-set profile only those pages are read; without one the
         # whole image is (the conservative first-invocation behaviour).
-        profile = (self.recorder.profile_for(image)
-                   if self.recorder is not None else None)
+        profile = self._profile(image)
         prefetch_mb = (profile.working_set_mb if profile is not None
                        else image.size_mb)
         return (cfg.restore_base_ms
                 + prefetch_mb * cfg.prefetch_per_mb_ms
                 + working_mb * cfg.restore_per_working_mb_ms * 0.1)
+
+    def bytes_moved_mb(self, image: SnapshotImage,
+                       policy: str = POLICY_DEMAND) -> float:
+        """Bytes a restore under *policy* reads from the store file now.
+
+        ``demand`` reads nothing (warm page cache); ``demand-cold`` random-
+        reads the working set; ``reap`` sequentially reads the recorded set
+        or the whole image; ``lazy`` reads the recorded chunks plus demand-
+        faulted residual.
+        """
+        if policy not in _POLICIES:
+            raise ValidationError(f"unknown restore policy {policy!r}")
+        if policy == POLICY_DEMAND:
+            return 0.0
+        if policy == POLICY_DEMAND_COLD:
+            return self._working_mb(image)
+        if policy == POLICY_LAZY:
+            return self.lazy_plan(image).bytes_moved_mb
+        profile = self._profile(image)
+        return (profile.working_set_mb if profile is not None
+                else image.size_mb)
 
     def restore(self, image: SnapshotImage, policy: str = POLICY_DEMAND,
                 name: str = "", mmds=None):
@@ -95,15 +192,18 @@ class Restorer:
             image_mb=image.size_mb, generation=image.generation)
         with restore_span:
             duration = self.restore_ms(image, policy)  # validates policy
+            slowdown = 1.0
             if self.chaos is not None:
                 slowdown = self.chaos.restore_slowdown(self.sim.now)
                 if slowdown != 1.0:
                     duration *= slowdown
                     restore_span.attrs["slowdown"] = slowdown
+            base_elapsed = False
             if self.faults is not None:
                 cfg = self.params.snapshot
                 yield self.sim.timeout(cfg.restore_base_ms)
                 duration = max(0.0, duration - cfg.restore_base_ms)
+                base_elapsed = True
                 self.faults.check("restore", image.key)
             segments = image.materialize(self.host_memory)
             self._clone_counter += 1
@@ -116,7 +216,13 @@ class Restorer:
             microvm.assign_guest_addresses(image.guest_ip, image.guest_mac)
             microvm.restored_from_snapshot = True
 
-            yield self.sim.timeout(duration)
+            if policy == POLICY_LAZY:
+                yield from self._lazy_load(image, restore_span, slowdown,
+                                           base_elapsed)
+            else:
+                restore_span.attrs["bytes_moved_mb"] = self.bytes_moved_mb(
+                    image, policy)
+                yield self.sim.timeout(duration)
 
             # Map guest memory from the shared image segments, VMM state
             # fresh.
@@ -129,6 +235,33 @@ class Restorer:
 
             runtime = self._rebuild_runtime(image)
         return Worker(self.sim, microvm, runtime, app=image.app)
+
+    def _lazy_load(self, image: SnapshotImage, restore_span,
+                   slowdown: float, base_elapsed: bool):
+        """The lazy-restore timeline: base (device state + mmap), then a
+        sequential ``prefetch`` of the recorded chunks, then the
+        ``demand-fault`` tail for the touched bytes the prefetch missed."""
+        cfg = self.params.snapshot
+        plan = self.lazy_plan(image)
+        if not base_elapsed:
+            yield self.sim.timeout(cfg.restore_base_ms * slowdown)
+        if plan.prefetch_mb > 0.0:
+            with self.sim.tracer.span(
+                    "prefetch", kind="prefetch", mb=plan.prefetch_mb,
+                    chunks=len(self._profile(image).chunks)):
+                yield self.sim.timeout(plan.prefetch_ms * slowdown)
+        if plan.faulted_mb > 0.0:
+            with self.sim.tracer.span(
+                    "demand-fault", kind="demand-fault", mb=plan.faulted_mb,
+                    faults=plan.n_faults):
+                yield self.sim.timeout(plan.fault_ms * slowdown)
+        self.bytes_prefetched_mb += plan.prefetch_mb
+        self.bytes_demand_faulted_mb += plan.faulted_mb
+        self.demand_faults += plan.n_faults
+        self.lazy_restores += 1
+        restore_span.attrs["bytes_moved_mb"] = plan.bytes_moved_mb
+        restore_span.attrs["prefetched_mb"] = plan.prefetch_mb
+        restore_span.attrs["demand_faulted_mb"] = plan.faulted_mb
 
     # -- internal -----------------------------------------------------------------
     def _rebuild_runtime(self, image: SnapshotImage) -> LanguageRuntime:

@@ -1,0 +1,69 @@
+"""Unit tests for the chunk-granular image view (lazy loading)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.snapshot.chunks import ChunkMap
+
+
+class TestShape:
+    def test_exact_multiple(self):
+        cmap = ChunkMap(10.0, 2.0)
+        assert cmap.n_chunks == 5
+        assert [cmap.chunk_mb(i) for i in range(5)] == [2.0] * 5
+
+    def test_partial_tail_chunk(self):
+        cmap = ChunkMap(9.0, 2.0)
+        assert cmap.n_chunks == 5
+        assert cmap.chunk_mb(4) == pytest.approx(1.0)
+
+    def test_single_chunk_image(self):
+        cmap = ChunkMap(0.5, 2.0)
+        assert cmap.n_chunks == 1
+        assert cmap.chunk_mb(0) == pytest.approx(0.5)
+
+    def test_sizes_ledger_to_image_size(self):
+        cmap = ChunkMap(170.0, 2.0)
+        assert cmap.bytes_mb(cmap.all_chunks()) == pytest.approx(170.0)
+
+    def test_bad_inputs_raise(self):
+        with pytest.raises(ValidationError):
+            ChunkMap(0.0, 2.0)
+        with pytest.raises(ValidationError):
+            ChunkMap(10.0, 0.0)
+        with pytest.raises(ValidationError):
+            ChunkMap(10.0, 2.0).chunk_mb(5)
+
+
+class TestSpread:
+    def test_zero_want_is_empty(self):
+        assert ChunkMap(10.0, 2.0).spread(0.0) == ()
+
+    def test_whole_image_is_all_chunks(self):
+        cmap = ChunkMap(10.0, 2.0)
+        assert cmap.spread(10.0) == cmap.all_chunks()
+        assert cmap.spread(99.0) == cmap.all_chunks()
+
+    def test_covers_at_least_want(self):
+        cmap = ChunkMap(170.0, 2.0)
+        for want in (1.0, 25.5, 77.4, 120.0, 169.9):
+            chunks = cmap.spread(want)
+            assert cmap.bytes_mb(chunks) >= want
+
+    def test_indices_strictly_increasing_and_in_range(self):
+        cmap = ChunkMap(170.0, 2.0)
+        chunks = cmap.spread(25.5)
+        assert list(chunks) == sorted(set(chunks))
+        assert all(0 <= i < cmap.n_chunks for i in chunks)
+
+    def test_spread_is_spread_not_a_prefix(self):
+        # The working set is scattered across the image: the selected
+        # chunks must span the index space, not hug the front.
+        cmap = ChunkMap(170.0, 2.0)
+        chunks = cmap.spread(25.5)
+        assert chunks[-1] > cmap.n_chunks // 2
+
+    def test_deterministic(self):
+        a = ChunkMap(172.0, 2.0).spread(77.4)
+        b = ChunkMap(172.0, 2.0).spread(77.4)
+        assert a == b

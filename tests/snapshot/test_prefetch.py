@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench import fresh_platform, install_all, invoke_once
 from repro.core import FireworksPlatform
-from repro.errors import SnapshotNotFoundError
+from repro.errors import SnapshotNotFoundError, StateError
 from repro.snapshot.prefetch import ReapRecorder
 from repro.snapshot.restorer import POLICY_DEMAND, POLICY_REAP
 from repro.workloads import faasdom_spec
@@ -64,7 +64,8 @@ class TestRecording:
         fresh = ReapRecorder()
         worker = record.worker
         worker.invocations = 0
-        with pytest.raises(SnapshotNotFoundError):
+        # "No invocation ran yet" is a state error, not a store miss.
+        with pytest.raises(StateError):
             fresh.record(platform.image_for(spec.name), worker, 0.0)
 
     def test_invalidate(self, reap_platform):

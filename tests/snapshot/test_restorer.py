@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SnapshotNotFoundError
+from repro.errors import SnapshotNotFoundError, ValidationError
 from repro.net.address import IpAddress, MacAddress
 from repro.runtime import make_runtime
 from repro.runtime.interpreter import AppCode, GuestFunction
@@ -113,8 +113,14 @@ class TestRestore:
 
 class TestPolicies:
     def test_unknown_policy_raises(self, image, restorer):
-        with pytest.raises(SnapshotNotFoundError):
+        # An unknown policy name is a usage error, not a store miss.
+        with pytest.raises(ValidationError):
             restorer.restore_ms(image, policy="yolo")
+
+    def test_unknown_policy_is_not_a_store_miss(self, image, restorer):
+        with pytest.raises(ValidationError) as err:
+            restorer.restore_ms(image, policy="yolo")
+        assert not isinstance(err.value, SnapshotNotFoundError)
 
     def test_cold_cache_slower_than_warm(self, image, restorer):
         warm = restorer.restore_ms(image, POLICY_DEMAND)

@@ -92,3 +92,112 @@ class TestLru:
             store.put(key, FakeImage(1))
         store.get("a")
         assert list(store.keys()) == ["b", "c", "a"]
+
+
+class TestOversizeImage:
+    """Regression: an image larger than the device used to drain the whole
+    store through futile LRU evictions before the write finally failed."""
+
+    def test_oversize_put_raises_without_evicting(self, store):
+        keepers = {key: FakeImage(100) for key in ("a", "b")}
+        for key, image in keepers.items():
+            store.put(key, image)
+        with pytest.raises(StorageError):
+            store.put("huge", FakeImage(5000))
+        # The store survives intact: nothing evicted, nothing lost.
+        assert store.evictions == 0
+        assert all(not image.evicted for image in keepers.values())
+        assert sorted(store.keys()) == ["a", "b"]
+        assert not store.contains("huge")
+
+    def test_oversize_put_on_empty_store_raises(self, store):
+        with pytest.raises(StorageError):
+            store.put("huge", FakeImage(5000))
+        assert len(store) == 0
+
+    def test_exactly_device_sized_image_fits(self, store):
+        store.put("fits", FakeImage(1000))
+        assert store.contains("fits")
+
+
+class TestPartialResidency:
+    def test_partial_put_tracks_resident_bytes(self, store):
+        store.put("fn", FakeImage(100), resident_mb=30)
+        assert store.contains("fn")
+        assert not store.is_complete("fn")
+        assert store.resident_mb("fn") == pytest.approx(30)
+        assert store.missing_mb("fn") == pytest.approx(70)
+        assert store.disk_used_mb == pytest.approx(30)
+
+    def test_full_put_is_complete(self, store):
+        store.put("fn", FakeImage(100))
+        assert store.is_complete("fn")
+        assert store.missing_mb("fn") == 0.0
+        assert store.resident_mb("fn") == pytest.approx(100)
+
+    def test_resident_mb_bounds_validated(self, store):
+        from repro.errors import ValidationError
+        with pytest.raises(ValidationError):
+            store.put("fn", FakeImage(100), resident_mb=-1)
+        with pytest.raises(ValidationError):
+            store.put("fn", FakeImage(100), resident_mb=101)
+
+    def test_extend_resident_lands_bytes(self, store):
+        store.put("fn", FakeImage(100), resident_mb=30)
+        store.extend_resident("fn", 40)
+        assert store.resident_mb("fn") == pytest.approx(70)
+        assert not store.is_complete("fn")
+        store.extend_resident("fn", 30)
+        assert store.is_complete("fn")
+        assert store.disk_used_mb == pytest.approx(100)
+
+    def test_extend_past_size_clamps_and_completes(self, store):
+        store.put("fn", FakeImage(100), resident_mb=90)
+        store.extend_resident("fn", 500)
+        assert store.is_complete("fn")
+        assert store.resident_mb("fn") == pytest.approx(100)
+
+    def test_extend_on_complete_image_is_noop(self, store):
+        store.put("fn", FakeImage(100))
+        assert store.extend_resident("fn", 50) == 0.0
+        assert store.resident_mb("fn") == pytest.approx(100)
+
+    def test_mark_complete(self, store):
+        store.put("fn", FakeImage(100), resident_mb=10)
+        store.mark_complete("fn")
+        assert store.is_complete("fn")
+
+    def test_missing_key_raises(self, store):
+        with pytest.raises(SnapshotNotFoundError):
+            store.resident_mb("nope")
+        with pytest.raises(SnapshotNotFoundError):
+            store.is_complete("nope")
+        with pytest.raises(SnapshotNotFoundError):
+            store.extend_resident("nope", 5)
+        assert store.missing_mb("nope") == 0.0
+
+    def test_discard_clears_partial_state(self, store):
+        store.put("fn", FakeImage(100), resident_mb=30)
+        store.remove("fn")
+        # Re-adding the key fully resident must not inherit stale
+        # partial-residency bookkeeping.
+        store.put("fn", FakeImage(100))
+        assert store.is_complete("fn")
+
+    def test_clear_drops_partial_state(self, store):
+        store.put("fn", FakeImage(100), resident_mb=30)
+        assert store.clear() == 1
+        store.put("fn", FakeImage(100))
+        assert store.is_complete("fn")
+
+    def test_extend_evicts_others_but_protects_self(self):
+        store = SnapshotStore(BlockDevice(200), capacity_images=10)
+        victim = FakeImage(120)
+        store.put("victim", victim)
+        store.put("fn", FakeImage(150), resident_mb=50)
+        # Landing the residual needs 100 MiB; only 30 are free, so the
+        # victim goes — but never the still-streaming image itself.
+        store.extend_resident("fn", 100)
+        assert victim.evicted
+        assert store.contains("fn")
+        assert store.is_complete("fn")

@@ -106,6 +106,10 @@ GOLDEN_FIGURE_HASHES = {
         "3fbc9636a87f7bb336be487c84fe51c5ee22b76f74c48497f5dbae63485a2d8c",
     "fig10:fireworks":
         "7d3ed7a73aea311202e07584654bcf52bfbcf1cc819716c1b5403d9f4619f97b",
+    # The lazy-restore / streaming-transfer figure (PR 7) — pinned the
+    # same way so later PRs cannot silently move it.
+    "restore:all":
+        "88442eade79b97841ff49d6970c53b539fc31ed41d04b27f1ef525c42acb762a",
 }
 
 
@@ -159,3 +163,15 @@ class TestGoldenFigureHashes:
         result = run_fig10_platform("fireworks", default_parameters())
         assert _canonical_hash(result) == \
             GOLDEN_FIGURE_HASHES["fig10:fireworks"]
+
+    def test_stream_transfers_disabled_by_default(self):
+        from repro.config import default_parameters
+        params = default_parameters()
+        assert params.cluster.stream_transfers is False
+
+    def test_restore_figure(self):
+        from repro.bench.restore import run_restore_figure
+        from repro.config import default_parameters
+        result = run_restore_figure(default_parameters())
+        assert _canonical_hash(result) == \
+            GOLDEN_FIGURE_HASHES["restore:all"]

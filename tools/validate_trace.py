@@ -17,7 +17,15 @@ Checks the shape ``chrome://tracing``/Perfetto expects from
 * failover events (``cat == "failover"``) carry an integer
   ``args.from_host`` naming the host the request is fleeing;
 * every retry/failover event nests inside some ``invoke`` complete event
-  on its thread (a retry outside an invocation is a structural bug).
+  on its thread (a retry outside an invocation is a structural bug);
+* lazy-restore events (``cat == "prefetch"`` / ``"demand-fault"``) carry a
+  non-negative ``args.mb`` and nest inside some ``restore`` complete event
+  on their thread (a page-load phase outside a restore is a structural
+  bug);
+* streamed snapshot transfers (``cat == "transfer"`` with
+  ``args.streamed``) contain a nested ``transfer-working-set`` event, and
+  every ``transfer-residual`` event for the same key+destination starts at
+  or after that working-set portion ends — the working set moves *first*.
 
 Exit code 0 when the file is valid, 1 otherwise (problems on stderr).
 """
@@ -58,6 +66,49 @@ def _nested_in_invoke(event: dict, windows: dict) -> bool:
                for start, end in windows.get(event.get("tid"), ()))
 
 
+def _restore_windows(events: List[Any]) -> dict:
+    """``tid -> [(ts, ts+dur), ...]`` of every complete restore event."""
+    windows: dict = {}
+    for event in events:
+        if not isinstance(event, dict) or event.get("name") != "restore" \
+                or event.get("ph") != "X":
+            continue
+        ts, dur = event.get("ts"), event.get("dur")
+        if isinstance(ts, (int, float)) and isinstance(dur, (int, float)):
+            windows.setdefault(event.get("tid"), []).append((ts, ts + dur))
+    return windows
+
+
+def _working_set_ends(events: List[Any]) -> dict:
+    """``(key, dst) -> latest working-set portion end`` per streamed
+    transfer, pairing each ``transfer-working-set`` child with the
+    ``cat == "transfer"`` event whose window contains it on the same tid."""
+    ends: dict = {}
+    transfers = [e for e in events if isinstance(e, dict)
+                 and e.get("cat") == "transfer"
+                 and isinstance(e.get("ts"), (int, float))
+                 and isinstance(e.get("dur"), (int, float))
+                 and isinstance(e.get("args"), dict)
+                 and e["args"].get("streamed")]
+    for event in events:
+        if not isinstance(event, dict) \
+                or event.get("cat") != "transfer-working-set":
+            continue
+        ts, dur = event.get("ts"), event.get("dur")
+        if not (isinstance(ts, (int, float))
+                and isinstance(dur, (int, float))):
+            continue
+        for transfer in transfers:
+            if transfer.get("tid") != event.get("tid"):
+                continue
+            start, end = transfer["ts"], transfer["ts"] + transfer["dur"]
+            if start - _NEST_EPS_US <= ts and ts + dur <= end + _NEST_EPS_US:
+                pair = (transfer["args"].get("key"),
+                        transfer["args"].get("dst"))
+                ends[pair] = max(ends.get(pair, float("-inf")), ts + dur)
+    return ends
+
+
 def validate_trace(payload: Any) -> List[str]:
     """All shape problems found in *payload*; empty means valid."""
     problems: List[str] = []
@@ -69,6 +120,8 @@ def validate_trace(payload: Any) -> List[str]:
     if not events:
         problems.append("'traceEvents' is empty")
     invoke_windows = _invoke_windows(events)
+    restore_windows = _restore_windows(events)
+    working_set_ends = _working_set_ends(events)
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
         if not isinstance(event, dict):
@@ -121,6 +174,41 @@ def validate_trace(payload: Any) -> List[str]:
                 problems.append(
                     f"{where}: {event['cat']} event is not nested inside "
                     "any invoke event on its tid")
+        if event.get("cat") in ("prefetch", "demand-fault"):
+            args = event.get("args")
+            mb = args.get("mb") if isinstance(args, dict) else None
+            if not isinstance(mb, (int, float)) or not math.isfinite(mb) \
+                    or mb < 0:
+                problems.append(
+                    f"{where}: {event['cat']} event needs a finite "
+                    f"args.mb >= 0, got {mb!r}")
+            if not _nested_in_invoke(event, restore_windows):
+                problems.append(
+                    f"{where}: {event['cat']} event is not nested inside "
+                    "any restore event on its tid")
+        if event.get("cat") == "transfer" and isinstance(event.get("args"),
+                                                         dict) \
+                and event["args"].get("streamed"):
+            pair = (event["args"].get("key"), event["args"].get("dst"))
+            if pair not in working_set_ends:
+                problems.append(
+                    f"{where}: streamed transfer event has no nested "
+                    "transfer-working-set event")
+        if event.get("cat") == "transfer-residual":
+            args = event.get("args")
+            if not isinstance(args, dict):
+                problems.append(f"{where}: transfer-residual event needs "
+                                "args")
+                continue
+            pair = (args.get("key"), args.get("dst"))
+            ws_end = working_set_ends.get(pair)
+            ts = event.get("ts")
+            if ws_end is not None and isinstance(ts, (int, float)) \
+                    and ts + _NEST_EPS_US < ws_end:
+                problems.append(
+                    f"{where}: transfer-residual for {pair!r} starts at "
+                    f"{ts} before its working-set portion ends at {ws_end} "
+                    "(the working set must move first)")
     return problems
 
 
