@@ -1,24 +1,26 @@
-"""Warm-pool autoscaler: reactive and predictive pre-provisioning.
+"""Warm-pool autoscaler: the engine behind pluggable target policies.
 
 A per-platform control loop that tops up each host's warm pool ahead of
 demand, so open-loop traffic hits warm (or pre-restored) workers instead
-of paying cold starts inside the latency-critical path:
+of paying cold starts inside the latency-critical path.  Since the
+policy-engine refactor the scaler is split in two:
 
-* ``reactive`` — scale on observed queue pressure: each tick, a host
-  whose admission queue is at least ``reactive_queue_threshold`` deep
-  gets ``reactive_step`` extra warm workers for its most-queued function.
-  Simple, but it only reacts *after* requests have already queued.
-* ``predictive`` — scale on predicted arrivals: the scaler feeds every
-  arrival into a :class:`~repro.platforms.keepalive.HybridHistogramKeepAlive`
-  histogram (the Shahrad et al. policy the keep-alive ablation already
-  uses) and pre-provisions on a function's home host when the next
-  arrival is predicted within ``predictive_horizon_ms``.
+* the **engine** (this class): TTL expiry, provisioning processes, the
+  pending/targets ledgers, consumption-driven top-ups via
+  :meth:`on_warm_taken`, chaos-awareness (never park or provision on a
+  down host);
+* the **policy** (:class:`~repro.policy.autoscale.AutoscalePolicy`): the
+  per-tick decision mapping an :class:`~repro.policy.autoscale.AutoscaleView`
+  of the cluster to ``(function, host, want)`` warm targets.
 
-Both policies park workers with a finite TTL (``warm_expiry_ms``) so
-scale-*down* is lazy expiry, and both are chaos-aware: down hosts are
-skipped when targets are computed, and a provisioning that completes
-after its host crashed discards the worker instead of parking it (no
-leaked warm workers).
+The built-in modes live in :mod:`repro.policy.autoscale` and keep their
+registered names: ``reactive`` scales on observed queue pressure (late,
+with hysteresis), ``predictive`` pre-provisions on arrival-histogram
+predictions, ``none`` never arms the loop.  ``policy=`` also accepts a
+DSL document or a ready policy instance.
+
+Both active modes park workers with a finite TTL (``warm_expiry_ms``) so
+scale-*down* is lazy expiry.
 """
 
 from __future__ import annotations
@@ -27,42 +29,44 @@ from typing import Dict, Tuple
 
 from repro.errors import PlatformError
 from repro.platforms.keepalive import HybridHistogramKeepAlive
+from repro.policy.autoscale import AutoscaleView
 
+#: The built-in mode names, in registry order (kept for callers that
+#: enumerate modes; the registry is the source of truth).
 MODES = ("none", "reactive", "predictive")
 
 
 class WarmPoolAutoscaler:
-    """Per-platform warm-pool control loop (one of :data:`MODES`)."""
+    """Per-platform warm-pool engine driving one target policy."""
 
     def __init__(self, platform, mode: str = "reactive",
-                 until_ms: float = None, cfg=None) -> None:
-        if mode not in MODES:
-            raise PlatformError(
-                f"unknown autoscaler mode {mode!r}; pick one of {MODES}")
+                 until_ms: float = None, cfg=None, policy=None) -> None:
+        from repro.policy import resolve_autoscale
+        if policy is None:
+            policy = mode
+        self.policy = resolve_autoscale(policy)
         self.platform = platform
         self.sim = platform.sim
         self.cfg = cfg if cfg is not None else platform.params.autoscale
-        self.mode = mode
+        #: The resolved policy's registered name (kept as ``mode`` so
+        #: result rows and reprs read the same as before the refactor).
+        self.mode = self.policy.name
+        self.policy_source = self.policy.source
         self.until_ms = until_ms
-        #: Arrival histograms (predictive policy's data source).
+        #: Arrival histograms (the predictive policy's data source).
         self.history = HybridHistogramKeepAlive()
         #: (host_id, function) -> in-flight provisioning count.
         self._pending: Dict[Tuple[int, str], int] = {}
         #: (host_id, function) -> current policy target, refreshed every
         #: tick; consumption-driven top-ups read it between ticks.
         self.targets: Dict[Tuple[int, str], int] = {}
-        #: Reactive state: (host_id, function) -> (level, hold ticks left).
-        #: Levels ramp by ``reactive_step`` per pressured tick and linger
-        #: for ``reactive_hold_ticks`` pressure-free ticks (scale-down
-        #: hysteresis, as in HPA-style reactive autoscalers).
-        self._reactive: Dict[Tuple[int, str], Tuple[int, int]] = {}
         self.provisioned = 0       # provisioning processes launched
         self.parked = 0            # workers that reached a warm pool
         self.discarded_down = 0    # provisioned for a host that crashed
         self.expired = 0           # TTL'd warm workers torn down
         self.ticks = 0
         platform.autoscaler = self
-        if mode != "none":
+        if self.policy.active:
             if until_ms is None:
                 raise PlatformError(
                     "an active autoscaler needs until_ms: its control loop "
@@ -83,7 +87,7 @@ class WarmPoolAutoscaler:
         target immediately — waiting for the next tick would cap the
         warm-hit rate at ``target / scale_interval``.
         """
-        if self.mode == "none":
+        if not self.policy.active:
             return
         if self.until_ms is not None and self.sim.now >= self.until_ms:
             return   # the run is draining: stop replenishing
@@ -104,6 +108,15 @@ class WarmPoolAutoscaler:
         self._tick()
         self._arm_tick()
 
+    def _view(self, now: float) -> AutoscaleView:
+        """This tick's read-only cluster view for the policy."""
+        cluster = self.platform.cluster
+        return AutoscaleView(
+            now=now, cfg=self.cfg, history=self.history,
+            hosts=cluster.hosts, host=cluster.host,
+            home_host=cluster.home_host,
+            functions=self.platform.installed_functions())
+
     def _tick(self) -> None:
         self.ticks += 1
         now = self.sim.now
@@ -116,73 +129,17 @@ class WarmPoolAutoscaler:
             for entry in host.pool.drain_expired():
                 self.expired += 1
                 self.platform.discard_warm(entry, host)
-        if self.mode == "reactive":
-            self._tick_reactive(now)
-        elif self.mode == "predictive":
-            self._tick_predictive(now)
-
-    def _tick_reactive(self, now: float) -> None:
-        """Queue-pressure policy: a pressured host gets warm workers for
-        every function waiting in its admission queue, ramping by
-        ``reactive_step`` per tick, and holds each target for
-        ``reactive_hold_ticks`` pressure-free ticks before dropping it.
-        The hysteresis is what makes it *reactive*: it scales where the
-        queue was, late, and keeps paying for it after the burst passed —
-        the memory/timeliness trade the predictive policy avoids."""
-        cfg = self.cfg
-        pressured = set()
-        for host in self.platform.cluster.hosts:
-            if host.down or host.admission is None:
-                continue
-            if host.admission.depth < cfg.reactive_queue_threshold:
-                continue
-            for function in set(host.admission.waiting_functions()):
-                key = (host.host_id, function)
-                pressured.add(key)
-                level = self._reactive.get(key, (0, 0))[0]
-                self._reactive[key] = (
-                    min(level + cfg.reactive_step,
-                        cfg.max_warm_per_function),
-                    cfg.reactive_hold_ticks)
-        for key in list(self._reactive):
-            level, hold = self._reactive[key]
-            if key not in pressured:
-                hold -= 1
-                if hold <= 0:
-                    del self._reactive[key]
-                    continue
-                self._reactive[key] = (level, hold)
-            host = self.platform.cluster.host(key[0])
-            if host.down:
-                del self._reactive[key]   # chaos-aware: down host, no target
-                continue
-            self._ensure_warm(key[1], host, level, now)
-
-    def _tick_predictive(self, now: float) -> None:
-        cfg = self.cfg
-        for function in self.platform.installed_functions():
-            last = self.history.last_arrival_ms(function)
-            gap = self.history.gap_percentile_ms(
-                function, cfg.predictive_gap_quantile)
-            if last is None or gap is None:
-                continue
-            if gap <= cfg.predictive_horizon_ms:
-                # Arrives at least once per horizon: keep enough warm
-                # workers to absorb the expected arrivals.
-                want = min(cfg.max_warm_per_function,
-                           max(1, int(cfg.predictive_horizon_ms / gap)))
-            else:
-                predicted = last + gap
-                if not now <= predicted <= now + cfg.predictive_horizon_ms:
-                    continue
-                want = 1
-            host = self.platform.cluster.home_host(function)
-            if host.down:
-                continue   # chaos-aware: down hosts drop their targets
+        for function, host, want in self.policy.decide(self._view(now)):
             self._ensure_warm(function, host, want, now)
 
     def _ensure_warm(self, function: str, host, target: int,
                      now: float) -> None:
+        if host.down:
+            # Chaos-aware backstop: a policy decision (or a stale target
+            # read by on_warm_taken) must never provision onto a host the
+            # chaos controller marked down — its pool was drained at
+            # crash time and anything parked there would leak.
+            return
         key = (host.host_id, function)
         self.targets[key] = min(target, self.cfg.max_warm_per_function)
         have = host.pool.size(function, now) + self._pending.get(key, 0)

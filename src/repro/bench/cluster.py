@@ -29,7 +29,7 @@ from repro.bench.stats import LatencyStats
 from repro.config import CalibratedParameters, default_parameters
 from repro.core.fireworks import FireworksPlatform
 from repro.platforms.openwhisk import OpenWhiskPlatform
-from repro.platforms.scheduler import POLICIES
+from repro.policy import default_registry
 from repro.sim.rng import RngStreams
 from repro.workloads.faasdom import faasdom_spec
 from repro.workloads.generator import assign_popularity, poisson_trace
@@ -81,12 +81,19 @@ def run_cluster_scheduling(
         n_functions: int = 12,
         duration_ms: float = 600_000.0,
         seed: int = 11,
-        policies=POLICIES) -> Dict[str, ClusterPolicyOutcome]:
+        policies=None) -> Dict[str, ClusterPolicyOutcome]:
     """Warm-hit and restore-locality rates per placement policy.
 
-    The same deterministic trace is replayed for every policy, so the
+    The same deterministic trace is replayed for every policy
+    (default: every registered built-in placement policy), so the
     outcomes differ only by placement.
     """
+    registry = default_registry()
+    if policies is None:
+        policies = registry.names("placement")
+    else:
+        for policy in policies:
+            registry.entry("placement", policy)   # fail fast on unknowns
     resolved = params or default_parameters()
     tuned = dataclasses.replace(
         resolved, control_plane=dataclasses.replace(

@@ -175,6 +175,11 @@ def _sh_restore_stream(params, seed, mode):
     return run_streaming_transfer(mode, params=params, seed=seed)
 
 
+def _sh_search(params, seed, index):
+    from repro.bench.search import evaluate_index
+    return evaluate_index(params, seed, index)
+
+
 _SHARD_FNS: Dict[str, Callable[..., Any]] = {
     "table1": _sh_table1,
     "table2": _sh_table2,
@@ -196,6 +201,7 @@ _SHARD_FNS: Dict[str, Callable[..., Any]] = {
     "load": _sh_load,
     "restore-policy": _sh_restore_policy,
     "restore-stream": _sh_restore_stream,
+    "search": _sh_search,
 }
 
 
@@ -396,6 +402,22 @@ def _load_experiment() -> ExperimentDef:
                               for platform, mode in keys})
 
 
+def _search_experiment() -> ExperimentDef:
+    from repro.bench.search import DEFAULT_CANDIDATES
+    keys = [f"cand-{index:02d}" for index in range(DEFAULT_CANDIDATES)]
+
+    def merge(shards: Dict[str, Any]) -> Any:
+        from repro.bench.search import build_search_result
+        return build_search_result(tuple(shards[key] for key in keys))
+
+    return ExperimentDef(
+        id="search",
+        title="offline Pareto policy search (extension)",
+        shards=tuple(_shard("search", key, "search", index=index)
+                     for index, key in enumerate(keys)),
+        merge=merge)
+
+
 def _build_registry() -> Dict[str, ExperimentDef]:
     from repro.bench.memory import FIG10_PLATFORMS
     registry: Dict[str, ExperimentDef] = {}
@@ -440,6 +462,7 @@ def _build_registry() -> Dict[str, ExperimentDef]:
                 "chaos"))
     add(_load_experiment())
     add(_restore_experiment())
+    add(_search_experiment())
     return registry
 
 

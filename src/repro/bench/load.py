@@ -40,6 +40,7 @@ from repro.platforms.firecracker import FirecrackerPlatform
 from repro.platforms.gvisor_platform import GVisorPlatform
 from repro.platforms.openwhisk import OpenWhiskPlatform
 from repro.platforms.scheduler import POLICY_HASH
+from repro.policy import default_registry
 from repro.sim.rng import RngStreams
 from repro.workloads.faasdom import faasdom_spec
 from repro.workloads.generator import (assign_popularity,
@@ -55,8 +56,9 @@ LOAD_PLATFORMS = {
     "catalyzer": CatalyzerPlatform,
 }
 
-#: Warm-pool scaling modes, all under the same admission bounds.
-LOAD_MODES = ("none", "reactive", "predictive")
+#: Warm-pool scaling modes, all under the same admission bounds — the
+#: registered built-in autoscale policies, in registry order.
+LOAD_MODES = default_registry().names("autoscale")
 
 #: Defaults sized for the saturation knee of a 4-host cluster: the four
 #: popular functions swing around ~100 req/s each (~10⁵ invocations over
@@ -240,7 +242,8 @@ def run_load_platform(
         keepalive_ms: float = DEFAULT_KEEPALIVE_MS,
         popular_interarrival_ms: float = DEFAULT_POPULAR_INTERARRIVAL_MS,
         rare_interarrival_ms: float = DEFAULT_RARE_INTERARRIVAL_MS,
-        chaos_plan=None, return_platform: bool = False):
+        chaos_plan=None, return_platform: bool = False,
+        placement_policy=POLICY_HASH, autoscale_policy=None):
     """One (backend, mode) row: fresh cluster, same seed, same trace.
 
     *chaos_plan* optionally attaches a
@@ -249,13 +252,20 @@ def run_load_platform(
     crashes a host mid-trace through this hook).  *return_platform*
     additionally returns the drained platform so tests can audit
     end-state invariants (no leaked queue slots or warm workers).
+
+    *placement_policy* and *autoscale_policy* accept anything the policy
+    registry resolves — a registered name, a DSL document, or a policy
+    instance (``repro search`` sweeps documents through these).  When
+    *autoscale_policy* is given it overrides *mode*; the outcome's
+    ``mode`` field reports the resolved policy's name either way.
     """
     if platform_name not in LOAD_PLATFORMS:
         raise KeyError(f"unknown load platform {platform_name!r}; "
                        f"pick one of {tuple(LOAD_PLATFORMS)}")
-    if mode not in LOAD_MODES:
-        raise KeyError(f"unknown scaling mode {mode!r}; "
-                       f"pick one of {LOAD_MODES}")
+    if autoscale_policy is None:
+        # Unknown mode names fail here, at config-parse time, with the
+        # registered names (ValidationError).
+        default_registry().entry("autoscale", mode)
     tuned = _tuned_params(params, keepalive_ms)
     function_names, trace = build_load_trace(
         n_functions, duration_ms, seed,
@@ -263,13 +273,14 @@ def run_load_platform(
         rare_interarrival_ms=rare_interarrival_ms)
     platform = fresh_cluster_platform(
         LOAD_PLATFORMS[platform_name], tuned, seed=seed, n_hosts=n_hosts,
-        policy=POLICY_HASH, capacity_per_host=capacity_per_host)
+        policy=placement_policy, capacity_per_host=capacity_per_host)
     install_all(platform, _load_specs(function_names))
     # Installs advance the clock; the replay (and the scaler's control
     # loop) run over [start, start + duration].
     start_ms = platform.sim.now
     scaler = WarmPoolAutoscaler(platform, mode=mode,
-                                until_ms=start_ms + duration_ms)
+                                until_ms=start_ms + duration_ms,
+                                policy=autoscale_policy)
     if chaos_plan is not None:
         from repro.chaos import HostFailureController
         from repro.chaos.plan import ChaosPlan
@@ -287,7 +298,7 @@ def run_load_platform(
                if record.mode == MODE_WARM)
     outcome = LoadOutcome(
         platform=platform_name,
-        mode=mode,
+        mode=scaler.mode,
         n_hosts=n_hosts,
         requests=len(trace),
         completed=len(platform.records),

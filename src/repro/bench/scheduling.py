@@ -19,7 +19,11 @@ from repro.config import CalibratedParameters
 from repro.platforms.openwhisk import OpenWhiskPlatform
 from repro.platforms.scheduler import (POLICY_HASH, POLICY_LEAST_LOADED,
                                        POLICY_ROUND_ROBIN)
+from repro.policy import default_registry
 from repro.workloads.faasdom import faasdom_spec
+
+#: The policies this figure compares (registry-validated at import).
+SCHEDULING_POLICIES = (POLICY_ROUND_ROBIN, POLICY_LEAST_LOADED, POLICY_HASH)
 
 
 @dataclass(frozen=True)
@@ -44,7 +48,8 @@ def run_scheduling_comparison(
         n_functions: int = 9,
         rounds: int = 12,
         nodes: int = 4,
-        capacity_per_node: int = 16) -> Dict[str, PolicyResult]:
+        capacity_per_node: int = 16,
+        policies=SCHEDULING_POLICIES) -> Dict[str, PolicyResult]:
     """Round-robin vs least-loaded vs hash on an interleaved stream.
 
     Each round invokes every function once (think: steady per-minute
@@ -52,6 +57,9 @@ def run_scheduling_comparison(
     not a multiple of the host count, so round-robin cannot accidentally
     re-align each function with its previous host.
     """
+    registry = default_registry()
+    for policy in policies:
+        registry.entry("placement", policy)   # fail fast on unknown names
     base = faasdom_spec("faas-netlatency", "nodejs")
     specs = [
         base.__class__(
@@ -62,7 +70,7 @@ def run_scheduling_comparison(
     ]
 
     results: Dict[str, PolicyResult] = {}
-    for policy in (POLICY_ROUND_ROBIN, POLICY_LEAST_LOADED, POLICY_HASH):
+    for policy in policies:
         platform = fresh_cluster_platform(
             OpenWhiskPlatform, params, n_hosts=nodes, policy=policy,
             capacity_per_host=capacity_per_node)

@@ -67,6 +67,7 @@ def _register_builtin_result_types() -> None:
     from repro.bench.restore import RestorePolicyOutcome, StreamingOutcome
     from repro.bench.results import (FigureResult, LatencyRow, MemoryPoint,
                                      MemorySeries, PaperComparison)
+    from repro.bench.search import SearchCandidateOutcome, SearchResult
     from repro.bench.sensitivity import SensitivityPoint, SensitivityResult
     from repro.bench.stats import LatencyStats
 
@@ -74,7 +75,8 @@ def _register_builtin_result_types() -> None:
                 FactorRow, FigureResult,
                 KeepAliveOutcome, LatencyRow, LatencyStats, LoadOutcome,
                 LoadPoint, MemoryPoint, MemorySeries, PaperComparison,
-                PolicyComparison, RestorePolicyOutcome, SensitivityPoint,
+                PolicyComparison, RestorePolicyOutcome,
+                SearchCandidateOutcome, SearchResult, SensitivityPoint,
                 SensitivityResult, StreamingOutcome):
         register_result_type(cls)
 

@@ -17,6 +17,12 @@ Commands:
                                 the admission controller + warm-pool
                                 autoscaler; p50/p99, queue wait, shed rate,
                                 cold-start share, warm memory (extension);
+* ``search [--smoke] [--json]`` — offline Pareto policy search: sweep DSL
+                                policy documents across placement /
+                                keep-alive / autoscale on the open-loop
+                                trace; seeded, byte-deterministic
+                                frontier over (p99, warm memory, shed
+                                rate) (extension);
 * ``trace <target>``          — re-run one figure's invocations and export
                                 one invocation's span tree (Chrome
                                 ``trace_event`` JSON or a text tree);
@@ -41,7 +47,7 @@ FIGURES = ("table1", "table2", "snapshot-creation", "fig6", "fig7", "fig9",
 
 #: Extension experiments only the ``figure`` command exposes.
 EXTENSIONS = ("burst", "load-sweep", "sensitivity", "ablations", "policies",
-              "keepalive", "cluster", "chaos", "load", "restore")
+              "keepalive", "cluster", "chaos", "load", "restore", "search")
 
 
 def _print_fig_dict(results, chart: bool = False) -> None:
@@ -144,6 +150,10 @@ def _render_experiment(name: str, result, chart: bool = False) -> None:
         from repro.bench.restore import render_restore_figure
         for line in render_restore_figure(result):
             print(line)
+    elif name == "search":
+        from repro.bench.search import render_search_figure
+        for line in render_search_figure(result):
+            print(line)
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown figure {name!r}")
 
@@ -187,8 +197,9 @@ def _cmd_cluster(hosts: int, functions: int, duration_ms: float,
                  seed: int, policy: str) -> None:
     """``cluster``: placement policies across a multi-host cluster."""
     from repro.bench.cluster import run_cluster_scheduling
-    from repro.platforms.scheduler import POLICIES
-    selected = POLICIES if policy == "all" else (policy,)
+    from repro.policy import default_registry
+    placements = default_registry().names("placement")
+    selected = placements if policy == "all" else (policy,)
     outcomes = run_cluster_scheduling(
         n_hosts=hosts, n_functions=functions, duration_ms=duration_ms,
         seed=seed, policies=selected)
@@ -278,6 +289,41 @@ def _cmd_load(platform: str, mode: str, hosts: int, functions: int,
         return
     for outcome in outcomes.values():
         print(outcome.as_line())
+
+
+def _cmd_search(seed: int, count: Optional[int], jobs: int, no_cache: bool,
+                cache_dir: Optional[str], smoke: bool, as_json: bool,
+                out: Optional[str]) -> None:
+    """``search``: the offline Pareto policy search (extension).
+
+    The default full search runs through the parallel engine (one shard
+    per candidate, result-cached); ``--smoke`` and non-default
+    ``--count`` run serially, since the engine's shard list is fixed at
+    the default candidate count.
+    """
+    import json as json_module
+
+    from repro.bench.search import (DEFAULT_CANDIDATES,
+                                    render_search_figure, run_search)
+    from repro.bench.serialization import encode_result
+    if smoke or (count is not None and count != DEFAULT_CANDIDATES):
+        result = run_search(seed=seed, count=count, smoke=smoke)
+    else:
+        from repro.bench.engine import DEFAULT_CACHE_DIR, run_experiments
+        outcome = run_experiments(
+            ["search"], seed=seed, jobs=jobs, use_cache=not no_cache,
+            cache_dir=cache_dir or DEFAULT_CACHE_DIR)
+        result = outcome.results["search"]
+    payload = json_module.dumps(encode_result(result), sort_keys=True,
+                                separators=(",", ":"))
+    if out is not None:
+        Path(out).write_text(payload + "\n", encoding="utf-8")
+        print(f"wrote {out}", file=sys.stderr)
+    if as_json:
+        print(payload)
+        return
+    for line in render_search_figure(result):
+        print(line)
 
 
 def _cmd_trace(target: str, benchmark: str, invocation: int,
@@ -403,7 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
     burst_parser.add_argument("-n", "--requests", type=int, default=256)
     burst_parser.add_argument("-c", "--cores", type=int, default=64)
 
-    from repro.platforms.scheduler import POLICIES
+    from repro.policy import default_registry
     cluster_parser = sub.add_parser(
         "cluster",
         help="placement policies on a multi-host cluster (extension)")
@@ -413,8 +459,9 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--duration-ms", type=float,
                                 default=600_000.0)
     cluster_parser.add_argument("--seed", type=int, default=11)
-    cluster_parser.add_argument("--policy", default="all",
-                                choices=POLICIES + ("all",))
+    cluster_parser.add_argument(
+        "--policy", default="all",
+        choices=default_registry().names("placement") + ("all",))
 
     from repro.bench.chaos import DEFAULT_CRASH_AT_MS
     from repro.platforms.scheduler import (POLICY_ROUND_ROBIN,
@@ -468,6 +515,30 @@ def build_parser() -> argparse.ArgumentParser:
         "restore",
         help="lazy restore + streaming transfer figure (extension)")
     restore_parser.add_argument("--seed", type=int, default=2022)
+
+    from repro.bench.search import DEFAULT_SEED as SEARCH_SEED
+    search_parser = sub.add_parser(
+        "search",
+        help="offline Pareto policy search over DSL documents (extension)")
+    search_parser.add_argument("--seed", type=int, default=SEARCH_SEED)
+    search_parser.add_argument(
+        "--count", type=_positive_int, default=None,
+        help="candidate count (default 24; non-default runs serially)")
+    search_parser.add_argument("-j", "--jobs", type=_positive_int, default=1,
+                               help="worker processes (engine path only)")
+    search_parser.add_argument("--no-cache", action="store_true",
+                               help="skip the result cache")
+    search_parser.add_argument("--cache-dir", default=None,
+                               help="result cache directory")
+    search_parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny serial search for CI (seconds; byte-deterministic)")
+    search_parser.add_argument(
+        "--json", action="store_true",
+        help="emit canonical JSON (byte-identical across equal seeds)")
+    search_parser.add_argument(
+        "-o", "--out", default=None,
+        help="also write the canonical JSON artifact to this path")
 
     trace_parser = sub.add_parser(
         "trace", help="export one invocation's span tree")
@@ -544,6 +615,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                   args.popular_interarrival_ms, args.json)
     elif args.command == "restore":
         _cmd_restore(args.seed)
+    elif args.command == "search":
+        _cmd_search(args.seed, args.count, args.jobs, args.no_cache,
+                    args.cache_dir, args.smoke, args.json, args.out)
     elif args.command == "trace":
         return _cmd_trace(args.target, args.benchmark, args.invocation,
                           args.output_format, args.output)

@@ -24,8 +24,7 @@ from repro.host.cpu import HostCpu
 from repro.mem.host_memory import HostMemory
 from repro.net.bridge import HostBridge
 from repro.platforms.pooling import WarmPool
-from repro.platforms.scheduler import (POLICIES, POLICY_HASH, home_index,
-                                       select_node)
+from repro.platforms.scheduler import POLICY_HASH, home_index
 from repro.storage.disk import BlockDevice
 from repro.storage.snapshot_store import SnapshotStore
 
@@ -147,16 +146,20 @@ class Cluster:
     """The controller's hosts plus the placement policy over them."""
 
     def __init__(self, sim: "Simulation", params: CalibratedParameters,
-                 n_hosts: int = 1, policy: str = POLICY_HASH,
+                 n_hosts: int = 1, policy=POLICY_HASH,
                  capacity_per_host: Optional[int] = None,
                  cores_per_host: Optional[int] = None) -> None:
         if n_hosts < 1:
             raise PlatformError(f"need >= 1 host, got {n_hosts}")
-        if policy not in POLICIES:
-            raise PlatformError(f"unknown scheduling policy {policy!r}")
+        # *policy* may be a registered name, a DSL document, or a ready
+        # PlacementPolicy; unknown names fail here, at config-parse time,
+        # with the list of registered names (ValidationError).
+        from repro.policy import resolve_placement
+        self.placement = resolve_placement(policy)
         self.sim = sim
         self.params = params
-        self.policy = policy
+        self.policy = self.placement.name
+        self.policy_source = self.placement.source
         self.hosts: List[Host] = [
             Host(sim, params, host_id=index, capacity=capacity_per_host,
                  cores=cores_per_host)
@@ -190,8 +193,8 @@ class Cluster:
         ``snapshot-locality`` policy consults it.  The caller must pair
         every ``place`` with a :meth:`finish`.
         """
-        host, self._rr_next = select_node(self.hosts, self.policy, function,
-                                          self._rr_next, locality)
+        host, self._rr_next = self.placement.select(
+            self.hosts, function, self._rr_next, locality)
         host.assign(function)
         self.placements += 1
         return host
@@ -209,8 +212,8 @@ class Cluster:
         """
         from repro.errors import NoHostAvailableError
         try:
-            host, self._rr_next = select_node(
-                self.hosts, self.policy, function, self._rr_next, locality)
+            host, self._rr_next = self.placement.select(
+                self.hosts, function, self._rr_next, locality)
         except NoHostAvailableError:
             live = [h for h in self.hosts if not h.down]
             if not live:

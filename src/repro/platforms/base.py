@@ -522,7 +522,8 @@ class ServerlessPlatform:
         # Down hosts advertise no room, so every policy fails over here.
         serving = self.params.autoscale.enabled
         placement_span = tracer.span("placement", kind="placement",
-                                     policy=self.cluster.policy)
+                                     policy=self.cluster.policy,
+                                     source=self.cluster.policy_source)
         with placement_span:
             if serving:
                 # Serving layer: full clusters queue instead of bouncing.

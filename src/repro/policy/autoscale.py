@@ -1,0 +1,323 @@
+"""The autoscale seam: cluster signals → warm-worker targets.
+
+:class:`AutoscalePolicy` is the narrow interface the
+:class:`~repro.autoscale.scaler.WarmPoolAutoscaler` tick calls: given an
+:class:`AutoscaleView` of the cluster (hosts, admission queues, arrival
+histograms, config), return the ordered list of ``(function, host,
+want)`` warm targets for this tick.  The scaler stays the *engine*
+(expiry, provisioning processes, pending ledgers, ``on_warm_taken``
+top-ups); the policy is only the per-tick *decision*.
+
+:class:`ReactiveTargets` and :class:`PredictiveTargets` are verbatim
+extractions of the pre-refactor tick loops (same iteration order, same
+state machine), so default figures stay byte-identical.
+:class:`DslAutoscalePolicy` runs a compiled ``autoscale`` document under
+one of two candidate enumerations (declared by the document):
+
+* ``queue-state`` — the reactive shape: candidates are the
+  ``(host, function)`` pairs with queue pressure now or a carried level,
+  with the same pressure/hold hysteresis bookkeeping as the built-in;
+* ``home-hosts`` — the predictive shape: candidates are each installed
+  function on its hash-home host, with arrival-histogram signals.
+
+Emitted targets are clamped to ``cfg.max_warm_per_function`` (the engine
+clamps again when provisioning, so a document never over-provisions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.policy.dsl import (
+    CompiledPolicy,
+    ConditionNode,
+    SignalRef,
+    ValueLeaf,
+)
+from repro.policy.signals import (
+    CANDIDATES_HOME_HOSTS,
+    CANDIDATES_QUEUE_STATE,
+)
+
+SOURCE_BUILTIN = "builtin"
+SOURCE_DSL = "dsl"
+
+#: One per-tick warm target: (function, host, want).
+Decision = Tuple[str, object, int]
+
+
+@dataclass
+class AutoscaleView:
+    """Everything a target-setting decision may read, one tick's worth.
+
+    Built fresh by the scaler each tick (and easy to fake in tests):
+    decisions read admission queues, arrival history, and host liveness —
+    never the warm pools or provisioning ledgers the engine owns.
+    """
+
+    now: float
+    cfg: object
+    #: Arrival histograms (a ``HybridHistogramKeepAlive``).
+    history: object
+    #: Every cluster host, in host-id order.
+    hosts: Sequence[object]
+    #: ``host(host_id) -> Host``.
+    host: Callable[[int], object]
+    #: ``home_host(function) -> Host`` (the hash-home host).
+    home_host: Callable[[str], object]
+    #: Installed function names, platform order.
+    functions: Sequence[str]
+
+
+class AutoscalePolicy:
+    """Interface every autoscale policy — built-in or DSL — satisfies."""
+
+    #: Registered policy name (the scaler's ``mode``).
+    name: str = ""
+    #: Where the decision logic comes from: ``builtin`` or ``dsl``.
+    source: str = SOURCE_BUILTIN
+    #: Inactive policies never tick (no control loop at all).
+    active: bool = True
+
+    def decide(self, view: AutoscaleView) -> List[Decision]:
+        """The ordered warm targets for this tick."""
+        raise NotImplementedError
+
+
+class NoTargets(AutoscalePolicy):
+    """The ``none`` mode: no control loop, no targets."""
+
+    name = "none"
+    active = False
+
+    def decide(self, view: AutoscaleView) -> List[Decision]:
+        """Never called (inactive), but well-defined: no targets."""
+        del view
+        return []
+
+
+class ReactiveTargets(AutoscalePolicy):
+    """Queue-pressure policy: a pressured host gets warm workers for
+    every function waiting in its admission queue, ramping by
+    ``reactive_step`` per tick, and holds each target for
+    ``reactive_hold_ticks`` pressure-free ticks before dropping it.
+    The hysteresis is what makes it *reactive*: it scales where the
+    queue was, late, and keeps paying for it after the burst passed —
+    the memory/timeliness trade the predictive policy avoids."""
+
+    name = "reactive"
+
+    def __init__(self) -> None:
+        #: (host_id, function) -> (level, hold ticks left).
+        self._reactive: Dict[Tuple[int, str], Tuple[int, int]] = {}
+
+    def decide(self, view: AutoscaleView) -> List[Decision]:
+        """The pre-refactor reactive tick, collecting targets."""
+        cfg = view.cfg
+        decisions: List[Decision] = []
+        pressured = set()
+        for host in view.hosts:
+            if host.down or host.admission is None:
+                continue
+            if host.admission.depth < cfg.reactive_queue_threshold:
+                continue
+            for function in set(host.admission.waiting_functions()):
+                key = (host.host_id, function)
+                pressured.add(key)
+                level = self._reactive.get(key, (0, 0))[0]
+                self._reactive[key] = (
+                    min(level + cfg.reactive_step,
+                        cfg.max_warm_per_function),
+                    cfg.reactive_hold_ticks)
+        for key in list(self._reactive):
+            level, hold = self._reactive[key]
+            if key not in pressured:
+                hold -= 1
+                if hold <= 0:
+                    del self._reactive[key]
+                    continue
+                self._reactive[key] = (level, hold)
+            host = view.host(key[0])
+            if host.down:
+                del self._reactive[key]   # chaos-aware: down host, no target
+                continue
+            decisions.append((key[1], host, level))
+        return decisions
+
+
+class PredictiveTargets(AutoscalePolicy):
+    """Arrival-prediction policy: pre-provision on a function's home
+    host when its histogram predicts arrivals within the horizon."""
+
+    name = "predictive"
+
+    def decide(self, view: AutoscaleView) -> List[Decision]:
+        """The pre-refactor predictive tick, collecting targets."""
+        cfg = view.cfg
+        decisions: List[Decision] = []
+        for function in view.functions:
+            last = view.history.last_arrival_ms(function)
+            gap = view.history.gap_percentile_ms(
+                function, cfg.predictive_gap_quantile)
+            if last is None or gap is None:
+                continue
+            if gap <= cfg.predictive_horizon_ms:
+                # Arrives at least once per horizon: keep enough warm
+                # workers to absorb the expected arrivals.
+                want = min(cfg.max_warm_per_function,
+                           max(1, int(cfg.predictive_horizon_ms / gap)))
+            else:
+                predicted = last + gap
+                if not view.now <= predicted <= \
+                        view.now + cfg.predictive_horizon_ms:
+                    continue
+                want = 1
+            host = view.home_host(function)
+            if host.down:
+                continue   # chaos-aware: down hosts drop their targets
+            decisions.append((function, host, want))
+        return decisions
+
+
+class DslAutoscalePolicy(AutoscalePolicy):
+    """A compiled autoscale document run over one candidate enumeration."""
+
+    source = SOURCE_DSL
+
+    def __init__(self, compiled: CompiledPolicy) -> None:
+        if compiled.domain != "autoscale":
+            raise ValueError(
+                f"policy {compiled.name!r} is a {compiled.domain} "
+                "document, not autoscale")
+        self.compiled = compiled
+        self.name = compiled.name
+        #: queue-state bookkeeping: (host_id, function) -> (level, hold).
+        self._state: Dict[Tuple[int, str], Tuple[int, int]] = {}
+
+    def _want(self, view: AutoscaleView,
+              resolve: Callable[[SignalRef], float]) -> int:
+        """Walk the tree to a scalar leaf; clamp to the warm cap."""
+        node = self.compiled.tree
+        while isinstance(node, ConditionNode):
+            node = node.then if node.condition.holds(resolve) \
+                else node.otherwise
+        assert isinstance(node, ValueLeaf)
+        want = int(node.value(resolve))
+        return min(want, view.cfg.max_warm_per_function)
+
+    def decide(self, view: AutoscaleView) -> List[Decision]:
+        """Dispatch on the document's candidate enumeration mode."""
+        if self.compiled.candidates == CANDIDATES_QUEUE_STATE:
+            return self._decide_queue_state(view)
+        return self._decide_home_hosts(view)
+
+    def _decide_queue_state(self, view: AutoscaleView) -> List[Decision]:
+        """Reactive-shaped enumeration: pressured pairs plus carried
+        levels, with the built-in's pressure/hold bookkeeping."""
+        cfg = view.cfg
+        decisions: List[Decision] = []
+        pressured = set()
+        for host in view.hosts:
+            if host.down or host.admission is None:
+                continue
+            if host.admission.depth < cfg.reactive_queue_threshold:
+                continue
+            for function in set(host.admission.waiting_functions()):
+                key = (host.host_id, function)
+                pressured.add(key)
+                if key not in self._state:
+                    self._state[key] = (0, 0)
+        for key in list(self._state):
+            level, hold = self._state[key]
+            is_pressured = key in pressured
+            if not is_pressured:
+                hold -= 1
+                if hold <= 0:
+                    del self._state[key]
+                    continue
+            host = view.host(key[0])
+            if host.down:
+                del self._state[key]
+                continue
+            depth = host.admission.depth if host.admission is not None \
+                else 0
+
+            def resolve(ref: SignalRef, _p=is_pressured, _l=level,
+                        _h=hold, _d=depth) -> float:
+                name = ref.name
+                if name == "pressured":
+                    return 1.0 if _p else 0.0
+                if name == "prev_level":
+                    return float(_l)
+                if name == "hold_left":
+                    return float(_h)
+                if name == "queue_depth":
+                    return float(_d)
+                if name == "reactive_step":
+                    return float(cfg.reactive_step)
+                # max_warm — the only other queue-state signal.
+                return float(cfg.max_warm_per_function)
+
+            want = self._want(view, resolve)
+            if want <= 0:
+                del self._state[key]
+                continue
+            self._state[key] = (
+                want, cfg.reactive_hold_ticks if is_pressured else hold)
+            decisions.append((key[1], host, want))
+        return decisions
+
+    def _decide_home_hosts(self, view: AutoscaleView) -> List[Decision]:
+        """Predictive-shaped enumeration: each installed function on its
+        hash-home host, with arrival-histogram signals."""
+        cfg = view.cfg
+        decisions: List[Decision] = []
+        for function in view.functions:
+            host = view.home_host(function)
+            if host.down:
+                continue
+            last = view.history.last_arrival_ms(function)
+            gap = view.history.gap_percentile_ms(
+                function, cfg.predictive_gap_quantile)
+            has_history = last is not None and gap is not None
+            gap_ms = float(gap) if has_history else math.inf
+            if gap_ms <= cfg.predictive_horizon_ms and gap_ms > 0:
+                expected = max(1, int(cfg.predictive_horizon_ms / gap_ms))
+            else:
+                expected = 0
+            within = (has_history
+                      and view.now <= last + gap_ms
+                      <= view.now + cfg.predictive_horizon_ms)
+            depth = host.admission.depth if host.admission is not None \
+                else 0
+
+            def resolve(ref: SignalRef, _hh=has_history, _g=gap_ms,
+                        _e=expected, _w=within, _d=depth) -> float:
+                name = ref.name
+                if name == "has_history":
+                    return 1.0 if _hh else 0.0
+                if name == "predicted_gap_ms":
+                    return _g
+                if name == "expected_arrivals_in_horizon":
+                    return float(_e)
+                if name == "predicted_within_horizon":
+                    return 1.0 if _w else 0.0
+                if name == "horizon_ms":
+                    return float(cfg.predictive_horizon_ms)
+                if name == "queue_depth":
+                    return float(_d)
+                if name == "reactive_step":
+                    return float(cfg.reactive_step)
+                # max_warm — the only other home-hosts signal.
+                return float(cfg.max_warm_per_function)
+
+            want = self._want(view, resolve)
+            if want >= 1:
+                decisions.append((function, host, want))
+        return decisions
+
+    def __repr__(self) -> str:
+        return (f"DslAutoscalePolicy({self.name!r}, "
+                f"candidates={self.compiled.candidates!r})")

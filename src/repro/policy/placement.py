@@ -1,0 +1,181 @@
+"""The placement seam: Signals → chosen host.
+
+:class:`PlacementPolicy` is the narrow interface ``Cluster.place()`` (and
+anything else that schedules over a node set) calls: given the candidate
+nodes, the function name, the shared round-robin cursor, and an optional
+locality probe, return ``(node, new_cursor)``.
+:class:`BuiltinPlacementPolicy` wraps the hard-coded
+:func:`repro.platforms.scheduler.select_node` oracle;
+:class:`DslPlacementPolicy` runs a compiled placement document over the
+same signals.  The differential suite in
+``tests/property/test_policy_equivalence.py`` proves the shipped
+documents decision-identical to the oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.errors import NoHostAvailableError
+from repro.platforms.scheduler import home_index, select_node
+from repro.policy.dsl import (
+    CHOOSE_ARGMIN,
+    ChooseLeaf,
+    CompiledPolicy,
+    ConditionNode,
+    SignalRef,
+)
+
+SOURCE_BUILTIN = "builtin"
+SOURCE_DSL = "dsl"
+
+#: ``locality(node) -> bool``: is the function's state resident there?
+LocalityProbe = Optional[Callable[[object], bool]]
+
+
+class PlacementPolicy:
+    """Interface every placement policy — built-in or DSL — satisfies."""
+
+    #: Registered policy name (shows up on the placement span).
+    name: str = ""
+    #: Where the decision logic comes from: ``builtin`` or ``dsl``.
+    source: str = SOURCE_BUILTIN
+
+    def select(self, nodes: Sequence[object], function: str,
+               rr_cursor: int, locality: LocalityProbe = None
+               ) -> Tuple[object, int]:
+        """Pick a node for *function*; return ``(node, new_rr_cursor)``."""
+        raise NotImplementedError
+
+
+class BuiltinPlacementPolicy(PlacementPolicy):
+    """A named hard-coded policy, delegating to :func:`select_node`."""
+
+    source = SOURCE_BUILTIN
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def select(self, nodes: Sequence[object], function: str,
+               rr_cursor: int, locality: LocalityProbe = None
+               ) -> Tuple[object, int]:
+        """Delegate to the scheduler oracle for this policy name."""
+        return select_node(nodes, self.name, function, rr_cursor, locality)
+
+    def __repr__(self) -> str:
+        return f"BuiltinPlacementPolicy({self.name!r})"
+
+
+class _NodeSignals:
+    """Per-evaluation signal resolver over one candidate set."""
+
+    def __init__(self, nodes: Sequence[object], function: str,
+                 rr_cursor: int, locality: LocalityProbe) -> None:
+        self.nodes = nodes
+        self.n = len(nodes)
+        self.function = function
+        self.rr_cursor = rr_cursor
+        self.locality = locality
+        self.home = home_index(function, self.n)
+        #: Set when ``rr_offset`` was read on the taken decision path —
+        #: only then does the decision consume (advance) the cursor.
+        self.rr_used = False
+        self._local: dict = {}
+
+    def is_local(self, node: object) -> bool:
+        """Whether the function's state is resident on *node* (memoised
+        so the probe runs at most once per node per decision)."""
+        key = id(node)
+        if key not in self._local:
+            self._local[key] = bool(self.locality(node)) if self.locality \
+                else False
+        return self._local[key]
+
+    def aggregate(self, ref: SignalRef) -> float:
+        """Resolve an aggregate-scoped signal."""
+        if ref.name == "n_nodes":
+            return float(self.n)
+        if ref.name == "any_room":
+            return 1.0 if any(n.has_room for n in self.nodes) else 0.0
+        if ref.name == "any_local_with_room":
+            return 1.0 if any(n.has_room and self.is_local(n)
+                              for n in self.nodes) else 0.0
+        raise NoHostAvailableError(  # pragma: no cover - compiler-guarded
+            f"signal {ref.name!r} has no aggregate value")
+
+    def for_node(self, node: object) -> Callable[[SignalRef], float]:
+        """A resolver bound to one candidate *node* (falls back to the
+        aggregate resolver for aggregate-scoped signals)."""
+
+        def resolve(ref: SignalRef) -> float:
+            name = ref.name
+            if name == "node_id":
+                return float(node.node_id)
+            if name == "active":
+                return float(node.active)
+            if name == "has_room":
+                return 1.0 if node.has_room else 0.0
+            if name == "capacity_left":
+                capacity = getattr(node, "capacity", None)
+                if capacity is None:
+                    return math.inf
+                return float(capacity - node.active)
+            if name == "rr_offset":
+                self.rr_used = True
+                return float((node.node_id - self.rr_cursor) % self.n)
+            if name == "home_distance":
+                return float((node.node_id - self.home) % self.n)
+            if name == "is_home":
+                return 1.0 if node.node_id == self.home else 0.0
+            if name == "local_state":
+                return 1.0 if self.is_local(node) else 0.0
+            return self.aggregate(ref)
+
+        return resolve
+
+
+class DslPlacementPolicy(PlacementPolicy):
+    """A compiled placement document evaluated over live node signals."""
+
+    source = SOURCE_DSL
+
+    def __init__(self, compiled: CompiledPolicy) -> None:
+        if compiled.domain != "placement":
+            raise ValueError(
+                f"policy {compiled.name!r} is a {compiled.domain} "
+                "document, not placement")
+        self.compiled = compiled
+        self.name = compiled.name
+
+    def select(self, nodes: Sequence[object], function: str,
+               rr_cursor: int, locality: LocalityProbe = None
+               ) -> Tuple[object, int]:
+        """Walk the tree to a ``choose`` leaf and rank the candidates."""
+        if not nodes:
+            raise NoHostAvailableError("no nodes to place on")
+        signals = _NodeSignals(nodes, function, rr_cursor, locality)
+        node = self.compiled.tree
+        while isinstance(node, ConditionNode):
+            branch = node.condition.holds(signals.aggregate)
+            node = node.then if branch else node.otherwise
+        assert isinstance(node, ChooseLeaf)
+        scored = []
+        for candidate in nodes:
+            resolve = signals.for_node(candidate)
+            if not node.admits(resolve):
+                continue
+            scored.append((node.score_of(resolve), candidate.node_id,
+                           candidate))
+        if not scored:
+            raise NoHostAvailableError("all invokers at capacity")
+        if node.mode == CHOOSE_ARGMIN:
+            _, _, chosen = min(scored, key=lambda item: (item[0], item[1]))
+        else:
+            _, _, chosen = max(scored, key=lambda item: (item[0], -item[1]))
+        if signals.rr_used:
+            return chosen, (chosen.node_id + 1) % signals.n
+        return chosen, rr_cursor
+
+    def __repr__(self) -> str:
+        return f"DslPlacementPolicy({self.name!r})"

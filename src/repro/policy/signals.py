@@ -1,0 +1,168 @@
+"""Signal catalogs: the typed inputs a policy document may read.
+
+A policy document never touches a ``Host`` or a histogram directly — it
+reads *signals*, named scalar views over the state each decision layer
+already exposes (queue depth, arrival histograms, host liveness, snapshot
+locality, warm-pool levels).  Each decision domain declares its catalog as
+a :class:`SignalSet`; the DSL compiler (:mod:`repro.policy.dsl`) validates
+every signal reference against it at load time, so an unknown or
+out-of-scope signal is a :class:`~repro.errors.ValidationError` with a
+path into the document, never a ``KeyError`` deep inside placement.
+
+Scopes keep references honest about *when* a signal has a value:
+
+* placement — ``aggregate`` signals describe the whole candidate set and
+  may be read anywhere; ``node`` signals describe one candidate host and
+  may only be read inside a ``choose`` leaf's ``score``/``where``;
+* keepalive — ``function`` signals describe one function's arrival
+  history;
+* autoscale — ``candidate`` signals describe one ``(host, function)``
+  pair; some exist only under one candidate enumeration mode
+  (``queue-state`` vs ``home-hosts``), declared via ``modes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+SCOPE_AGGREGATE = "aggregate"
+SCOPE_NODE = "node"
+SCOPE_FUNCTION = "function"
+SCOPE_CANDIDATE = "candidate"
+
+#: Autoscale candidate enumeration modes (see :mod:`repro.policy.autoscale`).
+CANDIDATES_QUEUE_STATE = "queue-state"
+CANDIDATES_HOME_HOSTS = "home-hosts"
+CANDIDATE_MODES = (CANDIDATES_QUEUE_STATE, CANDIDATES_HOME_HOSTS)
+
+
+@dataclass(frozen=True)
+class SignalSpec:
+    """One named signal: its scope, reference arguments, and meaning."""
+
+    name: str
+    scope: str
+    doc: str
+    #: Accepted reference arguments (e.g. ``q`` for a percentile signal).
+    args: Tuple[str, ...] = ()
+    #: Arguments that must be present in every reference.
+    required_args: Tuple[str, ...] = ()
+    #: Autoscale only: candidate modes providing this signal (empty =
+    #: available under every mode).
+    modes: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SignalSet:
+    """The declared signal catalog of one decision domain."""
+
+    domain: str
+    specs: Mapping[str, SignalSpec] = field(default_factory=dict)
+
+    def get(self, name: str) -> SignalSpec:
+        """The spec for *name* (``KeyError`` if undeclared — callers
+        translate into a :class:`~repro.errors.ValidationError`)."""
+        return self.specs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.specs
+
+    def names(self) -> Tuple[str, ...]:
+        """Every declared signal name, in declaration order."""
+        return tuple(self.specs)
+
+
+def _signal_set(domain: str, *specs: SignalSpec) -> SignalSet:
+    mapping: Dict[str, SignalSpec] = {spec.name: spec for spec in specs}
+    return SignalSet(domain=domain, specs=mapping)
+
+
+#: Placement: choose one host for one invocation.
+PLACEMENT_SIGNALS = _signal_set(
+    "placement",
+    SignalSpec("n_nodes", SCOPE_AGGREGATE,
+               "how many hosts the cluster schedules over"),
+    SignalSpec("any_room", SCOPE_AGGREGATE,
+               "1 if at least one live host has a free slot, else 0"),
+    SignalSpec("any_local_with_room", SCOPE_AGGREGATE,
+               "1 if some host with room already holds the function's "
+               "state (warm sandbox or snapshot image), else 0"),
+    SignalSpec("node_id", SCOPE_NODE, "the candidate host's id"),
+    SignalSpec("active", SCOPE_NODE,
+               "invocations currently in flight on the candidate"),
+    SignalSpec("has_room", SCOPE_NODE,
+               "1 if the candidate is live and below capacity, else 0"),
+    SignalSpec("capacity_left", SCOPE_NODE,
+               "free slots on the candidate (inf when unbounded)"),
+    SignalSpec("rr_offset", SCOPE_NODE,
+               "the candidate's distance after the round-robin cursor; "
+               "reading it advances the cursor past the chosen host"),
+    SignalSpec("home_distance", SCOPE_NODE,
+               "the candidate's linear-probe distance from the "
+               "function's hash home"),
+    SignalSpec("is_home", SCOPE_NODE,
+               "1 if the candidate is the function's hash home, else 0"),
+    SignalSpec("local_state", SCOPE_NODE,
+               "1 if the function's state is already resident on the "
+               "candidate, else 0"),
+)
+
+#: Keep-alive: prescribe an idle window for one function's warm workers.
+KEEPALIVE_SIGNALS = _signal_set(
+    "keepalive",
+    SignalSpec("observed_gaps", SCOPE_FUNCTION,
+               "how many inter-arrival gaps have been observed"),
+    SignalSpec("gap_percentile_ms", SCOPE_FUNCTION,
+               "the q-th percentile of observed inter-arrival gaps "
+               "(inf until any gap is observed)",
+               args=("q",), required_args=("q",)),
+)
+
+#: Autoscale: a warm-worker target for one (host, function) candidate.
+AUTOSCALE_SIGNALS = _signal_set(
+    "autoscale",
+    SignalSpec("queue_depth", SCOPE_CANDIDATE,
+               "the candidate host's admission-queue depth"),
+    SignalSpec("pressured", SCOPE_CANDIDATE,
+               "1 if the function is waiting in the host's "
+               "at-threshold admission queue this tick, else 0",
+               modes=(CANDIDATES_QUEUE_STATE,)),
+    SignalSpec("prev_level", SCOPE_CANDIDATE,
+               "the candidate's warm target carried from earlier ticks",
+               modes=(CANDIDATES_QUEUE_STATE,)),
+    SignalSpec("hold_left", SCOPE_CANDIDATE,
+               "scale-down hysteresis ticks left after this "
+               "pressure-free tick",
+               modes=(CANDIDATES_QUEUE_STATE,)),
+    SignalSpec("reactive_step", SCOPE_CANDIDATE,
+               "the configured per-tick ramp step"),
+    SignalSpec("max_warm", SCOPE_CANDIDATE,
+               "the configured per-function warm-worker cap"),
+    SignalSpec("horizon_ms", SCOPE_CANDIDATE,
+               "the configured prediction horizon"),
+    SignalSpec("has_history", SCOPE_CANDIDATE,
+               "1 once the function has an arrival and enough observed "
+               "gaps for a prediction, else 0",
+               modes=(CANDIDATES_HOME_HOSTS,)),
+    SignalSpec("predicted_gap_ms", SCOPE_CANDIDATE,
+               "the predicted inter-arrival gap (inf without history)",
+               modes=(CANDIDATES_HOME_HOSTS,)),
+    SignalSpec("expected_arrivals_in_horizon", SCOPE_CANDIDATE,
+               "max(1, floor(horizon / predicted gap)) when the gap "
+               "fits the horizon, else 0",
+               modes=(CANDIDATES_HOME_HOSTS,)),
+    SignalSpec("predicted_within_horizon", SCOPE_CANDIDATE,
+               "1 if the next predicted arrival lands inside the "
+               "horizon, else 0",
+               modes=(CANDIDATES_HOME_HOSTS,)),
+)
+
+#: Every domain's catalog, keyed by domain name.
+SIGNAL_SETS: Dict[str, SignalSet] = {
+    "placement": PLACEMENT_SIGNALS,
+    "keepalive": KEEPALIVE_SIGNALS,
+    "autoscale": AUTOSCALE_SIGNALS,
+}
+
+DOMAINS = tuple(SIGNAL_SETS)

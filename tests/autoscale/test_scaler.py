@@ -1,0 +1,120 @@
+"""Warm-pool autoscaler engine tests, incl. the chaos-down regression.
+
+Regression background: the autoscaler used to provision warm workers
+onto hosts the chaos controller had marked down — the workers booted,
+parked into a pool that was drained at crash time, and leaked.  The fix
+is two-layered: built-in policies drop targets for down home hosts, and
+the engine's :meth:`WarmPoolAutoscaler._ensure_warm` backstop refuses
+down hosts no matter what the policy (or a stale ``on_warm_taken``
+target read) asked for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.autoscale.scaler import WarmPoolAutoscaler
+from repro.bench.harness import fresh_cluster_platform, install_all
+from repro.core.fireworks import FireworksPlatform
+from repro.workloads.faasdom import faasdom_spec
+
+FUNCTION = "scaler-fn"
+
+
+def _specs(names):
+    base = faasdom_spec("faas-netlatency", "nodejs")
+    return [dataclasses.replace(base, name=name) for name in names]
+
+
+def _predictive_platform(n_hosts=3):
+    platform = fresh_cluster_platform(FireworksPlatform, n_hosts=n_hosts,
+                                      capacity_per_host=4)
+    install_all(platform, _specs([FUNCTION]))
+    start = platform.sim.now
+    scaler = WarmPoolAutoscaler(platform, mode="predictive",
+                                until_ms=start + 20_000.0)
+    # A steady 500 ms cadence: well inside the predictive horizon, past
+    # the histogram warm-up, so the policy wants warm workers on the
+    # function's home host every tick.
+    for i in range(8):
+        scaler.observe_arrival(FUNCTION, start + 500.0 * i)
+    return platform, scaler, start
+
+
+class TestChaosDownRegression:
+    def test_no_provisioning_onto_a_down_home_host(self):
+        platform, scaler, start = _predictive_platform()
+        home = platform.cluster.home_host(FUNCTION)
+        home.down = True
+        platform.sim.run(until=start + 4_500.0)   # two control ticks
+        assert scaler.ticks >= 2
+        assert scaler.provisioned == 0
+        assert all(host_id != home.host_id
+                   for host_id, _fn in scaler.targets)
+
+    def test_positive_control_provisions_once_host_is_back(self):
+        # Same setup, host healthy again: the zero above must be the
+        # down-flag, not a policy that never wanted workers.
+        platform, scaler, start = _predictive_platform()
+        home = platform.cluster.home_host(FUNCTION)
+        home.down = True
+        platform.sim.run(until=start + 4_500.0)
+        assert scaler.provisioned == 0
+        home.down = False
+        for i in range(4):
+            scaler.observe_arrival(FUNCTION,
+                                   platform.sim.now + 500.0 * i)
+        platform.sim.run(until=start + 9_000.0)
+        assert scaler.provisioned > 0
+        assert (home.host_id, FUNCTION) in scaler.targets
+
+    def test_ensure_warm_backstop_refuses_down_hosts(self):
+        # Even a direct (policy-bypassing) request must be a no-op on a
+        # down host — this is the on_warm_taken stale-target path.
+        platform, scaler, start = _predictive_platform()
+        home = platform.cluster.home_host(FUNCTION)
+        home.down = True
+        scaler._ensure_warm(FUNCTION, home, 3, platform.sim.now)
+        assert scaler.provisioned == 0
+        assert scaler.pending_total() == 0
+        assert (home.host_id, FUNCTION) not in scaler.targets
+
+
+class TestScalerEngine:
+    def test_none_policy_never_ticks(self):
+        platform = fresh_cluster_platform(FireworksPlatform, n_hosts=2,
+                                          capacity_per_host=4)
+        install_all(platform, _specs([FUNCTION]))
+        scaler = WarmPoolAutoscaler(platform, mode="none")
+        platform.sim.run()
+        assert scaler.ticks == 0
+        assert scaler.provisioned == 0
+
+    def test_active_policy_requires_until_ms(self):
+        from repro.errors import PlatformError
+        platform = fresh_cluster_platform(FireworksPlatform, n_hosts=2,
+                                          capacity_per_host=4)
+        install_all(platform, _specs([FUNCTION]))
+        with pytest.raises(PlatformError, match="until_ms"):
+            WarmPoolAutoscaler(platform, mode="reactive")
+
+    def test_dsl_policy_reports_dsl_source(self):
+        from repro.bench.search import autoscale_reactive_doc
+        platform = fresh_cluster_platform(FireworksPlatform, n_hosts=2,
+                                          capacity_per_host=4)
+        install_all(platform, _specs([FUNCTION]))
+        scaler = WarmPoolAutoscaler(
+            platform, until_ms=platform.sim.now + 1_000.0,
+            policy=autoscale_reactive_doc("dsl-step", 1.0))
+        assert scaler.policy_source == "dsl"
+        assert scaler.mode == "dsl-step"
+
+    def test_builtin_policy_reports_builtin_source(self):
+        platform = fresh_cluster_platform(FireworksPlatform, n_hosts=2,
+                                          capacity_per_host=4)
+        install_all(platform, _specs([FUNCTION]))
+        scaler = WarmPoolAutoscaler(platform, mode="none")
+        assert scaler.policy_source == "builtin"
+        assert scaler.mode == "none"

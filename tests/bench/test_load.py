@@ -16,6 +16,7 @@ from repro.bench.load import (LOAD_MODES, LOAD_PLATFORMS, build_load_trace,
 from repro.bench.serialization import encode_result
 from repro.chaos.plan import ChaosPlan
 from repro.cli import main
+from repro.errors import ValidationError
 
 # Small but non-trivial: a few hundred events, queueing visible.
 SMALL = dict(n_hosts=3, n_functions=8, duration_ms=20_000.0,
@@ -120,7 +121,7 @@ class TestOutcomeShape:
     def test_unknown_platform_or_mode_raises(self):
         with pytest.raises(KeyError):
             run_load_platform("nope", "none", **SMALL)
-        with pytest.raises(KeyError):
+        with pytest.raises(ValidationError, match="registered"):
             run_load_platform("fireworks", "sometimes", **SMALL)
 
     def test_rates_and_shares_are_bounded(self):

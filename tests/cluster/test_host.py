@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import Cluster, Host
 from repro.config import default_parameters
-from repro.errors import PlatformError
+from repro.errors import PlatformError, ValidationError
 from repro.platforms.scheduler import (POLICY_ROUND_ROBIN,
                                        POLICY_SNAPSHOT_LOCALITY, home_index)
 from repro.sim import Simulation
@@ -54,7 +54,7 @@ class TestCluster:
     def test_validation(self, sim, params):
         with pytest.raises(PlatformError, match=">= 1 host"):
             Cluster(sim, params, n_hosts=0)
-        with pytest.raises(PlatformError, match="unknown scheduling"):
+        with pytest.raises(ValidationError, match="unknown placement"):
             Cluster(sim, params, policy="random")
         with pytest.raises(PlatformError, match="no host 7"):
             Cluster(sim, params, n_hosts=2).host(7)

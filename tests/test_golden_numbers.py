@@ -128,6 +128,19 @@ class TestGoldenFigureHashes:
         params = default_parameters()
         assert params.autoscale.enabled is False
 
+    def test_default_decision_path_stays_builtin(self):
+        # The policy-engine refactor must be invisible by default: a
+        # platform built with no DSL documents routes every decision
+        # layer through the built-in classes (source "builtin"), which
+        # is what makes the byte-identical hashes below meaningful.
+        from repro.autoscale.scaler import WarmPoolAutoscaler
+        from repro.bench.harness import fresh_cluster_platform
+        from repro.core.fireworks import FireworksPlatform
+        platform = fresh_cluster_platform(FireworksPlatform, n_hosts=2)
+        assert platform.cluster.policy_source == "builtin"
+        scaler = WarmPoolAutoscaler(platform, mode="none")
+        assert scaler.policy_source == "builtin"
+
     def test_fig6_fact_nodejs(self):
         from repro.bench.faasdom_experiments import run_faasdom_benchmark
         from repro.config import default_parameters

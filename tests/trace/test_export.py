@@ -85,13 +85,22 @@ class TestChromeExport:
                     "pid": 1, "tid": 1, "cat": "placement", "args": args}
 
         good = {"traceEvents":
-                [placement_event({"host": 2, "policy": "hash"})]}
+                [placement_event({"host": 2, "policy": "hash",
+                                  "source": "builtin"}),
+                 placement_event({"host": 0, "policy": "searched-hash",
+                                  "source": "dsl"})]}
         assert module.validate_trace(good) == []
-        bad = {"traceEvents": [placement_event({"policy": "hash"}),
-                               placement_event({"host": 2})]}
+        bad = {"traceEvents": [placement_event({"policy": "hash",
+                                                "source": "builtin"}),
+                               placement_event({"host": 2,
+                                                "source": "builtin"}),
+                               placement_event({"host": 2, "policy": "hash"}),
+                               placement_event({"host": 2, "policy": "hash",
+                                                "source": "magic"})]}
         problems = module.validate_trace(bad)
         assert any("args.host" in problem for problem in problems)
         assert any("args.policy" in problem for problem in problems)
+        assert sum("args.source" in problem for problem in problems) == 2
 
 
 def _load_validator():

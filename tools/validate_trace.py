@@ -11,8 +11,9 @@ Checks the shape ``chrome://tracing``/Perfetto expects from
   ``tid``;
 * complete events (``ph == "X"``) carry a non-negative ``dur``;
 * timestamps are non-negative and finite;
-* placement events (``cat == "placement"``) carry the chosen ``host`` and
-  the ``policy`` that chose it in ``args``;
+* placement events (``cat == "placement"``) carry the chosen ``host``,
+  the ``policy`` name that chose it, and the policy ``source``
+  (``"builtin"`` or ``"dsl"``) in ``args``;
 * retry events (``cat == "retry"``) carry an integer ``args.attempt >= 1``;
 * failover events (``cat == "failover"``) carry an integer
   ``args.from_host`` naming the host the request is fleeing;
@@ -153,6 +154,10 @@ def validate_trace(payload: Any) -> List[str]:
             if not isinstance(args.get("policy"), str):
                 problems.append(f"{where}: placement event needs a string "
                                 f"args.policy, got {args.get('policy')!r}")
+            if args.get("source") not in ("builtin", "dsl"):
+                problems.append(
+                    f"{where}: placement event needs args.source of "
+                    f"'builtin' or 'dsl', got {args.get('source')!r}")
         if event.get("cat") in ("retry", "failover"):
             args = event.get("args")
             if not isinstance(args, dict):
