@@ -1,6 +1,6 @@
 # Convenience targets for the Fireworks reproduction.
 
-.PHONY: install test bench report examples all clean
+.PHONY: install test bench report examples serve serve-smoke all clean
 
 install:
 	python setup.py develop
@@ -13,6 +13,13 @@ bench:
 
 report:
 	python -m repro report
+
+serve:
+	python -m repro serve
+
+serve-smoke:
+	python tools/validate_scenarios.py
+	python tools/serve_smoke.py
 
 examples:
 	@for ex in examples/*.py; do \

@@ -180,6 +180,11 @@ def _sh_search(params, seed, index):
     return evaluate_index(params, seed, index)
 
 
+def _sh_search_smoke(params, seed):
+    from repro.bench.search import run_search
+    return run_search(params=params, seed=seed, smoke=True)
+
+
 _SHARD_FNS: Dict[str, Callable[..., Any]] = {
     "table1": _sh_table1,
     "table2": _sh_table2,
@@ -202,6 +207,7 @@ _SHARD_FNS: Dict[str, Callable[..., Any]] = {
     "restore-policy": _sh_restore_policy,
     "restore-stream": _sh_restore_stream,
     "search": _sh_search,
+    "search-smoke": _sh_search_smoke,
 }
 
 
@@ -463,6 +469,9 @@ def _build_registry() -> Dict[str, ExperimentDef]:
     add(_load_experiment())
     add(_restore_experiment())
     add(_search_experiment())
+    add(_single("search-smoke",
+                "Pareto policy search, CI-sized smoke run (extension)",
+                "search-smoke"))
     return registry
 
 
@@ -498,8 +507,10 @@ class ResultCache:
     docstring for the invalidation story.
     """
 
-    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
-        self.root = Path(root)
+    def __init__(self, root: Optional[str] = None) -> None:
+        # The default is resolved at call time (not def time) so test
+        # harnesses can point DEFAULT_CACHE_DIR somewhere disposable.
+        self.root = Path(root if root is not None else DEFAULT_CACHE_DIR)
         self.hits = 0
         self.misses = 0
 
@@ -632,6 +643,26 @@ class EngineRun:
     stats: EngineStats = field(default_factory=lambda: EngineStats(jobs=1))
 
 
+@dataclass(frozen=True)
+class ShardEvent:
+    """One progress notification from :func:`run_experiments`.
+
+    ``kind`` is ``"cache-hit"`` (served from the result cache),
+    ``"started"`` (compute began — under ``jobs > 1`` this fires at pool
+    submission), or ``"finished"`` (compute completed).  Events fire in the
+    submitting process, never inside pool workers, so callbacks may touch
+    shared state freely.
+    """
+
+    kind: str
+    experiment: str
+    shard: str
+    index: int          # position in this run's full shard list
+    total: int          # shard count of this run
+
+ProgressFn = Callable[[ShardEvent], None]
+
+
 def resolve_ids(ids: Sequence[str]) -> List[str]:
     """Expand ``all`` and validate experiment ids, preserving order."""
     known = experiment_registry()
@@ -652,8 +683,14 @@ def resolve_ids(ids: Sequence[str]) -> List[str]:
 
 
 def _execute_missing(missing: List[Shard], params: CalibratedParameters,
-                     seed: int, jobs: int) -> Dict[Tuple[str, str], Any]:
-    """Encoded payloads for *missing* shards, serially or on a pool."""
+                     seed: int, jobs: int,
+                     notify: Callable[[str, Shard], None]
+                     ) -> Dict[Tuple[str, str], Any]:
+    """Encoded payloads for *missing* shards, serially or on a pool.
+
+    *notify* is called as ``notify(kind, shard)`` with ``"started"`` /
+    ``"finished"`` around each shard's compute, always in this process.
+    """
     if not missing:
         return {}
     if jobs > 1 and (os.cpu_count() or 1) == 1:
@@ -663,25 +700,38 @@ def _execute_missing(missing: List[Shard], params: CalibratedParameters,
                   "(jobs=%d requested)", len(missing), jobs)
         jobs = 1
     if jobs <= 1 or len(missing) == 1:
-        return {(shard.experiment, shard.key):
-                _execute_shard(shard.fn, shard.kwargs_dict(), params, seed)
-                for shard in missing}
+        payloads: Dict[Tuple[str, str], Any] = {}
+        for shard in missing:
+            notify("started", shard)
+            payloads[(shard.experiment, shard.key)] = _execute_shard(
+                shard.fn, shard.kwargs_dict(), params, seed)
+            notify("finished", shard)
+        return payloads
 
     import multiprocessing
-    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX fallback
         context = None
-    # Submission order is fixed and results are keyed by shard, so the
-    # merge below never observes completion order.
+    # Results are keyed by shard, so the merge below never observes
+    # completion order; only the *progress notifications* follow it.
     with ProcessPoolExecutor(max_workers=min(jobs, len(missing)),
                              mp_context=context) as pool:
-        futures = [(shard, pool.submit(_execute_shard, shard.fn,
-                                       shard.kwargs_dict(), params, seed))
-                   for shard in missing]
-        return {(shard.experiment, shard.key): future.result()
-                for shard, future in futures}
+        futures = {}
+        for shard in missing:
+            notify("started", shard)
+            futures[pool.submit(_execute_shard, shard.fn,
+                                shard.kwargs_dict(), params, seed)] = shard
+        payloads = {}
+        pending = set(futures)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                shard = futures[future]
+                payloads[(shard.experiment, shard.key)] = future.result()
+                notify("finished", shard)
+        return payloads
 
 
 def run_experiments(ids: Sequence[str],
@@ -689,12 +739,15 @@ def run_experiments(ids: Sequence[str],
                     seed: int = DEFAULT_SEED,
                     jobs: int = 1,
                     use_cache: bool = True,
-                    cache_dir: str = DEFAULT_CACHE_DIR) -> EngineRun:
+                    cache_dir: Optional[str] = None,
+                    progress: Optional[ProgressFn] = None) -> EngineRun:
     """Run *ids* (or ``["all"]``) and return merged results + stats.
 
     Serial (``jobs=1``), parallel, and fully cached invocations return
     identical results: every path decodes the same encoded payloads and
-    merges them in registry order.
+    merges them in registry order.  *progress*, when given, receives a
+    :class:`ShardEvent` per cache hit / compute start / compute finish —
+    it observes execution order, never influences results.
     """
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
@@ -707,17 +760,28 @@ def run_experiments(ids: Sequence[str],
     started = time.perf_counter()
     shards = [shard for experiment_id in resolved
               for shard in registry[experiment_id].shards]
+    indexes = {(shard.experiment, shard.key): position
+               for position, shard in enumerate(shards)}
+
+    def notify(kind: str, shard: Shard) -> None:
+        if progress is not None:
+            progress(ShardEvent(
+                kind=kind, experiment=shard.experiment, shard=shard.key,
+                index=indexes[(shard.experiment, shard.key)],
+                total=len(shards)))
+
     payloads: Dict[Tuple[str, str], Any] = {}
     missing: List[Shard] = []
     for shard in shards:
         cached = cache.load(shard, fingerprint, seed) if cache else None
         if cached is not None:
             payloads[(shard.experiment, shard.key)] = cached
+            notify("cache-hit", shard)
         else:
             missing.append(shard)
 
     exec_started = time.perf_counter()
-    computed = _execute_missing(missing, params, seed, jobs)
+    computed = _execute_missing(missing, params, seed, jobs, notify)
     exec_elapsed = time.perf_counter() - exec_started
     payloads.update(computed)
     if cache and missing:
@@ -749,9 +813,11 @@ __all__ = [
     "EngineStats",
     "ExperimentDef",
     "LOAD_SWEEP_RATES",
+    "ProgressFn",
     "ResultCache",
     "SENSITIVITY_SUITE",
     "Shard",
+    "ShardEvent",
     "experiment_ids",
     "experiment_registry",
     "resolve_ids",

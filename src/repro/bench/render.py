@@ -1,0 +1,135 @@
+"""Text rendering of merged experiment results.
+
+One renderer serves both fronts of the harness: the CLI (``repro run`` /
+``repro figure``) prints these strings to stdout, and the experiment
+service (:mod:`repro.serve`) returns the *same bytes* from
+``GET /experiments/{id}/figures`` — which is what makes the API-vs-CLI
+differential test (and the CI byte-diff) meaningful.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+from contextlib import redirect_stdout
+
+__all__ = ["render_experiment_text", "render_run_text"]
+
+
+def _print_fig_dict(results, chart: bool = False) -> None:
+    from repro.bench.ascii_chart import render_figure
+    for result in results.values():
+        print(render_figure(result) if chart else result.as_table())
+        print()
+
+
+def _print_generic(result, indent: str = "  ") -> None:
+    """Fallback renderer for ablation arms: dicts and result dataclasses."""
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        result = {f.name: getattr(result, f.name)
+                  for f in dataclasses.fields(result)}
+    if isinstance(result, dict):
+        for key, value in result.items():
+            if isinstance(value, dict):
+                cells = " ".join(
+                    f"{k}={v:.1f}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in value.items())
+                print(f"{indent}{key:<22} {cells}")
+            elif isinstance(value, float):
+                print(f"{indent}{key:<22} {value:.2f}")
+            else:
+                print(f"{indent}{key:<22} {value}")
+    else:
+        print(f"{indent}{result}")
+
+
+def _render_experiment(name: str, result, chart: bool = False) -> None:
+    """Print *result* (a merged experiment result) to stdout."""
+    from repro.bench import fig12_improvements
+    from repro.bench.memory import FACTOR_CONFIGS
+    if name == "table1":
+        for row in result:
+            print(f"{row['platform']:<22} {row['isolation']:<22} "
+                  f"{row['performance']:<26} {row['memory_efficiency']}")
+    elif name == "table2":
+        for row in result:
+            print(f"{row['application']:<34} {row['description']:<50} "
+                  f"{row['language']}")
+    elif name == "snapshot-creation":
+        for fn, parts in sorted(result.items()):
+            print(f"{fn:<28} snapshot={parts['snapshot_ms']:.0f}ms "
+                  f"total-install={parts['total_ms']:.0f}ms")
+    elif name in ("fig6", "fig7", "fig9"):
+        _print_fig_dict(result, chart)
+    elif name == "fig10":
+        for series in result.values():
+            print(series.as_table())
+    elif name == "fig11":
+        for row in result.values():
+            print(row.as_line())
+    elif name == "fig12":
+        for workload, per_config in sorted(result.items()):
+            cells = " ".join(f"{per_config[c]:8.1f}M"
+                             for c in FACTOR_CONFIGS)
+            print(f"{workload:<28} {cells}")
+        for workload, values in sorted(fig12_improvements(result).items()):
+            print(f"{workload:<28} os-snap "
+                  f"{values['os_snapshot_vs_baseline_pct']:5.1f}%  "
+                  f"post-jit {values['post_jit_vs_os_snapshot_pct']:5.1f}%")
+    elif name == "scorecard":
+        from repro.bench.results import format_comparisons
+        print(format_comparisons("Fireworks headline claims", result))
+    elif name == "burst":
+        for burst in result.values():
+            print(burst.as_line())
+    elif name == "load-sweep":
+        for platform, points in result.items():
+            for rate, point in points.items():
+                mark = " saturated" if point.saturated else ""
+                print(f"{platform:<22} offered={rate:6.1f}rps "
+                      f"achieved={point.achieved_rps:6.1f}rps "
+                      f"p50={point.latency.p50_ms:7.1f}ms "
+                      f"p99={point.latency.p99_ms:7.1f}ms "
+                      f"wait={point.mean_queue_wait_ms:7.1f}ms{mark}")
+    elif name == "sensitivity":
+        for sweep in result.values():
+            print(sweep.as_table())
+            print()
+    elif name == "ablations":
+        for arm, arm_result in result.items():
+            print(f"-- {arm} --")
+            _print_generic(arm_result)
+    elif name == "policies":
+        _print_generic(result, indent="")
+    elif name in ("keepalive", "cluster", "chaos", "load"):
+        for outcome in result.values():
+            print(outcome.as_line())
+    elif name == "restore":
+        from repro.bench.restore import render_restore_figure
+        for line in render_restore_figure(result):
+            print(line)
+    elif name in ("search", "search-smoke"):
+        from repro.bench.search import render_search_figure
+        for line in render_search_figure(result):
+            print(line)
+    else:  # pragma: no cover - callers validate ids against the registry
+        raise SystemExit(f"unknown figure {name!r}")
+
+
+def render_experiment_text(name: str, result, chart: bool = False) -> str:
+    """One experiment's rendered body, exactly as ``repro run`` prints it."""
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        _render_experiment(name, result, chart)
+    return buffer.getvalue()
+
+
+def render_run_text(results, chart: bool = False) -> str:
+    """A whole run ({id: merged result}), exactly as ``repro figure``
+    prints it to stdout: ``== id ==`` header, body, blank line."""
+    parts = []
+    for name, result in results.items():
+        parts.append(f"== {name} ==\n")
+        parts.append(render_experiment_text(name, result, chart))
+        parts.append("\n")
+    return "".join(parts)

@@ -3,7 +3,15 @@
 Commands:
 
 * ``figures``                 — list every regenerable table/figure;
-* ``run <figure> [...]``      — regenerate one (e.g. ``run fig6``);
+* ``run <figure|scenario>``   — regenerate one figure (e.g. ``run fig6``)
+                                or run a named scenario from the library
+                                (e.g. ``run paper-repro``);
+* ``scenarios``               — list the named scenarios under
+                                ``scenarios/``;
+* ``serve [--host H] [--port P]`` — the experiment REST service: submit
+                                scenarios over HTTP, stream progress,
+                                fetch results/figures/traces
+                                (see ``docs/service.md``);
 * ``figure <id...> [--jobs N]`` — regenerate many (or ``all``) through the
                                 parallel engine and the result cache;
 * ``annotate <file>``         — run the §3.2 code annotator on a handler;
@@ -38,131 +46,59 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.bench import fig12_improvements
 from repro.bench.concurrency import run_burst_comparison
-from repro.bench.memory import FACTOR_CONFIGS
+from repro.bench.render import render_experiment_text, render_run_text
 
 FIGURES = ("table1", "table2", "snapshot-creation", "fig6", "fig7", "fig9",
            "fig10", "fig11", "fig12", "scorecard")
 
 #: Extension experiments only the ``figure`` command exposes.
 EXTENSIONS = ("burst", "load-sweep", "sensitivity", "ablations", "policies",
-              "keepalive", "cluster", "chaos", "load", "restore", "search")
-
-
-def _print_fig_dict(results, chart: bool = False) -> None:
-    from repro.bench.ascii_chart import render_figure
-    for result in results.values():
-        print(render_figure(result) if chart else result.as_table())
-        print()
-
-
-def _print_generic(result, indent: str = "  ") -> None:
-    """Fallback renderer for ablation arms: dicts and result dataclasses."""
-    import dataclasses
-    if dataclasses.is_dataclass(result) and not isinstance(result, type):
-        result = {f.name: getattr(result, f.name)
-                  for f in dataclasses.fields(result)}
-    if isinstance(result, dict):
-        for key, value in result.items():
-            if isinstance(value, dict):
-                cells = " ".join(
-                    f"{k}={v:.1f}" if isinstance(v, float) else f"{k}={v}"
-                    for k, v in value.items())
-                print(f"{indent}{key:<22} {cells}")
-            elif isinstance(value, float):
-                print(f"{indent}{key:<22} {value:.2f}")
-            else:
-                print(f"{indent}{key:<22} {value}")
-    else:
-        print(f"{indent}{result}")
-
-
-def _render_experiment(name: str, result, chart: bool = False) -> None:
-    """Print *result* (a merged experiment result) exactly as ``run`` does."""
-    if name == "table1":
-        for row in result:
-            print(f"{row['platform']:<22} {row['isolation']:<22} "
-                  f"{row['performance']:<26} {row['memory_efficiency']}")
-    elif name == "table2":
-        for row in result:
-            print(f"{row['application']:<34} {row['description']:<50} "
-                  f"{row['language']}")
-    elif name == "snapshot-creation":
-        for fn, parts in sorted(result.items()):
-            print(f"{fn:<28} snapshot={parts['snapshot_ms']:.0f}ms "
-                  f"total-install={parts['total_ms']:.0f}ms")
-    elif name in ("fig6", "fig7", "fig9"):
-        _print_fig_dict(result, chart)
-    elif name == "fig10":
-        for series in result.values():
-            print(series.as_table())
-    elif name == "fig11":
-        for row in result.values():
-            print(row.as_line())
-    elif name == "fig12":
-        for workload, per_config in sorted(result.items()):
-            cells = " ".join(f"{per_config[c]:8.1f}M"
-                             for c in FACTOR_CONFIGS)
-            print(f"{workload:<28} {cells}")
-        for workload, values in sorted(fig12_improvements(result).items()):
-            print(f"{workload:<28} os-snap "
-                  f"{values['os_snapshot_vs_baseline_pct']:5.1f}%  "
-                  f"post-jit {values['post_jit_vs_os_snapshot_pct']:5.1f}%")
-    elif name == "scorecard":
-        from repro.bench.results import format_comparisons
-        print(format_comparisons("Fireworks headline claims", result))
-    elif name == "burst":
-        for burst in result.values():
-            print(burst.as_line())
-    elif name == "load-sweep":
-        for platform, points in result.items():
-            for rate, point in points.items():
-                mark = " saturated" if point.saturated else ""
-                print(f"{platform:<22} offered={rate:6.1f}rps "
-                      f"achieved={point.achieved_rps:6.1f}rps "
-                      f"p50={point.latency.p50_ms:7.1f}ms "
-                      f"p99={point.latency.p99_ms:7.1f}ms "
-                      f"wait={point.mean_queue_wait_ms:7.1f}ms{mark}")
-    elif name == "sensitivity":
-        for sweep in result.values():
-            print(sweep.as_table())
-            print()
-    elif name == "ablations":
-        for arm, arm_result in result.items():
-            print(f"-- {arm} --")
-            _print_generic(arm_result)
-    elif name == "policies":
-        _print_generic(result, indent="")
-    elif name == "keepalive":
-        for outcome in result.values():
-            print(outcome.as_line())
-    elif name == "cluster":
-        for outcome in result.values():
-            print(outcome.as_line())
-    elif name == "chaos":
-        for outcome in result.values():
-            print(outcome.as_line())
-    elif name == "load":
-        for outcome in result.values():
-            print(outcome.as_line())
-    elif name == "restore":
-        from repro.bench.restore import render_restore_figure
-        for line in render_restore_figure(result):
-            print(line)
-    elif name == "search":
-        from repro.bench.search import render_search_figure
-        for line in render_search_figure(result):
-            print(line)
-    else:  # pragma: no cover - argparse restricts choices
-        raise SystemExit(f"unknown figure {name!r}")
+              "keepalive", "cluster", "chaos", "load", "restore", "search",
+              "search-smoke")
 
 
 def _run_figure(name: str, chart: bool = False) -> None:
     """``run``: regenerate one figure in-process (engine, no cache)."""
     from repro.bench.engine import run_experiments
     outcome = run_experiments([name], use_cache=False)
-    _render_experiment(name, outcome.results[name], chart)
+    print(render_experiment_text(name, outcome.results[name], chart),
+          end="")
+
+
+def _run_scenario(scenario, jobs: Optional[int], no_cache: bool,
+                  cache_dir: Optional[str], chart: bool) -> None:
+    """``run <scenario>``: a named scenario through the engine + cache.
+
+    The rendered output is byte-identical to what the experiment service
+    returns from ``GET /experiments/{id}/figures`` for the same scenario —
+    CLI and API are two fronts over one engine path.
+    """
+    from repro.bench.engine import run_experiments
+    outcome = run_experiments(
+        list(scenario.experiments), seed=scenario.seed,
+        jobs=jobs if jobs is not None else scenario.jobs,
+        use_cache=not no_cache, cache_dir=cache_dir)
+    print(render_run_text(outcome.results, chart), end="")
+    print(outcome.stats.summary(), file=sys.stderr)
+
+
+def _cmd_run(target: str, jobs: Optional[int], no_cache: bool,
+             cache_dir: Optional[str], chart: bool) -> int:
+    """``run``: one figure id or one named scenario from the library."""
+    from repro.serve.scenarios import scenario_names, load_named_scenario
+    if target in FIGURES:
+        _run_figure(target, chart=chart)
+        return 0
+    names = scenario_names()
+    if target in names:
+        _run_scenario(load_named_scenario(target), jobs, no_cache,
+                      cache_dir, chart)
+        return 0
+    print(f"error: unknown figure or scenario {target!r}\n"
+          f"figures: {', '.join(FIGURES)}\n"
+          f"scenarios: {', '.join(names)}", file=sys.stderr)
+    return 2
 
 
 def _cmd_figure(figures: List[str], jobs: int, no_cache: bool,
@@ -171,10 +107,7 @@ def _cmd_figure(figures: List[str], jobs: int, no_cache: bool,
     from repro.bench.engine import run_experiments
     outcome = run_experiments(figures, jobs=jobs, use_cache=not no_cache,
                               cache_dir=cache_dir)
-    for name, result in outcome.results.items():
-        print(f"== {name} ==")
-        _render_experiment(name, result, chart)
-        print()
+    print(render_run_text(outcome.results, chart), end="")
     print(outcome.stats.summary(), file=sys.stderr)
 
 
@@ -416,10 +349,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("figures", help="list regenerable tables/figures")
 
-    run_parser = sub.add_parser("run", help="regenerate one table/figure")
-    run_parser.add_argument("figure", choices=FIGURES)
+    run_parser = sub.add_parser(
+        "run", help="regenerate one table/figure, or run a named scenario")
+    run_parser.add_argument(
+        "figure", metavar="figure|scenario",
+        help="a figure id ('repro figures') or a scenario name "
+             "('repro scenarios')")
     run_parser.add_argument("--chart", action="store_true",
                             help="render stacked ASCII bars (fig6/7/9)")
+    run_parser.add_argument(
+        "-j", "--jobs", type=_positive_int, default=None,
+        help="worker processes (scenario runs; default: the scenario's)")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="skip the result cache (scenario runs)")
+    run_parser.add_argument("--cache-dir", default=None,
+                            help="result cache directory (scenario runs)")
+
+    sub.add_parser("scenarios",
+                   help="list the named scenarios under scenarios/")
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="serve the experiment REST API (scenarios, runs, artifacts)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8177)
+    serve_parser.add_argument(
+        "-j", "--jobs", type=_positive_int, default=None,
+        help="worker processes per run (default: each scenario's own)")
+    serve_parser.add_argument("--no-cache", action="store_true",
+                              help="run without the result cache")
+    serve_parser.add_argument("--cache-dir", default=None,
+                              help="result cache directory "
+                                   "(default .repro-cache)")
 
     figure_parser = sub.add_parser(
         "figure",
@@ -593,7 +554,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in FIGURES:
             print(name)
     elif args.command == "run":
-        _run_figure(args.figure, chart=getattr(args, "chart", False))
+        return _cmd_run(args.figure, jobs=args.jobs, no_cache=args.no_cache,
+                        cache_dir=args.cache_dir, chart=args.chart)
+    elif args.command == "scenarios":
+        from repro.serve.scenarios import load_scenario_library
+        for scenario in load_scenario_library().values():
+            print(f"{scenario.name:<22} {scenario.title}")
+    elif args.command == "serve":
+        from repro.serve import serve_forever
+        return serve_forever(host=args.host, port=args.port, jobs=args.jobs,
+                             use_cache=not args.no_cache,
+                             cache_dir=args.cache_dir)
     elif args.command == "figure":
         from repro.bench.engine import DEFAULT_CACHE_DIR
         _cmd_figure(args.figures, jobs=args.jobs, no_cache=args.no_cache,

@@ -1,0 +1,418 @@
+"""The experiment service's ASGI application — pure stdlib.
+
+FastAPI/Starlette are deliberately not dependencies: the app is a small
+hand-rolled ASGI callable (routing table + JSON error model + SSE), so it
+runs identically under the bundled stdlib server (``repro serve``), under
+any ASGI server that happens to be installed (``uvicorn
+repro.serve.app:asgi``), and under the in-process test client that the
+end-to-end harness drives.
+
+Endpoints (see ``docs/service.md`` for the walkthrough):
+
+* ``GET  /``                     — service metadata + endpoint map
+* ``GET  /healthz``              — liveness
+* ``GET  /scenarios``            — the named scenario library
+* ``GET  /scenarios/{name}``     — one scenario document
+* ``POST /experiments``          — submit a scenario (by name or inline)
+* ``GET  /experiments``          — all runs, submission order
+* ``GET  /experiments/{id}``     — run snapshot; ``?wait=S&after=N``
+                                   long-polls until events beyond N
+* ``GET  /experiments/{id}/events``  — SSE progress stream (closes after
+                                   the terminal run event)
+* ``GET  /experiments/{id}/results`` — canonical JSON (``?format=binary``
+                                   for the versioned binary codec)
+* ``GET  /experiments/{id}/figures`` — rendered figure text, byte-equal
+                                   to the ``repro figure`` CLI stdout
+* ``GET  /experiments/{id}/traces``  — Chrome trace of the shard schedule
+
+Error model: every non-2xx body is ``{"error": <message>}`` (plus
+``"path"`` when a :class:`ValidationError` carries a JSON path) — 400 for
+malformed JSON, 404 for unknown run/scenario, 405 for a bad method, 409
+for artifacts of an unfinished run, 422 for validation failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
+
+from repro.errors import ValidationError
+from repro.serve.registry import TERMINAL_EVENTS, RunRegistry
+from repro.serve.scenarios import (Scenario, dump_scenario, load_scenario,
+                                   load_scenario_library)
+
+__all__ = ["create_app", "asgi"]
+
+_JSON = "application/json; charset=utf-8"
+_TEXT = "text/plain; charset=utf-8"
+_SSE = "text/event-stream; charset=utf-8"
+_BINARY = "application/octet-stream"
+
+#: Long-poll / SSE wait ceiling per blocking step, seconds.
+_MAX_WAIT_S = 30.0
+
+#: Submission body keys (anything else is a 422, mirroring the scenario
+#: loader's unknown-key convention).
+_SUBMIT_KEYS = ("scenario", "seed", "jobs", "use_cache")
+
+
+class _HttpError(Exception):
+    """Internal: turned into a JSON error response by the dispatcher."""
+
+    def __init__(self, status: int, message: str,
+                 path: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.path = path
+
+
+def _split_validation(exc: ValidationError) -> Tuple[Optional[str], str]:
+    """(json_path, message) from the loader's ``path: message`` format."""
+    text = str(exc)
+    if ": " in text:
+        head, tail = text.split(": ", 1)
+        if " " not in head:
+            return head, tail
+    return None, text
+
+
+class ServeApp:
+    """The ASGI callable.  One instance per registry (and per server)."""
+
+    def __init__(self, registry: RunRegistry,
+                 scenario_root=None) -> None:
+        self.registry = registry
+        self._scenario_root = scenario_root
+        self._routes: List[Tuple[str, re.Pattern, Callable]] = [
+            ("GET", re.compile(r"^/$"), self._index),
+            ("GET", re.compile(r"^/healthz$"), self._healthz),
+            ("GET", re.compile(r"^/scenarios$"), self._scenarios),
+            ("GET", re.compile(r"^/scenarios/(?P<name>[^/]+)$"),
+             self._scenario),
+            ("POST", re.compile(r"^/experiments$"), self._submit),
+            ("GET", re.compile(r"^/experiments$"), self._list_runs),
+            ("GET", re.compile(r"^/experiments/(?P<run_id>[^/]+)$"),
+             self._run_snapshot),
+            ("GET",
+             re.compile(r"^/experiments/(?P<run_id>[^/]+)/events$"),
+             self._run_events),
+            ("GET",
+             re.compile(r"^/experiments/(?P<run_id>[^/]+)/results$"),
+             self._run_results),
+            ("GET",
+             re.compile(r"^/experiments/(?P<run_id>[^/]+)/figures$"),
+             self._run_figures),
+            ("GET",
+             re.compile(r"^/experiments/(?P<run_id>[^/]+)/traces$"),
+             self._run_traces),
+        ]
+
+    # -- ASGI entry ---------------------------------------------------------
+    async def __call__(self, scope, receive, send) -> None:
+        if scope["type"] == "lifespan":
+            await self._lifespan(receive, send)
+            return
+        if scope["type"] != "http":  # pragma: no cover - websockets etc.
+            raise RuntimeError(f"unsupported scope {scope['type']!r}")
+        try:
+            await self._dispatch(scope, receive, send)
+        except _HttpError as exc:
+            body: Dict[str, Any] = {"error": exc.message}
+            if exc.path is not None:
+                body["path"] = exc.path
+            await self._respond(send, exc.status, _JSON,
+                                _json_bytes(body))
+
+    async def _lifespan(self, receive, send) -> None:
+        while True:
+            message = await receive()
+            if message["type"] == "lifespan.startup":
+                await send({"type": "lifespan.startup.complete"})
+            elif message["type"] == "lifespan.shutdown":
+                await send({"type": "lifespan.shutdown.complete"})
+                return
+
+    async def _dispatch(self, scope, receive, send) -> None:
+        path = scope["path"]
+        method = scope["method"].upper()
+        query = {key: values[-1] for key, values in
+                 parse_qs(scope.get("query_string", b"").decode(
+                     "utf-8", "replace")).items()}
+        allowed: List[str] = []
+        for route_method, pattern, handler in self._routes:
+            match = pattern.match(path)
+            if not match:
+                continue
+            if route_method != method:
+                allowed.append(route_method)
+                continue
+            await handler(send, receive, query, **match.groupdict())
+            return
+        if allowed:
+            raise _HttpError(
+                405, f"method {method} not allowed for {path}; "
+                     f"allowed: {', '.join(sorted(set(allowed)))}")
+        raise _HttpError(404, f"no such resource: {path}")
+
+    # -- plumbing -----------------------------------------------------------
+    async def _respond(self, send, status: int, content_type: str,
+                       body: bytes,
+                       extra_headers: Tuple[Tuple[bytes, bytes], ...] = ()
+                       ) -> None:
+        headers = [(b"content-type", content_type.encode("ascii")),
+                   (b"content-length", str(len(body)).encode("ascii"))]
+        headers.extend(extra_headers)
+        await send({"type": "http.response.start", "status": status,
+                    "headers": headers})
+        await send({"type": "http.response.body", "body": body})
+
+    async def _read_json_body(self, receive) -> Any:
+        chunks = []
+        while True:
+            message = await receive()
+            if message["type"] == "http.disconnect":
+                raise _HttpError(400, "client disconnected mid-request")
+            chunks.append(message.get("body", b""))
+            if not message.get("more_body"):
+                break
+        raw = b"".join(chunks)
+        if not raw:
+            raise _HttpError(400, "request body must be a JSON object")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}")
+
+    def _library(self) -> Dict[str, Scenario]:
+        try:
+            return load_scenario_library(self._scenario_root)
+        except ValidationError as exc:
+            path, message = _split_validation(exc)
+            raise _HttpError(500, f"scenario library is broken: {message}",
+                             path=path)
+
+    def _run_or_404(self, run_id: str):
+        try:
+            return self.registry.get(run_id)
+        except KeyError:
+            raise _HttpError(404, f"no such experiment run: {run_id!r}")
+
+    def _finished_or_409(self, run_id: str):
+        run = self._run_or_404(run_id)
+        if run.state == "failed":
+            raise _HttpError(409, f"run {run.id} failed: {run.error}")
+        if run.state != "done":
+            raise _HttpError(
+                409, f"run {run.id} is {run.state}; artifacts exist only "
+                     "after the run finishes (long-poll "
+                     f"/experiments/{run.id}?wait=10 or stream "
+                     f"/experiments/{run.id}/events)")
+        return run
+
+    # -- handlers -----------------------------------------------------------
+    async def _index(self, send, receive, query) -> None:
+        from repro import __version__
+        await self._respond(send, 200, _JSON, _json_bytes({
+            "service": "repro.serve",
+            "paper": "Fireworks (EuroSys '22) reproduction",
+            "version": __version__,
+            "endpoints": {
+                "scenarios": "/scenarios",
+                "submit": "POST /experiments",
+                "runs": "/experiments",
+                "run": "/experiments/{id}",
+                "progress_sse": "/experiments/{id}/events",
+                "results": "/experiments/{id}/results",
+                "figures": "/experiments/{id}/figures",
+                "traces": "/experiments/{id}/traces",
+            }}))
+
+    async def _healthz(self, send, receive, query) -> None:
+        await self._respond(send, 200, _JSON, _json_bytes({"ok": True}))
+
+    async def _scenarios(self, send, receive, query) -> None:
+        body = [dump_scenario(scenario)
+                for scenario in self._library().values()]
+        await self._respond(send, 200, _JSON, _json_bytes(body))
+
+    async def _scenario(self, send, receive, query, name: str) -> None:
+        library = self._library()
+        if name not in library:
+            raise _HttpError(
+                404, f"unknown scenario {name!r}; known: "
+                     f"{', '.join(library)}")
+        await self._respond(send, 200, _JSON,
+                            _json_bytes(dump_scenario(library[name])))
+
+    async def _submit(self, send, receive, query) -> None:
+        body = await self._read_json_body(receive)
+        if not isinstance(body, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        for key in body:
+            if key not in _SUBMIT_KEYS:
+                raise _HttpError(
+                    422, f"unknown key; known keys: "
+                         f"{', '.join(_SUBMIT_KEYS)}", path=str(key))
+        if "scenario" not in body:
+            raise _HttpError(422, "required key is missing",
+                             path="scenario")
+
+        spec = body["scenario"]
+        try:
+            if isinstance(spec, str):
+                library = self._library()
+                if spec not in library:
+                    raise _HttpError(
+                        404, f"unknown scenario {spec!r}; known: "
+                             f"{', '.join(library)}", path="scenario")
+                scenario = library[spec]
+            else:
+                scenario = load_scenario(spec)
+        except ValidationError as exc:
+            path, message = _split_validation(exc)
+            raise _HttpError(422, message, path=path)
+
+        seed = _optional_int(body, "seed", minimum=0)
+        jobs = _optional_int(body, "jobs", minimum=1)
+        use_cache = body.get("use_cache")
+        if use_cache is not None and not isinstance(use_cache, bool):
+            raise _HttpError(422, "must be a boolean", path="use_cache")
+
+        run = self.registry.submit(scenario, seed=seed, jobs=jobs,
+                                   use_cache=use_cache)
+        location = f"/experiments/{run.id}"
+        await self._respond(
+            send, 201, _JSON,
+            _json_bytes({"id": run.id, "state": run.state,
+                         "scenario": scenario.name,
+                         "links": {
+                             "self": location,
+                             "events": f"{location}/events",
+                             "results": f"{location}/results",
+                             "figures": f"{location}/figures",
+                             "traces": f"{location}/traces"}}),
+            extra_headers=((b"location", location.encode("ascii")),))
+
+    async def _list_runs(self, send, receive, query) -> None:
+        await self._respond(send, 200, _JSON,
+                            _json_bytes(self.registry.list()))
+
+    async def _run_snapshot(self, send, receive, query,
+                            run_id: str) -> None:
+        run = self._run_or_404(run_id)
+        wait_s = _query_float(query, "wait", 0.0)
+        after = _query_int(query, "after", 0)
+        if wait_s > 0:
+            loop = asyncio.get_event_loop()
+            await loop.run_in_executor(
+                None, self.registry.wait_events, run, after,
+                min(wait_s, _MAX_WAIT_S))
+        await self._respond(send, 200, _JSON, _json_bytes(run.snapshot()))
+
+    async def _run_events(self, send, receive, query,
+                          run_id: str) -> None:
+        """SSE: stream the run's event log, then close at the terminal
+        event — every consumer (curl, browser EventSource, the test
+        client) sees an identical, finite stream of JSON events."""
+        run = self._run_or_404(run_id)
+        seq = _query_int(query, "since", 0)
+        await send({"type": "http.response.start", "status": 200,
+                    "headers": [(b"content-type", _SSE.encode("ascii")),
+                                (b"cache-control", b"no-cache")]})
+        loop = asyncio.get_event_loop()
+        terminal_seen = False
+        while not terminal_seen:
+            events = await loop.run_in_executor(
+                None, self.registry.wait_events, run, seq, _MAX_WAIT_S)
+            if not events:
+                # Wait timed out with the run still going: heartbeat so
+                # intermediaries don't kill the idle stream.
+                await send({"type": "http.response.body",
+                            "body": b": keep-alive\n\n",
+                            "more_body": True})
+                continue
+            chunk = []
+            for event in events:
+                seq = event["seq"]
+                if event["event"] in TERMINAL_EVENTS:
+                    terminal_seen = True
+                chunk.append(f"id: {event['seq']}\n"
+                             f"event: {event['event']}\n"
+                             f"data: {json.dumps(event, sort_keys=True)}"
+                             "\n\n")
+            await send({"type": "http.response.body",
+                        "body": "".join(chunk).encode("utf-8"),
+                        "more_body": True})
+        await send({"type": "http.response.body", "body": b""})
+
+    async def _run_results(self, send, receive, query,
+                           run_id: str) -> None:
+        run = self._finished_or_409(run_id)
+        if query.get("format") == "binary":
+            await self._respond(send, 200, _BINARY, run.results_binary)
+            return
+        if "format" in query and query["format"] != "json":
+            raise _HttpError(422, "must be 'json' or 'binary'",
+                             path="format")
+        await self._respond(send, 200, _JSON, run.results_json)
+
+    async def _run_figures(self, send, receive, query,
+                           run_id: str) -> None:
+        run = self._finished_or_409(run_id)
+        await self._respond(send, 200, _TEXT,
+                            run.figures_text.encode("utf-8"))
+
+    async def _run_traces(self, send, receive, query,
+                          run_id: str) -> None:
+        run = self._finished_or_409(run_id)
+        await self._respond(send, 200, _JSON,
+                            _json_bytes(run.trace_events))
+
+
+def _json_bytes(body: Any) -> bytes:
+    return json.dumps(body, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _optional_int(body: Dict[str, Any], key: str,
+                  minimum: int) -> Optional[int]:
+    value = body.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _HttpError(422, f"must be an integer, got "
+                              f"{type(value).__name__}", path=key)
+    if value < minimum:
+        raise _HttpError(422, f"must be >= {minimum}, got {value}",
+                         path=key)
+    return value
+
+
+def _query_int(query: Dict[str, str], key: str, default: int) -> int:
+    try:
+        return int(query.get(key, default))
+    except ValueError:
+        raise _HttpError(422, "must be an integer", path=key)
+
+
+def _query_float(query: Dict[str, str], key: str, default: float) -> float:
+    try:
+        return float(query.get(key, default))
+    except ValueError:
+        raise _HttpError(422, "must be a number", path=key)
+
+
+def create_app(registry: Optional[RunRegistry] = None,
+               scenario_root=None, **registry_kwargs: Any) -> ServeApp:
+    """Build the service: an ASGI callable over a (fresh) run registry."""
+    if registry is None:
+        registry = RunRegistry(**registry_kwargs)
+    return ServeApp(registry, scenario_root=scenario_root)
+
+
+#: Module-level app for ``uvicorn repro.serve.app:asgi`` convenience.
+asgi = create_app()

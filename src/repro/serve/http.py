@@ -1,0 +1,152 @@
+"""A threaded stdlib HTTP adapter for the ASGI app (``repro serve``).
+
+The container for this repo ships no ASGI server, so ``repro serve``
+bridges :class:`http.server.ThreadingHTTPServer` onto the app callable:
+each request thread builds an ASGI scope, runs the app coroutine to
+completion with :func:`asyncio.run`, and streams response chunks (SSE
+included) straight to the socket.  Long-running engine work happens on
+the registry's own worker threads, so request handling stays responsive
+while experiments run.
+
+This is a control-plane server for experiment orchestration, not an
+internet-facing one — bind it to localhost (the default) or put a real
+proxy in front.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.serve.app import create_app
+
+__all__ = ["make_server", "run_server"]
+
+_LOG = logging.getLogger(__name__)
+
+
+class _AsgiRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+
+    # The ThreadingHTTPServer subclass injects the app (see make_server).
+    @property
+    def app(self):
+        return self.server.asgi_app  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        _LOG.debug("%s - %s", self.address_string(), format % args)
+
+    def do_GET(self) -> None:
+        self._handle("GET")
+
+    def do_POST(self) -> None:
+        self._handle("POST")
+
+    def do_DELETE(self) -> None:
+        self._handle("DELETE")
+
+    def do_PUT(self) -> None:
+        self._handle("PUT")
+
+    def _handle(self, method: str) -> None:
+        length = int(self.headers.get("content-length") or 0)
+        body = self.rfile.read(length) if length else b""
+        raw_path, _, query = self.path.partition("?")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": self.request_version.split("/")[-1],
+            "method": method,
+            "scheme": "http",
+            "path": raw_path,
+            "raw_path": raw_path.encode("utf-8"),
+            "query_string": query.encode("utf-8"),
+            "root_path": "",
+            "headers": [(key.lower().encode("latin-1"),
+                         value.encode("latin-1"))
+                        for key, value in self.headers.items()],
+            "client": self.client_address,
+            "server": self.server.server_address[:2],
+        }
+        try:
+            asyncio.run(self._run_app(scope, body))
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing to clean up
+
+    async def _run_app(self, scope, body: bytes) -> None:
+        messages = [{"type": "http.request", "body": body,
+                     "more_body": False}]
+
+        async def receive():
+            if messages:
+                return messages.pop(0)
+            return {"type": "http.disconnect"}
+
+        started = {"sent": False, "chunked": False}
+
+        async def send(message) -> None:
+            if message["type"] == "http.response.start":
+                self.send_response(message["status"])
+                headers = message.get("headers", [])
+                names = {key.lower() for key, _ in headers}
+                for key, value in headers:
+                    self.send_header(key.decode("latin-1"),
+                                     value.decode("latin-1"))
+                if b"content-length" not in names:
+                    # Streaming response (SSE): chunked keeps the
+                    # keep-alive connection well-framed.
+                    started["chunked"] = True
+                    self.send_header("transfer-encoding", "chunked")
+                self.end_headers()
+                started["sent"] = True
+            elif message["type"] == "http.response.body":
+                chunk = message.get("body", b"")
+                if started["chunked"]:
+                    if chunk:
+                        self.wfile.write(
+                            f"{len(chunk):x}\r\n".encode("ascii")
+                            + chunk + b"\r\n")
+                    if not message.get("more_body"):
+                        self.wfile.write(b"0\r\n\r\n")
+                elif chunk:
+                    self.wfile.write(chunk)
+                self.wfile.flush()
+
+        await self.app(scope, receive, send)
+        if not started["sent"]:  # pragma: no cover - app always responds
+            self.send_response(500)
+            self.end_headers()
+
+
+def make_server(host: str = "127.0.0.1", port: int = 8177,
+                app=None, **app_kwargs) -> ThreadingHTTPServer:
+    """A ready-to-serve (but not yet serving) HTTP server over *app*."""
+    if app is None:
+        app = create_app(**app_kwargs)
+    server = ThreadingHTTPServer((host, port), _AsgiRequestHandler)
+    server.daemon_threads = True
+    server.asgi_app = app  # type: ignore[attr-defined]
+    return server
+
+
+def run_server(host: str = "127.0.0.1", port: int = 8177,
+               jobs: Optional[int] = None, use_cache: bool = True,
+               cache_dir: Optional[str] = None) -> int:
+    """``repro serve``: boot the service and block until interrupted."""
+    server = make_server(host, port, jobs=jobs, use_cache=use_cache,
+                         cache_dir=cache_dir)
+    actual_host, actual_port = server.server_address[:2]
+    print(f"repro.serve listening on http://{actual_host}:{actual_port} "
+          f"(scenarios: GET /scenarios; submit: POST /experiments)",
+          file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0

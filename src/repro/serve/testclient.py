@@ -1,0 +1,124 @@
+"""In-process ASGI test client for the experiment service.
+
+Drives the app callable directly — no sockets, no third-party HTTP
+library — so the end-to-end harness exercises exactly the code a real
+server would: scope construction, body framing, streamed (SSE) response
+chunks.  Each request runs in its own event loop via :func:`asyncio.run`;
+the SSE endpoints terminate after the run's terminal event, so streamed
+responses are finite and can be collected whole.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ASGITestClient", "Response"]
+
+
+class Response:
+    """One collected HTTP response."""
+
+    def __init__(self, status: int, headers: List[Tuple[str, str]],
+                 body: bytes) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def json(self) -> Any:
+        """The body parsed as JSON."""
+        return json.loads(self.text)
+
+    def header(self, name: str) -> Optional[str]:
+        """First header value matching *name* (case-insensitive), if any."""
+        for key, value in self.headers:
+            if key.lower() == name.lower():
+                return value
+        return None
+
+    def sse_events(self) -> List[Dict[str, Any]]:
+        """Parsed ``data:`` payloads of a text/event-stream body."""
+        events = []
+        for block in self.text.split("\n\n"):
+            for line in block.splitlines():
+                if line.startswith("data: "):
+                    events.append(json.loads(line[len("data: "):]))
+        return events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Response({self.status}, {len(self.body)} bytes)"
+
+
+class ASGITestClient:
+    """Synchronous client over an ASGI app instance."""
+
+    def __init__(self, app) -> None:
+        self.app = app
+
+    # -- public surface -----------------------------------------------------
+    def get(self, path: str) -> Response:
+        """GET *path* (may include a query string)."""
+        return self.request("GET", path)
+
+    def post(self, path: str, json_body: Any = None,
+             body: Optional[bytes] = None) -> Response:
+        """POST *json_body* (or raw *body* bytes) to *path*."""
+        return self.request("POST", path, json_body=json_body, body=body)
+
+    def request(self, method: str, path: str, json_body: Any = None,
+                body: Optional[bytes] = None) -> Response:
+        """Drive one request through the app and collect the response."""
+        if json_body is not None:
+            body = json.dumps(json_body).encode("utf-8")
+        return asyncio.run(self._run(method, path, body or b""))
+
+    # -- ASGI plumbing ------------------------------------------------------
+    async def _run(self, method: str, path: str, body: bytes) -> Response:
+        raw_path, _, query = path.partition("?")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "scheme": "http",
+            "path": raw_path,
+            "raw_path": raw_path.encode("utf-8"),
+            "query_string": query.encode("utf-8"),
+            "root_path": "",
+            "headers": [(b"host", b"testserver")],
+            "client": ("testclient", 50000),
+            "server": ("testserver", 80),
+        }
+        request_messages = [
+            {"type": "http.request", "body": body, "more_body": False}]
+
+        async def receive():
+            if request_messages:
+                return request_messages.pop(0)
+            # The app only re-reads after consuming the whole body when
+            # the client is gone.
+            return {"type": "http.disconnect"}
+
+        status: List[int] = []
+        headers: List[Tuple[str, str]] = []
+        chunks: List[bytes] = []
+
+        async def send(message):
+            if message["type"] == "http.response.start":
+                status.append(message["status"])
+                headers.extend(
+                    (key.decode("latin-1"), value.decode("latin-1"))
+                    for key, value in message.get("headers", []))
+            elif message["type"] == "http.response.body":
+                chunks.append(message.get("body", b""))
+
+        await self.app(scope, receive, send)
+        if not status:
+            raise AssertionError(
+                "app completed without sending http.response.start")
+        return Response(status[0], headers, b"".join(chunks))

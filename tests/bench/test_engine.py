@@ -202,3 +202,33 @@ class TestShard:
                       kwargs=(("b", 2), ("a", 1)))
         assert shard.kwargs_dict() == {"b": 2, "a": 1}
         hash(shard)  # frozen dataclass: usable as a dict key
+
+
+class TestProgressEvents:
+    """run_experiments(progress=...) narrates the shard schedule."""
+
+    def test_serial_run_emits_started_finished_pairs(self, tmp_path):
+        events = []
+        run_experiments(["table1", "table2"],
+                        cache_dir=str(tmp_path / "cache"),
+                        progress=events.append)
+        assert [(e.kind, e.experiment) for e in events] == [
+            ("started", "table1"), ("finished", "table1"),
+            ("started", "table2"), ("finished", "table2")]
+        assert all(e.total == 2 for e in events)
+        assert [e.index for e in events] == [0, 0, 1, 1]
+
+    def test_cached_rerun_emits_cache_hits(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_experiments(["table1"], cache_dir=cache_dir)
+        events = []
+        run_experiments(["table1"], cache_dir=cache_dir,
+                        progress=events.append)
+        assert [e.kind for e in events] == ["cache-hit"]
+
+    def test_progress_never_influences_results(self, tmp_path):
+        quiet = run_experiments(["table2"], use_cache=False)
+        noisy = run_experiments(["table2"], use_cache=False,
+                                progress=lambda event: None)
+        assert encode_result(quiet.results["table2"]) == \
+            encode_result(noisy.results["table2"])

@@ -9,6 +9,30 @@ from repro.mem.host_memory import HostMemory
 from repro.sim.kernel import Simulation
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the engine's default result cache at a per-test tmp dir.
+
+    Without this, any test that runs experiments through the default
+    cache path would write into the developer's ``.repro-cache/`` (and
+    read stale blobs out of it) — suites could poison each other and the
+    working tree.  The engine resolves ``DEFAULT_CACHE_DIR`` at call
+    time precisely so this patch works.
+    """
+    monkeypatch.setattr("repro.bench.engine.DEFAULT_CACHE_DIR",
+                        str(tmp_path / "repro-cache"))
+
+
+@pytest.fixture(scope="module")
+def shared_cache_dir(tmp_path_factory):
+    """One cache directory shared across a test module's runs.
+
+    Use for tests that *want* cross-run cache hits (differential and
+    byte-identity tests) without ever touching ``.repro-cache/``.
+    """
+    return str(tmp_path_factory.mktemp("repro-shared-cache"))
+
+
 @pytest.fixture
 def params():
     """The calibrated default parameters."""

@@ -1,0 +1,128 @@
+"""Property tests fuzzing scenario documents through the loader.
+
+Two properties define the loader's contract:
+
+* **Round-trip**: any valid document survives ``load → dump → load``
+  exactly — ``dump_scenario`` loses nothing and invents nothing.
+* **Total validation**: for *arbitrary* input — valid, mutated, or pure
+  garbage — the only exception that ever escapes :func:`load_scenario`
+  is :class:`ValidationError`, and its message starts with a JSON path
+  into the document (``scenario[.key[index]]: ...``).  No KeyError, no
+  TypeError, no AttributeError, ever.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.engine import experiment_ids
+from repro.errors import ValidationError
+from repro.serve.scenarios import dump_scenario, load_scenario
+
+#: Every message escaping the loader is ``<json-path>: <message>`` where
+#: the path is rooted at the document (``scenario``) and descends through
+#: ``.key`` and ``[index]`` steps only.
+PATH_RE = re.compile(r"^scenario(\.[A-Za-z0-9_-]+|\[\d+\])*: .+")
+
+names = st.from_regex(r"[a-z0-9][a-z0-9-]{0,24}", fullmatch=True)
+
+experiment_lists = st.lists(st.sampled_from(experiment_ids()),
+                            min_size=1, max_size=5, unique=True)
+
+#: Valid scenario documents: required keys always, optionals sometimes.
+valid_documents = st.fixed_dictionaries(
+    {"name": names,
+     "title": st.text(min_size=1, max_size=40),
+     "experiments": experiment_lists},
+    optional={
+        "description": st.text(max_size=40),
+        "seed": st.integers(min_value=0, max_value=2 ** 31),
+        "jobs": st.integers(min_value=1, max_value=16),
+        "tags": st.lists(st.text(min_size=1, max_size=10), max_size=4),
+        "docs": st.lists(st.text(min_size=1, max_size=20), max_size=4),
+    })
+
+#: Arbitrary JSON-shaped garbage (any shape a parsed file could take).
+json_values = st.recursive(
+    st.one_of(st.none(), st.booleans(),
+              st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+              st.floats(allow_nan=False, allow_infinity=False),
+              st.text(max_size=20)),
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=10), inner, max_size=4)),
+    max_leaves=12)
+
+
+class TestRoundTrip:
+    @given(document=valid_documents)
+    @settings(max_examples=60, deadline=None)
+    def test_valid_documents_round_trip_exactly(self, document):
+        scenario = load_scenario(document)
+        dumped = dump_scenario(scenario)
+        assert load_scenario(dumped) == scenario
+        # dump is canonical: a second round-trip is a fixed point.
+        assert dump_scenario(load_scenario(dumped)) == dumped
+
+    @given(document=valid_documents)
+    @settings(max_examples=60, deadline=None)
+    def test_dump_preserves_every_given_key(self, document):
+        dumped = dump_scenario(load_scenario(document))
+        for key, value in document.items():
+            assert dumped[key] == (list(value)
+                                   if isinstance(value, (list, tuple))
+                                   else value)
+
+
+class TestTotalValidation:
+    @given(document=json_values)
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_garbage_only_raises_validation_error(self,
+                                                            document):
+        try:
+            load_scenario(document)
+        except ValidationError as exc:
+            # Garbage dict keys may need bracket-quoting, so only the
+            # root + separator shape is asserted here; well-formed
+            # mutations below get the strict path regex.
+            message = str(exc)
+            assert message.startswith("scenario"), message
+            assert ": " in message, message
+        # Any non-ValidationError escapes to hypothesis and fails loudly.
+
+    @given(document=valid_documents, key=st.sampled_from(
+        ("name", "title", "experiments", "seed", "jobs", "tags", "docs")),
+        junk=json_values)
+    @settings(max_examples=120, deadline=None)
+    def test_mutated_documents_fail_with_a_path_or_load(self, document,
+                                                        key, junk):
+        """Replace one field with garbage: either the result is still a
+        valid document (the garbage happened to be well-typed) or the
+        error names a JSON path rooted at that document."""
+        mutated = dict(document)
+        mutated[key] = junk
+        try:
+            scenario = load_scenario(mutated)
+        except ValidationError as exc:
+            assert PATH_RE.match(str(exc)), str(exc)
+        else:
+            # If it loaded, the junk really was schema-conformant.
+            assert dump_scenario(scenario)[key] == (
+                list(junk) if isinstance(junk, (list, tuple)) else junk)
+
+    @given(document=valid_documents, extra=names, junk=json_values)
+    @settings(max_examples=60, deadline=None)
+    def test_unknown_keys_are_always_rejected(self, document, extra,
+                                              junk):
+        if extra in ("name", "title", "description", "experiments",
+                     "seed", "jobs", "tags", "docs"):
+            return
+        mutated = dict(document)
+        mutated[extra] = junk
+        with pytest.raises(ValidationError) as excinfo:
+            load_scenario(mutated)
+        assert str(excinfo.value).startswith(f"scenario.{extra}: ")

@@ -1,0 +1,90 @@
+"""Socket-level tests for the stdlib HTTP adapter behind ``repro serve``.
+
+The in-process client skips the HTTP framing layer; this suite boots the
+real :class:`ThreadingHTTPServer` bridge on an ephemeral port and drives
+it with :mod:`urllib` — request parsing, chunked SSE framing, and JSON
+error bodies all cross a real socket.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.http import make_server
+
+SCENARIO = {
+    "name": "smoke",
+    "title": "one fast table",
+    "experiments": ["table2"],
+}
+
+
+@pytest.fixture()
+def base_url(tmp_path):
+    root = tmp_path / "scenarios"
+    root.mkdir()
+    (root / "smoke.json").write_text(json.dumps(SCENARIO))
+    server = make_server("127.0.0.1", 0, scenario_root=root,
+                         cache_dir=str(tmp_path / "cache"))
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def fetch(url, data=None):
+    request = urllib.request.Request(url, data=data)
+    if data is not None:
+        request.add_header("content-type", "application/json")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, response.read()
+
+
+def test_health_and_scenarios_over_a_real_socket(base_url):
+    status, body = fetch(f"{base_url}/healthz")
+    assert status == 200 and json.loads(body) == {"ok": True}
+    status, body = fetch(f"{base_url}/scenarios")
+    assert [one["name"] for one in json.loads(body)] == ["smoke"]
+
+
+def test_submit_poll_and_fetch_over_a_real_socket(base_url):
+    status, body = fetch(f"{base_url}/experiments",
+                         data=json.dumps({"scenario": "smoke"}).encode())
+    assert status == 201
+    run_id = json.loads(body)["id"]
+
+    for _ in range(60):
+        _, body = fetch(f"{base_url}/experiments/{run_id}?wait=5")
+        snapshot = json.loads(body)
+        if snapshot["state"] in ("done", "failed"):
+            break
+    assert snapshot["state"] == "done"
+
+    # The SSE stream arrives chunked and closes after the terminal event.
+    status, stream = fetch(f"{base_url}/experiments/{run_id}/events")
+    assert status == 200
+    events = [json.loads(line[len("data: "):])
+              for line in stream.decode().splitlines()
+              if line.startswith("data: ")]
+    assert events[0]["event"] == "run-queued"
+    assert events[-1]["event"] == "run-finished"
+
+    status, body = fetch(f"{base_url}/experiments/{run_id}/figures")
+    assert status == 200 and b"== table2 ==" in body
+
+
+def test_error_bodies_cross_the_socket_as_json(base_url):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        fetch(f"{base_url}/experiments/run-9999")
+    assert excinfo.value.code == 404
+    assert "run-9999" in json.loads(excinfo.value.read())["error"]

@@ -12,9 +12,59 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_run_rejects_unknown_figure(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "fig99"])
+    def test_run_accepts_scenario_flags(self):
+        args = build_parser().parse_args(
+            ["run", "paper-tables", "-j", "2", "--no-cache"])
+        assert args.figure == "paper-tables"
+        assert args.jobs == 2 and args.no_cache
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 8177
+
+
+class TestErrorPaths:
+    """Unknown names and bad flags: exit codes + actionable messages."""
+
+    def test_run_rejects_unknown_figure(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+        # The message lists both valid namespaces.
+        assert "table1" in err and "fig6" in err       # figure ids
+        assert "paper-repro" in err                    # scenario names
+
+    def test_run_rejects_unknown_scenario_name(self, capsys):
+        assert main(["run", "paper-reproo"]) == 2
+        err = capsys.readouterr().err
+        assert "paper-reproo" in err and "paper-repro" in err
+
+    def test_run_rejects_zero_jobs(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "paper-tables", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_figure_rejects_zero_jobs(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure", "table1", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_corrupt_cache_blob_recomputes_instead_of_crashing(
+            self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "c")]
+        assert main(["figure", "table1"] + cache) == 0
+        first = capsys.readouterr().out
+        # Trash every cache entry the run wrote.
+        blobs = list((tmp_path / "c").glob("*/*.bin"))
+        assert blobs
+        for blob in blobs:
+            blob.write_bytes(b"\x00garbage, not a codec payload")
+        assert main(["figure", "table1"] + cache) == 0
+        second = capsys.readouterr()
+        assert second.out == first                 # recomputed, identical
+        assert "0 cached, 1 executed" in second.err  # miss, not a crash
 
 
 class TestCommands:
@@ -116,6 +166,42 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "[OK ]" in out
         assert "[DEV]" not in out
+
+
+class TestScenarioCommands:
+    """`scenarios` and the scenario arm of `run`."""
+
+    def test_scenarios_lists_the_library(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper-repro", "paper-tables", "4-host-chaos",
+                     "open-loop-load", "restore", "search-smoke"):
+            assert name in out
+
+    def test_run_named_scenario(self, tmp_path, capsys):
+        assert main(["run", "paper-tables",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        captured = capsys.readouterr()
+        assert "== table1 ==" in captured.out
+        assert "== table2 ==" in captured.out
+        assert "== snapshot-creation ==" in captured.out
+        assert "3 shards" in captured.err
+
+    def test_run_scenario_cached_rerun_is_identical(self, tmp_path,
+                                                    capsys):
+        cache = ["--cache-dir", str(tmp_path / "c")]
+        assert main(["run", "paper-tables"] + cache) == 0
+        first = capsys.readouterr()
+        assert main(["run", "paper-tables"] + cache) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "3 cached" in second.err
+
+    def test_run_figure_still_wins_over_scenarios(self, capsys):
+        # Figure ids keep their historical `run` meaning; the scenario
+        # library is checked second (and may not shadow figure ids).
+        assert main(["run", "table1"]) == 0
+        assert "High (VM)" in capsys.readouterr().out
 
 
 class TestFigureCommand:

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""CI smoke test for the experiment service's determinism guarantee.
+
+Usage: ``python tools/serve_smoke.py [scenario-name]``
+
+Boots the real HTTP server (``repro.serve.http``) on an ephemeral
+localhost port, submits *scenario-name* (default ``search-smoke``)
+twice over real sockets, waits for both runs, and byte-diffs the
+results, binary results, and figures artifacts between the two runs —
+the same sha256 byte-identity the end-to-end test suite pins, but
+through the full socket + chunked-SSE stack a user actually hits.
+
+Exit code 0 when both runs succeed and every artifact pair is
+byte-identical; 1 otherwise (details on stderr).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+import threading
+import urllib.request
+from typing import Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+
+def fetch(url: str, data: bytes = None) -> bytes:
+    request = urllib.request.Request(url, data=data)
+    if data is not None:
+        request.add_header("content-type", "application/json")
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.read()
+
+
+def run_once(base: str, scenario: str) -> Tuple[str, bytes, bytes, bytes]:
+    """Submit, wait via long-poll, stream the SSE log, fetch artifacts."""
+    body = json.loads(fetch(
+        f"{base}/experiments",
+        data=json.dumps({"scenario": scenario}).encode()))
+    run_id = body["id"]
+
+    for _ in range(120):
+        snapshot = json.loads(fetch(f"{base}/experiments/{run_id}?wait=5"))
+        if snapshot["state"] in ("done", "failed"):
+            break
+    if snapshot["state"] != "done":
+        raise RuntimeError(
+            f"run {run_id} ended {snapshot['state']}: "
+            f"{snapshot.get('error')}")
+
+    # Exercise the chunked SSE path too: the stream must terminate.
+    stream = fetch(f"{base}/experiments/{run_id}/events").decode()
+    if "run-finished" not in stream:
+        raise RuntimeError(f"run {run_id}: SSE stream missing terminal "
+                           "event")
+
+    return (run_id,
+            fetch(f"{base}/experiments/{run_id}/results"),
+            fetch(f"{base}/experiments/{run_id}/results?format=binary"),
+            fetch(f"{base}/experiments/{run_id}/figures"))
+
+
+def main(argv) -> int:
+    scenario = argv[1] if len(argv) > 1 else "search-smoke"
+    from repro.serve.http import make_server
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        server = make_server("127.0.0.1", 0,
+                             cache_dir=os.path.join(tmp, "cache"))
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            first = run_once(base, scenario)
+            second = run_once(base, scenario)
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    failures = 0
+    for label, a, b in (("results", first[1], second[1]),
+                        ("results?format=binary", first[2], second[2]),
+                        ("figures", first[3], second[3])):
+        digest_a = hashlib.sha256(a).hexdigest()
+        digest_b = hashlib.sha256(b).hexdigest()
+        status = "OK " if digest_a == digest_b else "DIFF"
+        print(f"[{status}] {label}: {first[0]} {digest_a[:16]} vs "
+              f"{second[0]} {digest_b[:16]}")
+        if digest_a != digest_b:
+            failures += 1
+    if failures:
+        print(f"error: {failures} artifact(s) differ between two "
+              f"consecutive runs of {scenario!r}", file=sys.stderr)
+        return 1
+    print(f"serve smoke: {scenario!r} byte-identical across two runs "
+          "(computed, then cache-served)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
