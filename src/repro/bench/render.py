@@ -5,25 +5,33 @@ One renderer serves both fronts of the harness: the CLI (``repro run`` /
 service (:mod:`repro.serve`) returns the *same bytes* from
 ``GET /experiments/{id}/figures`` — which is what makes the API-vs-CLI
 differential test (and the CI byte-diff) meaningful.
+
+Rendering writes to a caller-local stream, never to the process-global
+``sys.stdout``: the service registry renders on per-run worker threads,
+so concurrent runs (or anything else printing meanwhile) must not be
+able to interleave into each other's frozen ``figures_text`` artifact.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import io
-from contextlib import redirect_stdout
+from typing import TextIO
+
+from repro.errors import ReproError
 
 __all__ = ["render_experiment_text", "render_run_text"]
 
 
-def _print_fig_dict(results, chart: bool = False) -> None:
+def _print_fig_dict(results, out: TextIO, chart: bool = False) -> None:
     from repro.bench.ascii_chart import render_figure
     for result in results.values():
-        print(render_figure(result) if chart else result.as_table())
-        print()
+        print(render_figure(result) if chart else result.as_table(),
+              file=out)
+        print(file=out)
 
 
-def _print_generic(result, indent: str = "  ") -> None:
+def _print_generic(result, out: TextIO, indent: str = "  ") -> None:
     """Fallback renderer for ablation arms: dicts and result dataclasses."""
     if dataclasses.is_dataclass(result) and not isinstance(result, type):
         result = {f.name: getattr(result, f.name)
@@ -34,54 +42,58 @@ def _print_generic(result, indent: str = "  ") -> None:
                 cells = " ".join(
                     f"{k}={v:.1f}" if isinstance(v, float) else f"{k}={v}"
                     for k, v in value.items())
-                print(f"{indent}{key:<22} {cells}")
+                print(f"{indent}{key:<22} {cells}", file=out)
             elif isinstance(value, float):
-                print(f"{indent}{key:<22} {value:.2f}")
+                print(f"{indent}{key:<22} {value:.2f}", file=out)
             else:
-                print(f"{indent}{key:<22} {value}")
+                print(f"{indent}{key:<22} {value}", file=out)
     else:
-        print(f"{indent}{result}")
+        print(f"{indent}{result}", file=out)
 
 
-def _render_experiment(name: str, result, chart: bool = False) -> None:
-    """Print *result* (a merged experiment result) to stdout."""
+def _render_experiment(name: str, result, out: TextIO,
+                       chart: bool = False) -> None:
+    """Print *result* (a merged experiment result) to *out*."""
     from repro.bench import fig12_improvements
     from repro.bench.memory import FACTOR_CONFIGS
     if name == "table1":
         for row in result:
             print(f"{row['platform']:<22} {row['isolation']:<22} "
-                  f"{row['performance']:<26} {row['memory_efficiency']}")
+                  f"{row['performance']:<26} {row['memory_efficiency']}",
+                  file=out)
     elif name == "table2":
         for row in result:
             print(f"{row['application']:<34} {row['description']:<50} "
-                  f"{row['language']}")
+                  f"{row['language']}", file=out)
     elif name == "snapshot-creation":
         for fn, parts in sorted(result.items()):
             print(f"{fn:<28} snapshot={parts['snapshot_ms']:.0f}ms "
-                  f"total-install={parts['total_ms']:.0f}ms")
+                  f"total-install={parts['total_ms']:.0f}ms", file=out)
     elif name in ("fig6", "fig7", "fig9"):
-        _print_fig_dict(result, chart)
+        _print_fig_dict(result, out, chart)
     elif name == "fig10":
         for series in result.values():
-            print(series.as_table())
+            print(series.as_table(), file=out)
     elif name == "fig11":
         for row in result.values():
-            print(row.as_line())
+            print(row.as_line(), file=out)
     elif name == "fig12":
         for workload, per_config in sorted(result.items()):
             cells = " ".join(f"{per_config[c]:8.1f}M"
                              for c in FACTOR_CONFIGS)
-            print(f"{workload:<28} {cells}")
+            print(f"{workload:<28} {cells}", file=out)
         for workload, values in sorted(fig12_improvements(result).items()):
             print(f"{workload:<28} os-snap "
                   f"{values['os_snapshot_vs_baseline_pct']:5.1f}%  "
-                  f"post-jit {values['post_jit_vs_os_snapshot_pct']:5.1f}%")
+                  f"post-jit {values['post_jit_vs_os_snapshot_pct']:5.1f}%",
+                  file=out)
     elif name == "scorecard":
         from repro.bench.results import format_comparisons
-        print(format_comparisons("Fireworks headline claims", result))
+        print(format_comparisons("Fireworks headline claims", result),
+              file=out)
     elif name == "burst":
         for burst in result.values():
-            print(burst.as_line())
+            print(burst.as_line(), file=out)
     elif name == "load-sweep":
         for platform, points in result.items():
             for rate, point in points.items():
@@ -90,37 +102,40 @@ def _render_experiment(name: str, result, chart: bool = False) -> None:
                       f"achieved={point.achieved_rps:6.1f}rps "
                       f"p50={point.latency.p50_ms:7.1f}ms "
                       f"p99={point.latency.p99_ms:7.1f}ms "
-                      f"wait={point.mean_queue_wait_ms:7.1f}ms{mark}")
+                      f"wait={point.mean_queue_wait_ms:7.1f}ms{mark}",
+                      file=out)
     elif name == "sensitivity":
         for sweep in result.values():
-            print(sweep.as_table())
-            print()
+            print(sweep.as_table(), file=out)
+            print(file=out)
     elif name == "ablations":
         for arm, arm_result in result.items():
-            print(f"-- {arm} --")
-            _print_generic(arm_result)
+            print(f"-- {arm} --", file=out)
+            _print_generic(arm_result, out)
     elif name == "policies":
-        _print_generic(result, indent="")
+        _print_generic(result, out, indent="")
     elif name in ("keepalive", "cluster", "chaos", "load"):
         for outcome in result.values():
-            print(outcome.as_line())
+            print(outcome.as_line(), file=out)
     elif name == "restore":
         from repro.bench.restore import render_restore_figure
         for line in render_restore_figure(result):
-            print(line)
+            print(line, file=out)
     elif name in ("search", "search-smoke"):
         from repro.bench.search import render_search_figure
         for line in render_search_figure(result):
-            print(line)
+            print(line, file=out)
     else:  # pragma: no cover - callers validate ids against the registry
-        raise SystemExit(f"unknown figure {name!r}")
+        # ReproError, not SystemExit: the service registry renders on a
+        # worker thread whose error path only catches Exception — a
+        # BaseException here would kill the thread and wedge the run.
+        raise ReproError(f"unknown figure {name!r}")
 
 
 def render_experiment_text(name: str, result, chart: bool = False) -> str:
     """One experiment's rendered body, exactly as ``repro run`` prints it."""
     buffer = io.StringIO()
-    with redirect_stdout(buffer):
-        _render_experiment(name, result, chart)
+    _render_experiment(name, result, buffer, chart)
     return buffer.getvalue()
 
 

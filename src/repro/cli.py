@@ -86,18 +86,24 @@ def _run_scenario(scenario, jobs: Optional[int], no_cache: bool,
 def _cmd_run(target: str, jobs: Optional[int], no_cache: bool,
              cache_dir: Optional[str], chart: bool) -> int:
     """``run``: one figure id or one named scenario from the library."""
-    from repro.serve.scenarios import scenario_names, load_named_scenario
+    from repro.errors import ValidationError
+    from repro.serve.scenarios import load_scenario_library
     if target in FIGURES:
         _run_figure(target, chart=chart)
         return 0
-    names = scenario_names()
-    if target in names:
-        _run_scenario(load_named_scenario(target), jobs, no_cache,
-                      cache_dir, chart)
+    try:
+        library = load_scenario_library()
+    except ValidationError as exc:
+        # A missing/broken library must not turn 'run <typo>' into a
+        # traceback: report the library problem itself, exit 2.
+        print(f"error: scenario library is broken: {exc}", file=sys.stderr)
+        return 2
+    if target in library:
+        _run_scenario(library[target], jobs, no_cache, cache_dir, chart)
         return 0
     print(f"error: unknown figure or scenario {target!r}\n"
           f"figures: {', '.join(FIGURES)}\n"
-          f"scenarios: {', '.join(names)}", file=sys.stderr)
+          f"scenarios: {', '.join(library)}", file=sys.stderr)
     return 2
 
 
@@ -557,8 +563,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args.figure, jobs=args.jobs, no_cache=args.no_cache,
                         cache_dir=args.cache_dir, chart=args.chart)
     elif args.command == "scenarios":
+        from repro.errors import ValidationError
         from repro.serve.scenarios import load_scenario_library
-        for scenario in load_scenario_library().values():
+        try:
+            library = load_scenario_library()
+        except ValidationError as exc:
+            print(f"error: scenario library is broken: {exc}",
+                  file=sys.stderr)
+            return 2
+        for scenario in library.values():
             print(f"{scenario.name:<22} {scenario.title}")
     elif args.command == "serve":
         from repro.serve import serve_forever

@@ -40,7 +40,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs
 
 from repro.errors import ValidationError
-from repro.serve.registry import TERMINAL_EVENTS, RunRegistry
+from repro.serve.registry import (TERMINAL_EVENTS, TERMINAL_STATES,
+                                  RunRegistry)
 from repro.serve.scenarios import (Scenario, dump_scenario, load_scenario,
                                    load_scenario_library)
 
@@ -311,7 +312,8 @@ class ServeApp:
             await loop.run_in_executor(
                 None, self.registry.wait_events, run, after,
                 min(wait_s, _MAX_WAIT_S))
-        await self._respond(send, 200, _JSON, _json_bytes(run.snapshot()))
+        await self._respond(send, 200, _JSON,
+                            _json_bytes(self.registry.snapshot(run)))
 
     async def _run_events(self, send, receive, query,
                           run_id: str) -> None:
@@ -329,6 +331,14 @@ class ServeApp:
             events = await loop.run_in_executor(
                 None, self.registry.wait_events, run, seq, _MAX_WAIT_S)
             if not events:
+                if run.state in TERMINAL_STATES:
+                    # Terminal run with nothing beyond ``since``: the
+                    # client already holds the terminal event (the state
+                    # flips and the event append in one critical
+                    # section), so close the stream — looping here would
+                    # busy-spin, as wait_events never blocks on a
+                    # finished run.
+                    break
                 # Wait timed out with the run still going: heartbeat so
                 # intermediaries don't kill the idle stream.
                 await send({"type": "http.response.body",

@@ -32,10 +32,14 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ReproError, ValidationError
 from repro.serve.scenarios import Scenario, dump_scenario
 
-__all__ = ["ExperimentRun", "RunRegistry", "TERMINAL_EVENTS"]
+__all__ = ["ExperimentRun", "RunRegistry", "TERMINAL_EVENTS",
+           "TERMINAL_STATES"]
 
 #: Event kinds that end a run's progress stream.
 TERMINAL_EVENTS = ("run-finished", "run-failed")
+
+#: Run states in which no further events will ever be emitted.
+TERMINAL_STATES = ("done", "failed")
 
 
 @dataclass
@@ -147,16 +151,32 @@ class RunRegistry:
             return self._runs[run_id]
 
     def list(self) -> List[Dict[str, Any]]:
-        """Summaries of every run, in submission order."""
+        """Summaries of every run, in submission order.
+
+        Built entirely under the lock so each summary's fields are read
+        consistently with the worker threads' mutations.
+        """
         with self._cond:
-            runs = [self._runs[run_id] for run_id in self._order]
-        return [{"id": run.id, "state": run.state,
-                 "scenario": run.scenario.name, "seed": run.seed}
-                for run in runs]
+            return [{"id": run.id, "state": run.state,
+                     "scenario": run.scenario.name, "seed": run.seed}
+                    for run in (self._runs[run_id]
+                                for run_id in self._order)]
+
+    def snapshot(self, run: ExperimentRun) -> Dict[str, Any]:
+        """*run*'s snapshot body, read atomically under the lock (so the
+        state can never pair with stale shard/stats fields)."""
+        with self._cond:
+            return run.snapshot()
 
     # -- events -------------------------------------------------------------
-    def _emit(self, run: ExperimentRun, kind: str, **attrs: Any) -> None:
+    def _emit(self, run: ExperimentRun, kind: str,
+              set_state: Optional[str] = None, **attrs: Any) -> None:
+        """Append one event; *set_state* changes ``run.state`` in the same
+        critical section, so a waiter can never observe a terminal state
+        without the matching terminal event already being in the log."""
         with self._cond:
+            if set_state is not None:
+                run.state = set_state
             event = {"seq": len(run.events) + 1, "event": kind,
                      "run": run.id,
                      "t_ms": round((time.time() - run.created_s) * 1e3, 3)}
@@ -177,7 +197,7 @@ class RunRegistry:
         with self._cond:
             while len(run.events) <= seq:
                 remaining = deadline - time.monotonic()
-                if remaining <= 0 or run.state in ("done", "failed"):
+                if remaining <= 0 or run.state in TERMINAL_STATES:
                     break
                 self._cond.wait(remaining)
             return list(run.events[seq:])
@@ -199,10 +219,8 @@ class RunRegistry:
                        experiment=event.experiment, shard=event.shard,
                        index=event.index, total=event.total)
 
-        with self._cond:
-            run.state = "running"
-        self._emit(run, "run-started", scenario=run.scenario.name,
-                   seed=run.seed, jobs=run.jobs)
+        self._emit(run, "run-started", set_state="running",
+                   scenario=run.scenario.name, seed=run.seed, jobs=run.jobs)
         started = time.time()
         try:
             outcome = run_experiments(
@@ -217,31 +235,35 @@ class RunRegistry:
             self._fail(run, f"internal error: {exc!r}")
             return
 
+        # Encode and render outside the lock (rendering is the slow part),
+        # then publish the artifacts before the state flips to "done" —
+        # any reader that observes "done" sees every artifact in place.
         encoded = {name: encode_result(result)
                    for name, result in outcome.results.items()}
         results_json = json.dumps(encoded, sort_keys=True,
                                   separators=(",", ":")).encode("utf-8")
+        results_binary = dumps_result(
+            {"run": "repro.serve", "results": encoded})
+        figures_text = render_run_text(outcome.results)
+        stats = {
+            "jobs": outcome.stats.jobs,
+            "shards_total": outcome.stats.shards_total,
+            "cache_hits": outcome.stats.cache_hits,
+            "executed": outcome.stats.executed,
+            "elapsed_s": round(outcome.stats.elapsed_s, 6),
+        }
         with self._cond:
             run.results_json = results_json
-            run.results_binary = dumps_result(
-                {"run": "repro.serve", "results": encoded})
-            run.figures_text = render_run_text(outcome.results)
+            run.results_binary = results_binary
+            run.figures_text = figures_text
             run.trace_events = self._shard_trace(run, started)
-            run.stats = {
-                "jobs": outcome.stats.jobs,
-                "shards_total": outcome.stats.shards_total,
-                "cache_hits": outcome.stats.cache_hits,
-                "executed": outcome.stats.executed,
-                "elapsed_s": round(outcome.stats.elapsed_s, 6),
-            }
-            run.state = "done"
-        self._emit(run, "run-finished", **run.stats)
+            run.stats = stats
+        self._emit(run, "run-finished", set_state="done", **stats)
 
     def _fail(self, run: ExperimentRun, message: str) -> None:
         with self._cond:
-            run.state = "failed"
             run.error = message
-        self._emit(run, "run-failed", error=message)
+        self._emit(run, "run-failed", set_state="failed", error=message)
 
     def _shard_trace(self, run: ExperimentRun,
                      started_s: float) -> Dict[str, Any]:

@@ -1,0 +1,71 @@
+"""Renderer unit tests: thread isolation and the error contract.
+
+The renderer is shared between the CLI and the service registry, which
+calls it from per-run worker threads — so it must never route output
+through the process-global ``sys.stdout`` (regression: it used
+``contextlib.redirect_stdout``, so two runs finishing concurrently could
+interleave into each other's frozen ``figures_text`` artifact).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.bench.render import render_experiment_text, render_run_text
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def table_results():
+    """Merged results for the two cheap table experiments."""
+    from repro.bench.engine import run_experiments
+    return run_experiments(["table1", "table2"], use_cache=False).results
+
+
+class TestThreadIsolation:
+    def test_nothing_leaks_to_global_stdout(self, table_results, capsys):
+        text = render_experiment_text("table1", table_results["table1"])
+        assert "fireworks" in text
+        assert capsys.readouterr().out == ""
+
+    def test_concurrent_renders_ignore_stdout_noise(self, table_results,
+                                                    capsys):
+        """Renders racing a thread that prints to stdout stay pristine."""
+        expected = render_run_text(table_results)
+        stop = threading.Event()
+
+        def noise():
+            while not stop.is_set():
+                print("NOISE", end="")
+
+        rendered = []
+
+        def render():
+            for _ in range(10):
+                rendered.append(render_run_text(table_results))
+
+        noisy = threading.Thread(target=noise)
+        workers = [threading.Thread(target=render) for _ in range(4)]
+        noisy.start()
+        try:
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        finally:
+            stop.set()
+            noisy.join()
+        assert len(rendered) == 40
+        assert all(text == expected for text in rendered)
+        assert "NOISE" not in expected
+
+
+class TestErrorContract:
+    def test_unknown_figure_raises_reproerror(self):
+        # ReproError, not SystemExit: the service worker thread's error
+        # path only catches Exception, and SystemExit is a BaseException
+        # that would kill the thread and wedge the run in 'running'.
+        with pytest.raises(ReproError, match="unknown figure 'fig99'"):
+            render_experiment_text("fig99", {})

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 
 import pytest
 
@@ -184,6 +185,85 @@ class TestSubmitPollStreamFetch:
             wait_done(client, run_id)
         listing = client.get("/experiments").json()
         assert [one["id"] for one in listing] == ids
+
+
+def get_with_deadline(client, path, seconds=15.0):
+    """GET *path* on a worker thread; fail if it never returns.
+
+    Guards the SSE regression tests: a stream that never closes must
+    fail the test, not hang the suite.
+    """
+    result = {}
+
+    def fetch():
+        result["response"] = client.get(path)
+
+    worker = threading.Thread(target=fetch, daemon=True)
+    worker.start()
+    worker.join(seconds)
+    assert "response" in result, \
+        f"GET {path} did not finish in {seconds}s (stream never closed)"
+    return result["response"]
+
+
+class TestSseResume:
+    """``?since=N`` resumption, including the finished-run edges.
+
+    Regression: resuming a finished run at (or past) its terminal
+    event's seq used to busy-spin forever — wait_events returned an
+    empty list instantly, the handler sent a keep-alive and looped.
+    The stream must close instead.
+    """
+
+    @pytest.fixture()
+    def finished(self, client):
+        run_id = client.post("/experiments", json_body={
+            "scenario": "smoke"}).json()["id"]
+        wait_done(client, run_id)
+        events = client.get(f"/experiments/{run_id}/events").sse_events()
+        assert events[-1]["event"] == "run-finished"
+        return run_id, events
+
+    def test_resume_mid_log_replays_the_tail_and_closes(self, client,
+                                                        finished):
+        run_id, events = finished
+        response = get_with_deadline(
+            client, f"/experiments/{run_id}/events?since=2")
+        assert response.sse_events() == events[2:]
+
+    def test_resume_at_terminal_seq_closes_empty(self, client, finished):
+        run_id, events = finished
+        terminal_seq = events[-1]["seq"]
+        response = get_with_deadline(
+            client, f"/experiments/{run_id}/events?since={terminal_seq}")
+        assert response.status == 200
+        assert response.sse_events() == []
+
+    def test_resume_past_terminal_seq_closes_empty(self, client, finished):
+        run_id, events = finished
+        since = events[-1]["seq"] + 7
+        response = get_with_deadline(
+            client, f"/experiments/{run_id}/events?since={since}")
+        assert response.status == 200
+        assert response.sse_events() == []
+
+    def test_resume_past_terminal_of_failed_run_closes(self, client,
+                                                       monkeypatch):
+        from repro.errors import ReproError
+
+        def explode(*args, **kwargs):
+            raise ReproError("synthetic engine failure")
+
+        monkeypatch.setattr("repro.bench.engine.run_experiments", explode)
+        run_id = client.post("/experiments", json_body={
+            "scenario": "smoke"}).json()["id"]
+        wait_done(client, run_id)
+        events = client.get(f"/experiments/{run_id}/events").sse_events()
+        assert events[-1]["event"] == "run-failed"
+        response = get_with_deadline(
+            client,
+            f"/experiments/{run_id}/events?since={events[-1]['seq']}")
+        assert response.sse_events() == []
 
 
 class TestErrorPaths:

@@ -51,6 +51,41 @@ class TestErrorPaths:
         assert excinfo.value.code == 2
         assert "must be >= 1" in capsys.readouterr().err
 
+    def test_run_with_broken_scenario_library_exits_2(
+            self, tmp_path, capsys, monkeypatch):
+        """A corrupt library file must not turn 'run <typo>' into a
+        traceback (regression: ValidationError escaped main())."""
+        bad = tmp_path / "scenarios"
+        bad.mkdir()
+        (bad / "broken.json").write_text("{not json")
+        monkeypatch.setenv("REPRO_SCENARIOS", str(bad))
+        assert main(["run", "no-such-target"]) == 2
+        err = capsys.readouterr().err
+        assert "scenario library is broken" in err
+        assert "invalid JSON" in err
+
+    def test_run_with_missing_scenario_library_exits_2(
+            self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIOS", str(tmp_path / "missing"))
+        assert main(["run", "no-such-target"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_run_figure_id_works_despite_broken_library(
+            self, tmp_path, capsys, monkeypatch):
+        # Figure ids never consult the library, so they keep working.
+        monkeypatch.setenv("REPRO_SCENARIOS", str(tmp_path / "missing"))
+        assert main(["run", "table1"]) == 0
+        assert "High (VM)" in capsys.readouterr().out
+
+    def test_scenarios_with_broken_library_exits_2(
+            self, tmp_path, capsys, monkeypatch):
+        bad = tmp_path / "scenarios"
+        bad.mkdir()
+        (bad / "broken.json").write_text("[1, 2]")
+        monkeypatch.setenv("REPRO_SCENARIOS", str(bad))
+        assert main(["scenarios"]) == 2
+        assert "scenario library is broken" in capsys.readouterr().err
+
     def test_corrupt_cache_blob_recomputes_instead_of_crashing(
             self, tmp_path, capsys):
         cache = ["--cache-dir", str(tmp_path / "c")]
