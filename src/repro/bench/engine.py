@@ -164,6 +164,11 @@ def _sh_load(params, seed, platform, mode):
     return run_load_platform(platform, mode, params=params, seed=seed)
 
 
+def _sh_chains(params, seed, platform, policy):
+    from repro.bench.chains import run_chains_platform
+    return run_chains_platform(platform, policy, params=params, seed=seed)
+
+
 def _sh_restore_policy(params, seed, backend, policy, language):
     from repro.bench.restore import run_restore_policy
     return run_restore_policy(backend, policy, language, params=params,
@@ -204,6 +209,7 @@ _SHARD_FNS: Dict[str, Callable[..., Any]] = {
     "cluster": _sh_cluster,
     "chaos": _sh_chaos,
     "load": _sh_load,
+    "chains": _sh_chains,
     "restore-policy": _sh_restore_policy,
     "restore-stream": _sh_restore_stream,
     "search": _sh_search,
@@ -408,6 +414,22 @@ def _load_experiment() -> ExperimentDef:
                               for platform, mode in keys})
 
 
+def _chains_experiment() -> ExperimentDef:
+    from repro.bench.chains import CHAIN_POLICIES
+    from repro.bench.load import LOAD_PLATFORMS
+    keys = [(platform, policy) for platform in LOAD_PLATFORMS
+            for policy in CHAIN_POLICIES]
+    return ExperimentDef(
+        id="chains",
+        title="multi-tenant function-chain serving (extension)",
+        shards=tuple(_shard("chains", f"{platform}@{policy}", "chains",
+                            platform=platform, policy=policy)
+                     for platform, policy in keys),
+        merge=lambda shards: {f"{platform}@{policy}":
+                              shards[f"{platform}@{policy}"]
+                              for platform, policy in keys})
+
+
 def _search_experiment() -> ExperimentDef:
     from repro.bench.search import DEFAULT_CANDIDATES
     keys = [f"cand-{index:02d}" for index in range(DEFAULT_CANDIDATES)]
@@ -467,6 +489,7 @@ def _build_registry() -> Dict[str, ExperimentDef]:
     add(_single("chaos", "host-failure chaos experiment (extension)",
                 "chaos"))
     add(_load_experiment())
+    add(_chains_experiment())
     add(_restore_experiment())
     add(_search_experiment())
     add(_single("search-smoke",

@@ -1,8 +1,13 @@
 """Figure 9: the real-world ServerlessBench applications.
 
-Only OpenWhisk and Fireworks can execute chains of functions (§5.3), so the
-comparison is between those two.  Latency is aggregated over the whole chain
-(every function's start-up and exec summed, as the paper's stacked bars do).
+Both applications run through the DAG chain executor
+(:class:`repro.platforms.chains.ChainExecutor`), which installs the
+functions, wires the CouchDB trigger edges, and drives the chains —
+on chain-capable backends in guest mode (byte-identical to invoking the
+entry function directly, which the golden Fig 9 hash pins), and on every
+other backend in orchestrated mode.  The paper's figure compares
+OpenWhisk and Fireworks; latency is aggregated over the whole chain
+(every function's start-up and exec summed, as the stacked bars do).
 
 For the data-analysis app, the insertion chain (da-input -> da-format ->
 CouchDB) and the triggered analysis chain (da-analyze -> da-stats) are
@@ -11,22 +16,42 @@ reported separately, matching the paper's two sets of ratios.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type
+from typing import Dict, List, Optional, Type
 
-from repro.bench.harness import (drain, fresh_platform, install_chain,
-                                 invoke_once)
+from repro.bench.harness import drain, fresh_platform
 from repro.bench.results import FigureResult, LatencyRow
 from repro.config import CalibratedParameters
 from repro.core.fireworks import FireworksPlatform
 from repro.errors import PlatformError
-from repro.platforms.base import ServerlessPlatform
+from repro.platforms.base import InvocationRecord, ServerlessPlatform
+from repro.platforms.chains import MODE_GUEST, ChainExecutor, DagRun
 from repro.platforms.openwhisk import OpenWhiskPlatform
-from repro.workloads.serverlessbench import (ALEXA_SKILLS, WAGES_DB,
-                                             alexa_skills_chain,
-                                             data_analysis_chain)
+from repro.workloads.serverlessbench import (ALEXA_SKILLS,
+                                             alexa_skills_dag,
+                                             data_analysis_dag)
+
+#: The paper's Fig 9 comparison pair.  Any backend in
+#: ``repro.bench.load.LOAD_PLATFORMS`` works here — the executor
+#: orchestrates chains for backends without guest-chain support.
+FIG9_PLATFORMS = (OpenWhiskPlatform, FireworksPlatform)
 
 
-def _chain_row(records, platform: str, mode: str) -> LatencyRow:
+def _top_records(runs: List[DagRun]) -> List[InvocationRecord]:
+    """The top-level records of *runs*: the entry record per guest run
+    (its chain children hang off it), every stage record otherwise."""
+    records: List[InvocationRecord] = []
+    for run in runs:
+        if run.mode == MODE_GUEST:
+            if run.entry_record is not None:
+                records.append(run.entry_record)
+        else:
+            records.extend(result.record for result in run.executed()
+                           if result.record is not None)
+    return records
+
+
+def _chain_row(records: List[InvocationRecord], platform: str,
+               mode: str) -> LatencyRow:
     return LatencyRow(
         platform=platform, mode=mode,
         startup_ms=sum(r.chain_startup_ms() for r in records),
@@ -38,12 +63,13 @@ def _run_alexa(platform_cls: Type[ServerlessPlatform],
                params: Optional[CalibratedParameters]) -> LatencyRow:
     """§5.3(1): ask a fact, check the schedule, check the smart home."""
     platform = fresh_platform(platform_cls, params)
-    chain = alexa_skills_chain()
-    install_chain(platform, chain)
-    records = [invoke_once(platform, chain.entry, payload={"skill": skill})
-               for skill in ALEXA_SKILLS]
+    executor = ChainExecutor(platform)
+    dag = alexa_skills_dag()
+    executor.install(dag)
+    runs = [executor.run(dag, payload={"skill": skill})
+            for skill in ALEXA_SKILLS]
     drain(platform)
-    return _chain_row(records, platform.name, "chain")
+    return _chain_row(_top_records(runs), platform.name, "chain")
 
 
 def _run_data_analysis(platform_cls: Type[ServerlessPlatform],
@@ -51,13 +77,13 @@ def _run_data_analysis(platform_cls: Type[ServerlessPlatform],
                        ) -> Dict[str, LatencyRow]:
     """§5.3(2): wage insertion, then the db-triggered analysis chain."""
     platform = fresh_platform(platform_cls, params)
-    chain = data_analysis_chain()
-    install_chain(platform, chain)
-    platform.register_db_trigger(WAGES_DB, "da-analyze")
+    executor = ChainExecutor(platform)
+    dag = data_analysis_dag()
+    executor.install(dag)  # functions + the wages-db trigger edge
 
-    insertion = invoke_once(platform, chain.entry,
-                            payload={"name": "alice", "id": "e1",
-                                     "role": "engineer", "base": 7200})
+    insertion = executor.run(dag, payload={"name": "alice", "id": "e1",
+                                           "role": "engineer",
+                                           "base": 7200})
     drain(platform)  # let the triggered analysis chain finish
 
     analysis_records = [r for r in platform.records
@@ -66,7 +92,8 @@ def _run_data_analysis(platform_cls: Type[ServerlessPlatform],
         raise PlatformError(
             "the wages-db trigger never fired the analysis chain")
     return {
-        "insertion": _chain_row([insertion], platform.name, "insert"),
+        "insertion": _chain_row(_top_records([insertion]),
+                                platform.name, "insert"),
         "analysis": _chain_row(analysis_records, platform.name, "analysis"),
     }
 
@@ -76,7 +103,7 @@ def run_fig9(params: Optional[CalibratedParameters] = None
     """Figure 9(a) and 9(b): Alexa Skills and data analysis."""
     alexa = FigureResult(figure_id="fig9a",
                          title="Alexa Skills chain (3 requests)")
-    for platform_cls in (OpenWhiskPlatform, FireworksPlatform):
+    for platform_cls in FIG9_PLATFORMS:
         alexa.rows.append(_run_alexa(platform_cls, params))
     ow = alexa.row("openwhisk", "chain")
     fw = alexa.row("fireworks", "chain")
@@ -87,7 +114,7 @@ def run_fig9(params: Optional[CalibratedParameters] = None
     analysis = FigureResult(figure_id="fig9b",
                             title="Data analysis: insertion + analysis")
     ratios = {}
-    for platform_cls in (OpenWhiskPlatform, FireworksPlatform):
+    for platform_cls in FIG9_PLATFORMS:
         rows = _run_data_analysis(platform_cls, params)
         analysis.rows.append(rows["insertion"])
         analysis.rows.append(rows["analysis"])

@@ -114,7 +114,7 @@ def _render_experiment(name: str, result, out: TextIO,
             _print_generic(arm_result, out)
     elif name == "policies":
         _print_generic(result, out, indent="")
-    elif name in ("keepalive", "cluster", "chaos", "load"):
+    elif name in ("keepalive", "cluster", "chaos", "load", "chains"):
         for outcome in result.values():
             print(outcome.as_line(), file=out)
     elif name == "restore":

@@ -57,6 +57,7 @@ def register_result_type(cls: Type) -> Type:
 
 def _register_builtin_result_types() -> None:
     """Register every result dataclass the experiment registry produces."""
+    from repro.bench.chains import ChainOutcome
     from repro.bench.chaos import ChaosOutcome
     from repro.bench.cluster import ClusterPolicyOutcome
     from repro.bench.concurrency import BurstResult, LoadPoint
@@ -71,7 +72,8 @@ def _register_builtin_result_types() -> None:
     from repro.bench.sensitivity import SensitivityPoint, SensitivityResult
     from repro.bench.stats import LatencyStats
 
-    for cls in (BurstResult, ChaosOutcome, ClusterPolicyOutcome, DeoptResult,
+    for cls in (BurstResult, ChainOutcome, ChaosOutcome,
+                ClusterPolicyOutcome, DeoptResult,
                 FactorRow, FigureResult,
                 KeepAliveOutcome, LatencyRow, LatencyStats, LoadOutcome,
                 LoadPoint, MemoryPoint, MemorySeries, PaperComparison,

@@ -54,8 +54,8 @@ FIGURES = ("table1", "table2", "snapshot-creation", "fig6", "fig7", "fig9",
 
 #: Extension experiments only the ``figure`` command exposes.
 EXTENSIONS = ("burst", "load-sweep", "sensitivity", "ablations", "policies",
-              "keepalive", "cluster", "chaos", "load", "restore", "search",
-              "search-smoke")
+              "keepalive", "cluster", "chaos", "load", "chains", "restore",
+              "search", "search-smoke")
 
 
 def _run_figure(name: str, chart: bool = False) -> None:

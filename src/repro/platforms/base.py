@@ -61,6 +61,12 @@ class InvocationRecord:
     trace_id: str = ""                    # id of the invocation's trace
     span: Optional[Span] = None           # the root "invoke" span
     attempts: int = 1                     # dispatch attempts (chaos retries)
+    #: Chain-executor mode: guest ``InvokeNext`` ops are *recorded* here
+    #: instead of dispatched inline — the executor drives the DAG's edges
+    #: itself, which is what lets backends without guest-chain support
+    #: (§5.3) run chains at all.
+    defer_hops: bool = False
+    deferred_hops: List[InvokeNext] = field(default_factory=list)
 
     @property
     def total_ms(self) -> float:
@@ -206,6 +212,13 @@ class _PlatformHandlers(ExternalHandlers):
         self.platform.note_db_write(op.database)
 
     def invoke_next(self, op: InvokeNext):
+        if self.record.defer_hops:
+            # Chain-executor mode: the executor dispatches the DAG's
+            # invoke edges itself (paying the real bus/frontend per
+            # stage); the guest's hop intent is recorded for auditing,
+            # costs nothing, and works on every backend.
+            self.record.deferred_hops.append(op)
+            return
         if not self.platform.supports_chains:
             raise PlatformError(
                 f"{self.platform.name} cannot process a chain of serverless "
@@ -293,7 +306,7 @@ class ServerlessPlatform:
         self.active_workers: List[Worker] = []
         self.records: List[InvocationRecord] = []
         self._specs: Dict[str, FunctionSpec] = {}
-        self._db_triggers: Dict[str, List[str]] = {}
+        self._db_triggers: Dict[str, List[Tuple[str, Any]]] = {}
         self._invocation_seq = 0
 
     # -- single-host views (host 0 is the only host by default) ------------------
@@ -345,19 +358,51 @@ class ServerlessPlatform:
         return tuple(self._specs)
 
     # -- triggers (Cloud trigger box of Figure 1) -------------------------------
-    def register_db_trigger(self, database: str, function: str) -> None:
-        """Invoke *function* whenever *database* changes (Fig 8(b))."""
+    def register_db_trigger(self, database: str, function: str,
+                            runner: Optional[Any] = None) -> None:
+        """Invoke *function* whenever *database* changes (Fig 8(b)).
+
+        *runner*, if given, is a generator factory ``runner(function,
+        database)`` that replaces the default single-invocation firing —
+        the chain executor registers one so a change-feed firing drives a
+        whole DAG segment (deferring guest hops) instead of a bare
+        invoke, which is what lets backends without guest-chain support
+        serve trigger-driven chains.
+        """
         self.spec(function)  # must exist
-        self._db_triggers.setdefault(database, []).append(function)
+        self._db_triggers.setdefault(database, []).append((function, runner))
 
     def note_db_write(self, database: str) -> None:
         """Called by the db handler after a write; fires triggers async."""
-        for function in self._db_triggers.get(database, ()):
-            self.sim.process(self._fire_trigger(function),
-                             name=f"trigger:{function}")
+        for function, runner in self._db_triggers.get(database, ()):
+            gen = (runner(function, database) if runner is not None
+                   else self._fire_trigger(function, database))
+            self.sim.process(gen, name=f"trigger:{function}")
 
-    def _fire_trigger(self, function: str):
-        record = yield from self.invoke(function)
+    def _fire_trigger(self, function: str, database: str = ""):
+        """One change-feed firing (a detached process, its own trace).
+
+        A firing that exhausts its chaos-retry budget (e.g. the bus stays
+        partitioned) is already accounted as a
+        :class:`FailedInvocation` on the platform — it is swallowed here
+        so a dead trigger surfaces as a failed *result*, never as a
+        crashed drain.  The retrospective ``db-trigger`` span ties the
+        firing back to the database write for the trace validator.
+        """
+        start_ms = self.sim.now
+        status, trace_id = "ok", ""
+        try:
+            record = yield from self.invoke(function)
+            trace_id = record.trace_id
+        except InvocationFailedError as error:
+            status, trace_id = "failed", error.failed.trace_id
+            record = None
+        if database:
+            self.sim.tracer.add_span(
+                "db-trigger", start_ms, self.sim.now, kind="db-trigger",
+                trace_id=f"{trace_id}-trigger" if trace_id else "",
+                database=database, function=function, status=status,
+                invocation=trace_id)
         return record
 
     def register_timer_trigger(self, function: str, every_ms: float,
@@ -382,7 +427,9 @@ class ServerlessPlatform:
 
     # -- invocation -------------------------------------------------------------------
     def invoke(self, name: str, payload: Optional[Dict[str, Any]] = None,
-               mode: str = MODE_AUTO):
+               mode: str = MODE_AUTO,
+               locality_hint: Optional[Any] = None,
+               defer_hops: bool = False):
         """Invoke a function end-to-end (a simulation generator).
 
         Returns the :class:`InvocationRecord` with the full latency
@@ -396,10 +443,17 @@ class ServerlessPlatform:
         follows a :class:`HostDownError` is marked with a zero-width
         ``failover`` span.  An invocation that exhausts its budget (or
         hits an unretryable fault) is recorded as a
-        :class:`FailedInvocation` and surfaces as
+        :class:`FailedInvocation` and surfaces as a
         :class:`InvocationFailedError` rather than crashing the
         experiment.  Without a controller the path is unchanged: one
         attempt, failures propagate as before.
+
+        *locality_hint* (``host -> bool``) widens the placement locality
+        probe — the chain executor marks the hosts that served a stage's
+        predecessors so chain-aware policies can co-locate successive
+        stages.  *defer_hops* records guest ``InvokeNext`` ops on the
+        record instead of dispatching them inline (chain-executor mode).
+        Both default off, leaving the golden invocation path untouched.
         """
         spec = self.spec(name)
         if self.autoscaler is not None:
@@ -410,7 +464,7 @@ class ServerlessPlatform:
         self._invocation_seq += 1
         record = InvocationRecord(
             function=name, platform=self.name, mode=mode,
-            submitted_ms=self.sim.now)
+            submitted_ms=self.sim.now, defer_hops=defer_hops)
         invoke_span = tracer.span(
             "invoke", kind="invoke",
             trace_id=f"{self.name}-inv{self._invocation_seq}",
@@ -435,7 +489,8 @@ class ServerlessPlatform:
                             self.failovers += 1
                             failed_from = None
                         yield from self._invoke_attempt(
-                            spec, mode, payload, record, hosts_tried)
+                            spec, mode, payload, record, hosts_tried,
+                            locality_hint)
                         break
                     except RetryableChaosError as error:
                         if attempt >= max_attempts:
@@ -493,7 +548,8 @@ class ServerlessPlatform:
     def _invoke_attempt(self, spec: FunctionSpec, mode: str,
                         payload: Optional[Dict[str, Any]],
                         record: InvocationRecord,
-                        hosts_tried: List[int]):
+                        hosts_tried: List[int],
+                        locality_hint: Optional[Any] = None):
         """One dispatch attempt (a simulation generator).
 
         Chaos failures surface at *stage boundaries*: a host that dies
@@ -524,16 +580,20 @@ class ServerlessPlatform:
         placement_span = tracer.span("placement", kind="placement",
                                      policy=self.cluster.policy,
                                      source=self.cluster.policy_source)
+        if locality_hint is None:
+            probe = lambda h: self._host_affinity(h, spec.name)  # noqa: E731
+        else:
+            # Chain-executor hint: a predecessor stage's host counts as
+            # local even without resident function state, so chain-aware
+            # policies can keep a chain on one machine.
+            probe = lambda h: (self._host_affinity(h, spec.name)  # noqa: E731
+                               or bool(locality_hint(h)))
         with placement_span:
             if serving:
                 # Serving layer: full clusters queue instead of bouncing.
-                host = self.cluster.place_queued(
-                    spec.name,
-                    locality=lambda h: self._host_affinity(h, spec.name))
+                host = self.cluster.place_queued(spec.name, locality=probe)
             else:
-                host = self.cluster.place(
-                    spec.name,
-                    locality=lambda h: self._host_affinity(h, spec.name))
+                host = self.cluster.place(spec.name, locality=probe)
             placement_span.attrs["host"] = host.host_id
         record.host_id = host.host_id
         hosts_tried.append(host.host_id)

@@ -92,6 +92,17 @@ class _NodeSignals:
                 else False
         return self._local[key]
 
+    def affinity(self, node: object) -> int:
+        """How many times *node* has been assigned this function.
+
+        Reads the host's cumulative per-function assignment counter;
+        nodes without one (bare test doubles) count as never-assigned.
+        """
+        counts = getattr(node, "per_function", None)
+        if not counts:
+            return 0
+        return int(counts.get(self.function, 0))
+
     def aggregate(self, ref: SignalRef) -> float:
         """Resolve an aggregate-scoped signal."""
         if ref.name == "n_nodes":
@@ -100,6 +111,9 @@ class _NodeSignals:
             return 1.0 if any(n.has_room for n in self.nodes) else 0.0
         if ref.name == "any_local_with_room":
             return 1.0 if any(n.has_room and self.is_local(n)
+                              for n in self.nodes) else 0.0
+        if ref.name == "any_fn_affinity":
+            return 1.0 if any(n.has_room and self.affinity(n) > 0
                               for n in self.nodes) else 0.0
         raise NoHostAvailableError(  # pragma: no cover - compiler-guarded
             f"signal {ref.name!r} has no aggregate value")
@@ -130,6 +144,8 @@ class _NodeSignals:
                 return 1.0 if node.node_id == self.home else 0.0
             if name == "local_state":
                 return 1.0 if self.is_local(node) else 0.0
+            if name == "fn_affinity":
+                return float(self.affinity(node))
             return self.aggregate(ref)
 
         return resolve

@@ -106,6 +106,13 @@ PLACEMENT_SIGNALS = _signal_set(
     SignalSpec("local_state", SCOPE_NODE,
                "1 if the function's state is already resident on the "
                "candidate, else 0"),
+    SignalSpec("fn_affinity", SCOPE_NODE,
+               "how many times the candidate has been assigned this "
+               "function so far (chain stages score their predecessors' "
+               "hosts high through this)"),
+    SignalSpec("any_fn_affinity", SCOPE_AGGREGATE,
+               "1 if some host with room has served this function "
+               "before, else 0"),
 )
 
 #: Keep-alive: prescribe an idle window for one function's warm workers.

@@ -64,22 +64,33 @@ class Tracer:
 
     def add_span(self, name: str, start_ms: float, end_ms: float,
                  phase: Optional[str] = None, kind: Optional[str] = None,
+                 trace_id: str = "", parent: Optional[Span] = None,
                  **attrs: Any) -> Span:
         """Record a retrospective, already-closed span.
 
         Used for sub-phases inside an already-elapsed window (e.g. the JIT
         compile share of a compute op) where splitting the simulated timeout
         itself would perturb event ordering.  The span is attached under the
-        currently open span (or as a root).
+        currently open span (or as a root).  An explicit *parent* attaches
+        the span under that (possibly already closed) span instead — the
+        chain executor uses this to hang per-stage spans under a chain root
+        built after the stages ran.  *trace_id* applies only when the span
+        lands as a root.
         """
         if end_ms < start_ms:
             raise TraceError(
                 f"span {name!r} ends before it starts "
                 f"({end_ms} < {start_ms})")
-        span = Span(self, name, phase=phase, kind=kind, attrs=attrs)
+        span = Span(self, name, phase=phase, kind=kind, trace_id=trace_id,
+                    attrs=attrs)
         span.start_ms = start_ms
         span.end_ms = end_ms
-        self._attach(span)
+        if parent is not None:
+            span.parent = parent
+            span.trace_id = parent.trace_id
+            parent.children.append(span)
+        else:
+            self._attach(span)
         return span
 
     # -- lifecycle (called by Span.__enter__/__exit__) --------------------------

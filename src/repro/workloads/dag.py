@@ -1,0 +1,436 @@
+"""DAG workloads: fan-out/fan-in/conditional function graphs.
+
+A :class:`DagSpec` generalizes :class:`~repro.workloads.base.ChainSpec`:
+stages (each bound to a :class:`~repro.workloads.base.FunctionSpec` by
+name) are connected by edges of two kinds —
+
+* ``invoke`` edges: the platform dispatches the destination stage once
+  every taken incoming invoke edge's source stage completed (fan-in).  An
+  edge may be *conditional* (``when``): it is taken only when the run
+  payload carries the given key/value, which is how the Alexa frontend
+  fans out to exactly one skill.
+* ``trigger`` edges: the destination stage is fired by the CouchDB
+  change feed when the source stage writes the named database — the
+  dashed box of the paper's Fig 8(b).  Trigger-driven stages are invoked
+  by the platform's trigger machinery, not by the chain executor.
+
+Validation is structural and total: every problem raises a
+:class:`~repro.errors.ValidationError` whose message is prefixed with a
+JSON path into the document (``dag.edges[2].to: ...``), and cycle
+detection runs over *all* edges (a trigger loop would re-fire forever).
+The JSON document form (:func:`dag_from_document` /
+:func:`dag_to_document`) round-trips and is what ``scenarios/dags/``
+ships; function bindings are attached separately, since a document can
+only carry names, not guest programs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.workloads.base import ChainSpec, FunctionSpec
+
+EDGE_INVOKE = "invoke"
+EDGE_TRIGGER = "trigger"
+EDGE_KINDS = (EDGE_INVOKE, EDGE_TRIGGER)
+
+_STAGE_KEYS = ("name", "function")
+_EDGE_KEYS = ("from", "to", "kind", "database", "payload_kb", "when")
+_WHEN_KEYS = ("key", "equals")
+_DOC_KEYS = ("name", "entry", "description", "guest_hops", "stages",
+             "edges")
+
+
+def _fail(path: str, message: str) -> None:
+    raise ValidationError(f"{path}: {message}")
+
+
+@dataclass(frozen=True)
+class DagEdge:
+    """One edge of a DAG: how (and whether) ``dst`` follows ``src``."""
+
+    src: str
+    dst: str
+    kind: str = EDGE_INVOKE
+    #: Trigger edges: the CouchDB database whose change feed fires ``dst``.
+    database: str = ""
+    #: Invoke edges: argument size shipped to ``dst`` (the guest SDK's
+    #: ``InvokeNext(payload_kb=...)``).
+    payload_kb: float = 1.0
+    #: Conditional invoke edges: taken only when
+    #: ``payload[when_key] == when_value``.  Empty key = unconditional.
+    when_key: str = ""
+    when_value: Any = None
+
+    def taken(self, payload: Mapping[str, Any]) -> bool:
+        """Whether this edge fires for *payload* (triggers always do)."""
+        if not self.when_key:
+            return True
+        return payload.get(self.when_key) == self.when_value
+
+
+@dataclass(frozen=True)
+class DagStage:
+    """One stage: a named slot bound to an installed function."""
+
+    name: str
+    function: str
+
+
+@dataclass(frozen=True)
+class DagSpec:
+    """A validated function DAG (see module docstring)."""
+
+    name: str
+    entry: str
+    stages: Tuple[DagStage, ...]
+    edges: Tuple[DagEdge, ...] = ()
+    functions: Tuple[FunctionSpec, ...] = ()
+    #: True when the guest programs perform the invoke-edge hops
+    #: themselves (``InvokeNext`` ops) — chain-capable backends then run
+    #: the DAG exactly like the paper's §5.3 chains.
+    guest_hops: bool = False
+    description: str = ""
+
+    # -- lookups ---------------------------------------------------------------
+    def stage(self, name: str) -> DagStage:
+        """The stage called *name*; ValidationError if absent."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise ValidationError(
+            f"dag {self.name!r} has no stage {name!r}")
+
+    def function_spec(self, name: str) -> FunctionSpec:
+        """The bound FunctionSpec called *name*; ValidationError if absent."""
+        for spec in self.functions:
+            if spec.name == name:
+                return spec
+        raise ValidationError(
+            f"dag {self.name!r} has no function {name!r} bound")
+
+    def stage_names(self) -> Tuple[str, ...]:
+        """Every stage name, in declaration order."""
+        return tuple(stage.name for stage in self.stages)
+
+    def invoke_in_edges(self, stage: str) -> Tuple[DagEdge, ...]:
+        """The invoke edges arriving at *stage* (its fan-in set)."""
+        return tuple(edge for edge in self.edges
+                     if edge.dst == stage and edge.kind == EDGE_INVOKE)
+
+    def invoke_out_edges(self, stage: str) -> Tuple[DagEdge, ...]:
+        """The invoke edges leaving *stage* (its fan-out set)."""
+        return tuple(edge for edge in self.edges
+                     if edge.src == stage and edge.kind == EDGE_INVOKE)
+
+    def trigger_edges(self) -> Tuple[DagEdge, ...]:
+        """Every change-feed edge of the DAG."""
+        return tuple(edge for edge in self.edges
+                     if edge.kind == EDGE_TRIGGER)
+
+    def trigger_driven(self, stage: str) -> bool:
+        """Whether *stage* is fired by the change feed, not the executor."""
+        return any(edge.dst == stage for edge in self.trigger_edges())
+
+    # -- graph queries ---------------------------------------------------------
+    def invoke_order(self) -> Tuple[str, ...]:
+        """A deterministic topological order over the invoke subgraph.
+
+        Stages tie-break in declaration order, so the order (and therefore
+        every executor dispatch sequence) is a pure function of the spec.
+        """
+        indegree = {stage.name: 0 for stage in self.stages}
+        for edge in self.edges:
+            if edge.kind == EDGE_INVOKE:
+                indegree[edge.dst] += 1
+        order: List[str] = []
+        ready = [s.name for s in self.stages if indegree[s.name] == 0]
+        position = {s.name: i for i, s in enumerate(self.stages)}
+        while ready:
+            ready.sort(key=position.__getitem__)
+            current = ready.pop(0)
+            order.append(current)
+            for edge in self.invoke_out_edges(current):
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    ready.append(edge.dst)
+        return tuple(order)
+
+    def active_stages(self, payload: Mapping[str, Any],
+                      root: Optional[str] = None) -> Tuple[str, ...]:
+        """The executor-dispatched stages for *payload*, in topo order.
+
+        A stage is active when it is the *root* (the entry by default),
+        or at least one taken invoke edge reaches it from an active
+        stage.  Trigger-driven stages are excluded — the change feed
+        fires those — unless the root itself is one: a trigger segment
+        starts *at* the triggered stage and covers its invoke
+        descendants.
+        """
+        start = self.entry if root is None else root
+        self.stage(start)  # must exist
+        active = {start}
+        for stage in self.invoke_order():
+            if stage in active:
+                continue
+            if any(edge.src in active and edge.taken(payload)
+                   for edge in self.invoke_in_edges(stage)):
+                active.add(stage)
+        return tuple(stage for stage in self.invoke_order()
+                     if stage in active
+                     and (stage == start or not self.trigger_driven(stage)))
+
+
+def _check_cycles(spec: DagSpec, path: str) -> None:
+    """Kahn over *all* edges: leftover stages are on (or behind) a cycle."""
+    indegree = {stage.name: 0 for stage in spec.stages}
+    for edge in spec.edges:
+        indegree[edge.dst] += 1
+    ready = [name for name, degree in indegree.items() if degree == 0]
+    seen = 0
+    while ready:
+        current = ready.pop()
+        seen += 1
+        for edge in spec.edges:
+            if edge.src == current:
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    ready.append(edge.dst)
+    if seen != len(spec.stages):
+        cyclic = sorted(name for name, degree in indegree.items()
+                        if degree > 0)
+        _fail(f"{path}.edges",
+              f"cycle through stages {', '.join(cyclic)}")
+
+
+def validate_dag(spec: DagSpec, path: str = "dag") -> DagSpec:
+    """Structural validation; returns *spec* or raises ValidationError."""
+    if not spec.name or not isinstance(spec.name, str):
+        _fail(f"{path}.name", "must be a non-empty string")
+    seen: Dict[str, int] = {}
+    for index, stage in enumerate(spec.stages):
+        where = f"{path}.stages[{index}]"
+        if not stage.name or not isinstance(stage.name, str):
+            _fail(f"{where}.name", "must be a non-empty string")
+        if not stage.function or not isinstance(stage.function, str):
+            _fail(f"{where}.function", "must be a non-empty string")
+        if stage.name in seen:
+            _fail(f"{where}.name",
+                  f"duplicate stage {stage.name!r} "
+                  f"(also stages[{seen[stage.name]}])")
+        seen[stage.name] = index
+    if not spec.stages:
+        _fail(f"{path}.stages", "a dag needs at least one stage")
+    if spec.entry not in seen:
+        _fail(f"{path}.entry",
+              f"unknown stage {spec.entry!r} "
+              f"(stages: {', '.join(seen)})")
+    in_kinds: Dict[str, str] = {}
+    for index, edge in enumerate(spec.edges):
+        where = f"{path}.edges[{index}]"
+        if edge.kind not in EDGE_KINDS:
+            _fail(f"{where}.kind",
+                  f"unknown edge kind {edge.kind!r} "
+                  f"(expected one of {', '.join(EDGE_KINDS)})")
+        if edge.src not in seen:
+            _fail(f"{where}.from", f"unknown stage {edge.src!r}")
+        if edge.dst not in seen:
+            _fail(f"{where}.to", f"unknown stage {edge.dst!r}")
+        if edge.src == edge.dst:
+            _fail(f"{where}.to", f"self-edge on stage {edge.src!r}")
+        if edge.dst == spec.entry:
+            _fail(f"{where}.to",
+                  f"entry stage {spec.entry!r} cannot have incoming edges")
+        if edge.kind == EDGE_TRIGGER:
+            if not edge.database:
+                _fail(f"{where}.database",
+                      "trigger edges must name a database")
+            if edge.when_key:
+                _fail(f"{where}.when",
+                      "trigger edges cannot be conditional (the change "
+                      "feed does not see the run payload)")
+        else:
+            if edge.database:
+                _fail(f"{where}.database",
+                      "only trigger edges carry a database")
+            if not (edge.payload_kb > 0.0):
+                _fail(f"{where}.payload_kb", "must be > 0")
+        previous = in_kinds.get(edge.dst)
+        if previous is not None and previous != edge.kind:
+            _fail(f"{where}.kind",
+                  f"stage {edge.dst!r} mixes invoke and trigger "
+                  "in-edges; a stage is either executor-dispatched or "
+                  "change-feed-driven")
+        in_kinds[edge.dst] = edge.kind
+    _check_cycles(spec, path)
+    if spec.functions:
+        bound = {fn.name for fn in spec.functions}
+        for index, stage in enumerate(spec.stages):
+            if stage.function not in bound:
+                _fail(f"{path}.stages[{index}].function",
+                      f"no bound function {stage.function!r} "
+                      f"(bound: {', '.join(sorted(bound))})")
+    if spec.guest_hops:
+        functions = [stage.function for stage in spec.stages]
+        if len(set(functions)) != len(functions):
+            _fail(f"{path}.stages",
+                  "guest_hops dags need a unique function per stage "
+                  "(stage attribution reads the record's function name)")
+    return spec
+
+
+def make_dag(name: str, entry: str, stages: Sequence[DagStage],
+             edges: Sequence[DagEdge] = (),
+             functions: Sequence[FunctionSpec] = (),
+             guest_hops: bool = False, description: str = "") -> DagSpec:
+    """Build and validate a DagSpec in one step."""
+    return validate_dag(DagSpec(
+        name=name, entry=entry, stages=tuple(stages), edges=tuple(edges),
+        functions=tuple(functions), guest_hops=guest_hops,
+        description=description))
+
+
+def chain_to_dag(chain: ChainSpec, guest_hops: bool = True) -> DagSpec:
+    """A linear DAG over a chain's functions, in declaration order."""
+    stages = tuple(DagStage(name=fn.name, function=fn.name)
+                   for fn in chain.functions)
+    edges = tuple(DagEdge(src=stages[i].name, dst=stages[i + 1].name)
+                  for i in range(len(stages) - 1))
+    return make_dag(chain.name, chain.entry, stages, edges,
+                    functions=chain.functions, guest_hops=guest_hops,
+                    description=chain.description)
+
+
+# ---------------------------------------------------------------------------
+# JSON document form
+# ---------------------------------------------------------------------------
+_IDENT_RE = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def _child(path: str, key: Any) -> str:
+    """The JSON path of *key* under *path*: dotted for identifier-like
+    keys, bracket-quoted otherwise (a key like ``"a b"`` must not smear
+    into the surrounding path syntax)."""
+    if isinstance(key, str) and _IDENT_RE.match(key):
+        return f"{path}.{key}"
+    return f"{path}[{key!r}]"
+
+
+def _require_keys(value: Mapping[str, Any], allowed: Sequence[str],
+                  path: str) -> None:
+    for key in value:
+        if key not in allowed:
+            _fail(_child(path, key),
+                  f"unknown key (expected one of {', '.join(allowed)})")
+
+
+def _require_str(value: Mapping[str, Any], key: str, path: str,
+                 default: Optional[str] = None) -> str:
+    if key not in value:
+        if default is not None:
+            return default
+        _fail(path, f"missing required key {key!r}")
+    found = value[key]
+    if not isinstance(found, str):
+        _fail(f"{path}.{key}",
+              f"must be a string, got {type(found).__name__}")
+    return found
+
+
+def dag_from_document(document: Any, functions: Sequence[FunctionSpec] = (),
+                      path: str = "dag") -> DagSpec:
+    """Parse + validate a DAG JSON document; bind *functions* if given."""
+    if not isinstance(document, Mapping):
+        _fail(path, f"must be an object, got {type(document).__name__}")
+    _require_keys(document, _DOC_KEYS, path)
+    name = _require_str(document, "name", path)
+    entry = _require_str(document, "entry", path)
+    description = _require_str(document, "description", path, default="")
+    guest_hops = document.get("guest_hops", False)
+    if not isinstance(guest_hops, bool):
+        _fail(f"{path}.guest_hops",
+              f"must be a boolean, got {type(guest_hops).__name__}")
+    raw_stages = document.get("stages")
+    if not isinstance(raw_stages, list) or not raw_stages:
+        _fail(f"{path}.stages", "must be a non-empty array")
+    stages: List[DagStage] = []
+    for index, raw in enumerate(raw_stages):
+        where = f"{path}.stages[{index}]"
+        if not isinstance(raw, Mapping):
+            _fail(where, f"must be an object, got {type(raw).__name__}")
+        _require_keys(raw, _STAGE_KEYS, where)
+        stages.append(DagStage(
+            name=_require_str(raw, "name", where),
+            function=_require_str(raw, "function", where)))
+    raw_edges = document.get("edges", [])
+    if not isinstance(raw_edges, list):
+        _fail(f"{path}.edges", "must be an array")
+    edges: List[DagEdge] = []
+    for index, raw in enumerate(raw_edges):
+        where = f"{path}.edges[{index}]"
+        if not isinstance(raw, Mapping):
+            _fail(where, f"must be an object, got {type(raw).__name__}")
+        _require_keys(raw, _EDGE_KEYS, where)
+        kind = _require_str(raw, "kind", where, default=EDGE_INVOKE)
+        payload_kb = raw.get("payload_kb", 1.0)
+        if not isinstance(payload_kb, (int, float)) \
+                or isinstance(payload_kb, bool):
+            _fail(f"{where}.payload_kb",
+                  f"must be a number, got {type(payload_kb).__name__}")
+        when_key, when_value = "", None
+        if "when" in raw:
+            when = raw["when"]
+            if not isinstance(when, Mapping):
+                _fail(f"{where}.when",
+                      f"must be an object, got {type(when).__name__}")
+            _require_keys(when, _WHEN_KEYS, f"{where}.when")
+            when_key = _require_str(when, "key", f"{where}.when")
+            if "equals" not in when:
+                _fail(f"{where}.when", "missing required key 'equals'")
+            when_value = when["equals"]
+        edges.append(DagEdge(
+            src=_require_str(raw, "from", where),
+            dst=_require_str(raw, "to", where),
+            kind=kind,
+            database=_require_str(raw, "database", where, default=""),
+            payload_kb=float(payload_kb),
+            when_key=when_key, when_value=when_value))
+    return validate_dag(DagSpec(
+        name=name, entry=entry, stages=tuple(stages), edges=tuple(edges),
+        functions=tuple(functions), guest_hops=guest_hops,
+        description=description), path=path)
+
+
+def dag_to_document(spec: DagSpec) -> Dict[str, Any]:
+    """The JSON document form of *spec* (round-trips through
+    :func:`dag_from_document`, modulo function bindings)."""
+    stages = [{"name": stage.name, "function": stage.function}
+              for stage in spec.stages]
+    edges: List[Dict[str, Any]] = []
+    for edge in spec.edges:
+        raw: Dict[str, Any] = {"from": edge.src, "to": edge.dst,
+                               "kind": edge.kind}
+        if edge.kind == EDGE_TRIGGER:
+            raw["database"] = edge.database
+        else:
+            raw["payload_kb"] = edge.payload_kb
+        if edge.when_key:
+            raw["when"] = {"key": edge.when_key, "equals": edge.when_value}
+        edges.append(raw)
+    document: Dict[str, Any] = {
+        "name": spec.name, "entry": spec.entry, "stages": stages,
+        "edges": edges}
+    if spec.guest_hops:
+        document["guest_hops"] = True
+    if spec.description:
+        document["description"] = spec.description
+    return document
+
+
+def bind_functions(spec: DagSpec,
+                   functions: Sequence[FunctionSpec]) -> DagSpec:
+    """*spec* with *functions* attached (re-validated)."""
+    return validate_dag(replace(spec, functions=tuple(functions)))

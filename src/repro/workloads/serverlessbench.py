@@ -278,3 +278,49 @@ def data_analysis_chain() -> ChainSpec:
 def analysis_trigger() -> Dict[str, str]:
     """The db trigger wiring of Fig 8(b): wages update -> analysis chain."""
     return {WAGES_DB: "da-analyze"}
+
+
+# ---------------------------------------------------------------------------
+# DAG forms (repro.workloads.dag): the same applications as explicit graphs
+# ---------------------------------------------------------------------------
+def alexa_skills_dag() -> "DagSpec":
+    """Fig 8(a) as a DAG: the frontend fans out to exactly one skill.
+
+    The conditional edges mirror the frontend program's
+    ``InvokeNext(f"alexa-{skill}")`` dispatch, so on chain-capable
+    backends the guest hop and the DAG agree stage-for-stage.
+    """
+    from repro.workloads.dag import DagEdge, DagStage, make_dag
+    chain = alexa_skills_chain()
+    stages = [DagStage(name="frontend", function="alexa-frontend")]
+    edges = []
+    for skill in ALEXA_SKILLS:
+        stages.append(DagStage(name=skill, function=f"alexa-{skill}"))
+        edges.append(DagEdge(src="frontend", dst=skill, payload_kb=1.2,
+                             when_key="skill", when_value=skill))
+    return make_dag("alexa-skills", "frontend", stages, edges,
+                    functions=chain.functions, guest_hops=True,
+                    description=chain.description)
+
+
+def data_analysis_dag() -> "DagSpec":
+    """Fig 8(b) as a DAG: the insertion chain plus the change-feed edge.
+
+    ``format -> analyze`` is a *trigger* edge: the wages write fires the
+    analysis chain through the platform's CouchDB change feed, exactly
+    the dashed box of the paper's figure.
+    """
+    from repro.workloads.dag import (EDGE_TRIGGER, DagEdge, DagStage,
+                                     make_dag)
+    chain = data_analysis_chain()
+    stages = [DagStage(name="input", function="da-input"),
+              DagStage(name="format", function="da-format"),
+              DagStage(name="analyze", function="da-analyze"),
+              DagStage(name="stats", function="da-stats")]
+    edges = [DagEdge(src="input", dst="format", payload_kb=1.0),
+             DagEdge(src="format", dst="analyze", kind=EDGE_TRIGGER,
+                     database=WAGES_DB),
+             DagEdge(src="analyze", dst="stats", payload_kb=1.6)]
+    return make_dag("data-analysis", "input", stages, edges,
+                    functions=chain.functions, guest_hops=True,
+                    description=chain.description)

@@ -1,0 +1,177 @@
+"""Property tests for the DAG engine.
+
+Three contracts, fuzzed:
+
+* **Execution order**: for any random acyclic DAG the orchestrated
+  executor dispatches exactly the active stages, in a valid topological
+  order (an edge's source finishes before its destination starts), and
+  the ledger records exactly one dispatch per executed stage — never a
+  re-dispatch, never a skipped stage with a record.
+* **Round-trip**: any valid DAG document survives
+  ``dag_from_document → dag_to_document`` as a fixed point.
+* **Total validation**: for arbitrary garbage or mutated documents the
+  only exception that ever escapes :func:`dag_from_document` is
+  :class:`ValidationError`, and its message starts with a JSON path
+  rooted at ``dag``.  No KeyError, no TypeError, ever.
+"""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import fresh_platform
+from repro.errors import ValidationError
+from repro.platforms import FirecrackerPlatform
+from repro.platforms.chains import (STATUS_OK, STATUS_SKIPPED,
+                                    run_dag_once)
+from repro.workloads import faasdom_spec
+from repro.workloads.dag import (DagEdge, DagSpec, DagStage,
+                                 dag_from_document, dag_to_document,
+                                 validate_dag)
+
+#: ``dag`` + any mix of ``.key`` / ``[index]`` / bracket-quoted garbage
+#: key (``['a b']``) steps, then ``: message``.
+PATH_RE = re.compile(
+    r"^dag(\.[A-Za-z0-9_-]+|\[\d+\]"
+    r"|\['(?:[^'\\]|\\.)*'\]|\[\"(?:[^\"\\]|\\.)*\"\])*: .+",
+    re.DOTALL)
+
+
+@st.composite
+def acyclic_dags(draw, max_stages: int = 5):
+    """A random validated invoke-only DAG: edges go strictly from lower
+    to higher stage index, so acyclicity holds by construction.  Some
+    edges are conditional on the run payload's ``flag`` key."""
+    n = draw(st.integers(min_value=2, max_value=max_stages))
+    names = [f"s{i}" for i in range(n)]
+    spec = faasdom_spec("faas-fact", "nodejs")
+    stages = tuple(DagStage(name, spec.name) for name in names)
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if i == 0 and j == i + 1:
+                take = True  # keep at least one edge off the entry
+            else:
+                take = draw(st.booleans())
+            if not take:
+                continue
+            conditional = draw(st.booleans())
+            edges.append(DagEdge(
+                names[i], names[j],
+                when_key="flag" if conditional else "",
+                when_value=draw(st.booleans()) if conditional else None))
+    dag = DagSpec(name="fuzz", entry=names[0], stages=stages,
+                  edges=tuple(edges), functions=(spec,))
+    return validate_dag(dag)
+
+
+json_values = st.recursive(
+    st.one_of(st.none(), st.booleans(),
+              st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+              st.floats(allow_nan=False, allow_infinity=False),
+              st.text(max_size=20)),
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=10), inner, max_size=4)),
+    max_leaves=12)
+
+
+class TestExecutionOrder:
+    @given(dag=acyclic_dags(), flag=st.booleans())
+    @settings(max_examples=12, deadline=None)
+    def test_topological_order_and_exactly_once(self, dag, flag):
+        payload = {"flag": flag}
+        platform = fresh_platform(FirecrackerPlatform)
+        run = run_dag_once(platform, dag, payload)
+
+        active = set(dag.active_stages(payload))
+        executed = {result.stage for result in run.executed()}
+        assert executed == active
+        # Exactly-once: one ledger entry per executed stage, nothing else.
+        assert run.ledger == {stage: 1 for stage in active}
+        for name, result in run.stages.items():
+            if name in active:
+                assert result.status == STATUS_OK
+                assert result.record is not None
+            else:
+                assert result.status == STATUS_SKIPPED
+                assert result.record is None
+        # Topological: every taken edge between active stages is ordered.
+        for edge in dag.edges:
+            if edge.src in active and edge.dst in active \
+                    and edge.taken(payload):
+                assert run.stages[edge.src].end_ms <= \
+                    run.stages[edge.dst].start_ms
+
+    @given(dag=acyclic_dags(max_stages=4), flag=st.booleans())
+    @settings(max_examples=8, deadline=None)
+    def test_reruns_are_deterministic(self, dag, flag):
+        payload = {"flag": flag}
+        timings = []
+        for _ in range(2):
+            platform = fresh_platform(FirecrackerPlatform)
+            run = run_dag_once(platform, dag, payload)
+            timings.append([(r.stage, r.start_ms, r.end_ms)
+                            for r in run.executed()])
+        assert timings[0] == timings[1]
+
+
+class TestDocumentRoundTrip:
+    @given(dag=acyclic_dags())
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_is_a_fixed_point(self, dag):
+        document = dag_to_document(dag)
+        parsed = dag_from_document(document)
+        assert dag_to_document(parsed) == document
+        assert parsed.stage_names() == dag.stage_names()
+        assert parsed.edges == dag.edges
+        assert parsed.entry == dag.entry
+
+
+class TestTotalValidation:
+    @given(document=json_values)
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_garbage_only_raises_validation_error(self,
+                                                            document):
+        try:
+            dag_from_document(document)
+        except ValidationError as exc:
+            message = str(exc)
+            assert message.startswith("dag"), message
+            assert ": " in message, message
+        # Any other exception escapes to hypothesis and fails loudly.
+
+    @given(dag=acyclic_dags(max_stages=4),
+           key=st.sampled_from(("name", "entry", "stages", "edges",
+                                "guest_hops", "description")),
+           junk=json_values)
+    @settings(max_examples=80, deadline=None)
+    def test_mutated_documents_fail_with_a_path_or_load(self, dag, key,
+                                                        junk):
+        mutated = dict(dag_to_document(dag))
+        mutated[key] = junk
+        try:
+            dag_from_document(mutated)
+        except ValidationError as exc:
+            assert PATH_RE.match(str(exc)), str(exc)
+
+    @given(dag=acyclic_dags(max_stages=4),
+           edge_key=st.sampled_from(("from", "to", "kind", "database",
+                                     "payload_kb", "when")),
+           junk=json_values)
+    @settings(max_examples=80, deadline=None)
+    def test_mutated_edges_fail_with_a_path_or_load(self, dag, edge_key,
+                                                    junk):
+        mutated = dict(dag_to_document(dag))
+        if not mutated["edges"]:
+            return
+        edges = [dict(edge) for edge in mutated["edges"]]
+        edges[0][edge_key] = junk
+        mutated["edges"] = edges
+        try:
+            dag_from_document(mutated)
+        except ValidationError as exc:
+            assert PATH_RE.match(str(exc)), str(exc)

@@ -388,3 +388,52 @@ class TestSubmitOverrides:
         snapshot = wait_done(client, second)
         assert snapshot["stats"]["cache_hits"] == 0
         assert snapshot["stats"]["executed"] == 2
+
+
+class TestChainsScenario:
+    """The shipped multi-tenant-chains scenario, end to end.
+
+    The DAG-executor experiment is not special-cased anywhere in the
+    service; this locks the whole path — shipped scenario file, submit
+    by name, parallel shards, SSE log, results/figures fetch — for the
+    chains experiment id specifically.
+    """
+
+    @pytest.fixture()
+    def chains_client(self, tmp_path):
+        import pathlib
+        shipped = (pathlib.Path(__file__).resolve().parents[2]
+                   / "scenarios" / "multi-tenant-chains.json")
+        root = tmp_path / "scenarios"
+        root.mkdir()
+        (root / shipped.name).write_text(shipped.read_text())
+        app = create_app(scenario_root=root,
+                         cache_dir=str(tmp_path / "cache"))
+        return ASGITestClient(app)
+
+    def test_shipped_scenario_runs_to_done(self, chains_client):
+        from repro.bench.chains import CHAIN_POLICIES
+        from repro.bench.load import LOAD_PLATFORMS
+        client = chains_client
+        detail = client.get("/scenarios/multi-tenant-chains").json()
+        assert detail["experiments"] == ["chains"]
+
+        run_id = client.post("/experiments", json_body={
+            "scenario": "multi-tenant-chains"}).json()["id"]
+        snapshot = wait_done(client, run_id, polls=240)
+        assert snapshot["state"] == "done"
+        expected = {f"{platform}@{policy}"
+                    for platform in LOAD_PLATFORMS
+                    for policy in CHAIN_POLICIES}
+        assert snapshot["shards_total"] == len(expected)
+
+        results = client.get(f"/experiments/{run_id}/results").json()
+        assert set(results) == {"chains"}
+        from repro.bench.serialization import decode_result
+        assert set(decode_result(results["chains"])) == expected
+        figures = client.get(f"/experiments/{run_id}/figures")
+        assert "goodput=" in figures.text
+        kinds = [event["event"]
+                 for event in client.get(
+                     f"/experiments/{run_id}/events").sse_events()]
+        assert kinds[-1] == "run-finished"

@@ -110,6 +110,10 @@ GOLDEN_FIGURE_HASHES = {
     # same way so later PRs cannot silently move it.
     "restore:all":
         "88442eade79b97841ff49d6970c53b539fc31ed41d04b27f1ef525c42acb762a",
+    # The multi-tenant chains figure (PR 10): all ten
+    # (backend, placement policy) rows through the DAG executor.
+    "chains:all":
+        "eef16148bf2177ab487427aad74cc6ba8b269a092ac46e912d4bf36447d65f31",
 }
 
 
@@ -188,3 +192,10 @@ class TestGoldenFigureHashes:
         result = run_restore_figure(default_parameters())
         assert _canonical_hash(result) == \
             GOLDEN_FIGURE_HASHES["restore:all"]
+
+    def test_chains_figure(self):
+        from repro.bench.chains import run_chains_experiment
+        from repro.config import default_parameters
+        result = run_chains_experiment(default_parameters())
+        assert _canonical_hash(result) == \
+            GOLDEN_FIGURE_HASHES["chains:all"]

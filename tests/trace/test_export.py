@@ -192,3 +192,114 @@ class TestTreeExport:
         assert "invoke" in lines[1]
         assert "acquire" in lines[2] and "(     4.000 ms)" in lines[2]
         assert "exec" in lines[3] and "phase=exec" in lines[3]
+
+
+class TestValidatorChainChecks:
+    """The chain/stage/db-trigger overlay the DAG executor records."""
+
+    def _event(self, name, cat, args, ts=0.0, dur=0.0, tid=1):
+        return {"name": name, "cat": cat, "ph": "X", "ts": ts, "dur": dur,
+                "pid": 1, "tid": tid, "args": args}
+
+    def _chain(self, ts=0.0, dur=5_000.0, tid=1, chain_id="chain-1",
+               **overrides):
+        args = {"trace_id": chain_id, "dag": "diamond", "mode": "guest",
+                "stages": 2, "status": "ok",
+                "end_to_end_ms": dur / 1000.0}
+        args.update(overrides)
+        return self._event("chain", "chain", args, ts=ts, dur=dur,
+                           tid=tid)
+
+    def _stage(self, ts=100.0, dur=1_000.0, tid=1, chain_id="chain-1"):
+        return self._event("stage", "stage",
+                           {"stage": "split", "function": "fn-split",
+                            "chain": chain_id, "status": "ok",
+                            "invocation": "inv-1"},
+                           ts=ts, dur=dur, tid=tid)
+
+    def test_well_formed_overlay_passes(self):
+        module = _load_validator()
+        good = {"traceEvents": [
+            self._chain(),
+            self._stage(),
+            self._event("db-put", "span", {"database": "wages"},
+                        ts=200.0, dur=300.0, tid=2),
+            self._event("db-trigger", "db-trigger",
+                        {"database": "wages", "function": "fn-analyze"},
+                        ts=500.0, tid=3),
+        ]}
+        assert module.validate_trace(good) == []
+
+    def test_chain_needs_dag_mode_and_stage_count(self):
+        module = _load_validator()
+        bad = {"traceEvents": [
+            self._chain(dag=7, mode="psychic", stages=-1),
+        ]}
+        problems = module.validate_trace(bad)
+        assert any("args.dag" in p for p in problems)
+        assert any("args.mode" in p for p in problems)
+        assert any("args.stages" in p for p in problems)
+
+    def test_chain_duration_must_equal_end_to_end(self):
+        module = _load_validator()
+        bad = {"traceEvents": [self._chain(end_to_end_ms=4.0)]}
+        problems = module.validate_trace(bad)
+        assert any("does not match the event duration" in p
+                   for p in problems)
+
+    def test_stage_outside_its_chain_is_flagged(self):
+        module = _load_validator()
+        # Right window, wrong tid; right tid, outside the window; and a
+        # window whose trace_id is a different chain.
+        bad = {"traceEvents": [
+            self._chain(),
+            self._stage(tid=9),
+            self._stage(ts=5_500.0),
+            self._chain(ts=0.0, tid=4, chain_id="chain-2"),
+            self._stage(tid=4),
+        ]}
+        problems = module.validate_trace(bad)
+        assert sum("not nested inside chain" in p for p in problems) == 3
+
+    def test_db_trigger_without_a_put_is_flagged(self):
+        module = _load_validator()
+        bad = {"traceEvents": [
+            self._event("db-trigger", "db-trigger",
+                        {"database": "wages", "function": "fn"},
+                        ts=500.0),
+        ]}
+        problems = module.validate_trace(bad)
+        assert any("has no db-put" in p for p in problems)
+
+    def test_db_trigger_before_first_put_is_flagged(self):
+        module = _load_validator()
+        bad = {"traceEvents": [
+            self._event("db-put", "span", {"database": "wages"},
+                        ts=1_000.0, dur=500.0),
+            self._event("db-trigger", "db-trigger",
+                        {"database": "wages", "function": "fn"},
+                        ts=900.0),
+        ]}
+        problems = module.validate_trace(bad)
+        assert any("before the first db-put" in p for p in problems)
+
+    def test_real_chain_exports_validate(self, tmp_path):
+        # End to end: an orchestrated DAG with a change-feed segment on a
+        # chain-incapable backend, exported and validated.
+        from repro.bench import fresh_platform
+        from repro.platforms import FirecrackerPlatform
+        from repro.platforms.chains import ChainExecutor
+        from repro.workloads import data_analysis_dag
+        module = _load_validator()
+        platform = fresh_platform(FirecrackerPlatform)
+        executor = ChainExecutor(platform)
+        dag = data_analysis_dag()
+        executor.install(dag)
+        executor.run(dag, {})
+        platform.sim.run()
+        path = tmp_path / "chains.trace.json"
+        write_trace_json(platform.sim.tracer.traces(), path)
+        doc = json.loads(path.read_text())
+        assert module.validate_trace(doc) == []
+        cats = {e["cat"] for e in doc["traceEvents"] if "cat" in e}
+        assert {"chain", "stage", "db-trigger"} <= cats

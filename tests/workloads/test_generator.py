@@ -85,3 +85,110 @@ class TestTrace:
         t1 = poisson_trace(pops, 60000.0, RngStreams(3))
         t2 = poisson_trace(pops, 60000.0, RngStreams(3))
         assert t1 == t2
+
+
+class TestZipfWeights:
+    def test_normalized_and_monotone(self):
+        from repro.workloads.generator import zipf_weights
+        weights = zipf_weights(12)
+        assert abs(sum(weights) - 1.0) < 1e-12
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+        assert all(w > 0 for w in weights)
+
+    def test_single_rank(self):
+        from repro.workloads.generator import zipf_weights
+        assert zipf_weights(1) == [1.0]
+
+    def test_steeper_exponent_concentrates(self):
+        from repro.workloads.generator import zipf_weights
+        flat = zipf_weights(10, exponent=0.5)
+        steep = zipf_weights(10, exponent=2.0)
+        assert steep[0] > flat[0]
+
+    def test_errors(self):
+        from repro.workloads.generator import zipf_weights
+        with pytest.raises(PlatformError):
+            zipf_weights(0)
+        with pytest.raises(PlatformError):
+            zipf_weights(5, exponent=0.0)
+
+
+class TestMultiTenantChainTrace:
+    TENANTS = [f"tenant-{i:02d}" for i in range(5)]
+    DAGS = ["diamond", "pipeline"]
+
+    def _trace(self, seed=11, duration_ms=600_000.0, **kwargs):
+        from repro.workloads.generator import multi_tenant_chain_trace
+        return multi_tenant_chain_trace(self.TENANTS, self.DAGS,
+                                        duration_ms, RngStreams(seed),
+                                        **kwargs)
+
+    def test_sorted_and_in_window(self):
+        trace = self._trace()
+        assert trace == sorted(trace,
+                               key=lambda e: (e.at_ms, e.tenant, e.dag))
+        assert all(0.0 <= e.at_ms < 600_000.0 for e in trace)
+        assert {e.dag for e in trace} == set(self.DAGS)
+
+    def test_deterministic(self):
+        assert self._trace(seed=11) == self._trace(seed=11)
+
+    def test_seed_changes_trace(self):
+        assert self._trace(seed=11) != self._trace(seed=12)
+
+    def test_zipf_ordering_of_tenant_counts(self):
+        """Zipf head dominates: the hottest tenant submits the most,
+        head ranks stay ordered, and the head/tail ratio is large.
+        (Adjacent tail ranks may flip under Poisson noise — the expected
+        gap there is small — so only robust order claims are made.)"""
+        from repro.workloads.generator import chain_trace_stats
+        stats = chain_trace_stats(self._trace(duration_ms=3_600_000.0))
+        counts = [stats["per_tenant"][t] for t in self.TENANTS]
+        assert counts[0] == max(counts)
+        assert counts[0] > counts[1] > counts[2]
+        assert counts[0] >= 4 * min(counts)
+        assert stats["total_events"] == sum(counts)
+
+    def test_streams_are_independent_per_pair(self):
+        """Dropping a dag leaves the other dag's arrivals untouched."""
+        from repro.workloads.generator import multi_tenant_chain_trace
+        both = self._trace()
+        only = multi_tenant_chain_trace(self.TENANTS, ["diamond"],
+                                        600_000.0, RngStreams(11))
+        assert [e for e in both if e.dag == "diamond"] == only
+
+    def test_error_cases(self):
+        from repro.workloads.generator import multi_tenant_chain_trace
+        rng = RngStreams(1)
+        with pytest.raises(PlatformError):
+            multi_tenant_chain_trace([], self.DAGS, 1000.0, rng)
+        with pytest.raises(PlatformError):
+            multi_tenant_chain_trace(self.TENANTS, [], 1000.0, rng)
+        with pytest.raises(PlatformError):
+            multi_tenant_chain_trace(self.TENANTS, self.DAGS, 0.0, rng)
+        with pytest.raises(PlatformError):
+            multi_tenant_chain_trace(self.TENANTS, self.DAGS, 1000.0,
+                                     rng, mean_interarrival_ms=0.0)
+        with pytest.raises(PlatformError):
+            multi_tenant_chain_trace(self.TENANTS, self.DAGS, 1000.0,
+                                     rng, depth=1.0)
+        with pytest.raises(PlatformError):
+            multi_tenant_chain_trace(self.TENANTS, self.DAGS, 1000.0,
+                                     rng, period_ms=-1.0)
+        with pytest.raises(PlatformError):
+            multi_tenant_chain_trace(["a", "a"], self.DAGS, 1000.0, rng)
+
+    def test_scales_to_hundreds_of_tenants(self):
+        """Generation-only scale check: 300 tenants x 2 dags (600
+        implied function chains) stays a pure, sorted event list."""
+        from repro.workloads.generator import (chain_trace_stats,
+                                               multi_tenant_chain_trace)
+        tenants = [f"t{i:03d}" for i in range(300)]
+        trace = multi_tenant_chain_trace(tenants, self.DAGS, 120_000.0,
+                                         RngStreams(5))
+        assert trace
+        ats = [e.at_ms for e in trace]
+        assert ats == sorted(ats)
+        stats = chain_trace_stats(trace)
+        assert stats["per_tenant"]["t000"] >= max(
+            stats["per_tenant"].get(t, 0) for t in tenants[250:])

@@ -26,7 +26,15 @@ Checks the shape ``chrome://tracing``/Perfetto expects from
 * streamed snapshot transfers (``cat == "transfer"`` with
   ``args.streamed``) contain a nested ``transfer-working-set`` event, and
   every ``transfer-residual`` event for the same key+destination starts at
-  or after that working-set portion ends — the working set moves *first*.
+  or after that working-set portion ends — the working set moves *first*;
+* chain events (``cat == "chain"``) carry the DAG name, execution mode,
+  an integer stage count, and an ``args.end_to_end_ms`` equal to the
+  event's own duration — the chain root *is* the end-to-end latency;
+* stage events (``cat == "stage"``) carry their stage/function/chain ids
+  and nest inside the chain event they name on the same thread;
+* db-trigger events (``cat == "db-trigger"``) carry the database and
+  function, and start at or after the first ``db-put`` to that database
+  ends — a change feed cannot fire before any write happened.
 
 Exit code 0 when the file is valid, 1 otherwise (problems on stderr).
 """
@@ -110,6 +118,43 @@ def _working_set_ends(events: List[Any]) -> dict:
     return ends
 
 
+def _chain_windows(events: List[Any]) -> dict:
+    """``tid -> [(ts, end, trace_id), ...]`` of every chain event."""
+    windows: dict = {}
+    for event in events:
+        if not isinstance(event, dict) or event.get("cat") != "chain":
+            continue
+        ts, dur = event.get("ts"), event.get("dur")
+        args = event.get("args")
+        if isinstance(ts, (int, float)) and isinstance(dur, (int, float)):
+            trace_id = args.get("trace_id") if isinstance(args, dict) \
+                else None
+            windows.setdefault(event.get("tid"), []).append(
+                (ts, ts + dur, trace_id))
+    return windows
+
+
+def _first_db_put_ends(events: List[Any]) -> dict:
+    """``database -> earliest db-put end`` over every db-put event."""
+    ends: dict = {}
+    for event in events:
+        if not isinstance(event, dict) or event.get("name") != "db-put":
+            continue
+        ts, dur = event.get("ts"), event.get("dur")
+        args = event.get("args")
+        if not (isinstance(ts, (int, float))
+                and isinstance(dur, (int, float))
+                and isinstance(args, dict)):
+            continue
+        database = args.get("database")
+        if not isinstance(database, str):
+            continue
+        end = ts + dur
+        if database not in ends or end < ends[database]:
+            ends[database] = end
+    return ends
+
+
 def validate_trace(payload: Any) -> List[str]:
     """All shape problems found in *payload*; empty means valid."""
     problems: List[str] = []
@@ -123,6 +168,8 @@ def validate_trace(payload: Any) -> List[str]:
     invoke_windows = _invoke_windows(events)
     restore_windows = _restore_windows(events)
     working_set_ends = _working_set_ends(events)
+    chain_windows = _chain_windows(events)
+    db_put_ends = _first_db_put_ends(events)
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
         if not isinstance(event, dict):
@@ -199,6 +246,83 @@ def validate_trace(payload: Any) -> List[str]:
                 problems.append(
                     f"{where}: streamed transfer event has no nested "
                     "transfer-working-set event")
+        if event.get("cat") == "chain":
+            args = event.get("args")
+            if not isinstance(args, dict):
+                problems.append(f"{where}: chain event needs args")
+                continue
+            if not isinstance(args.get("dag"), str):
+                problems.append(f"{where}: chain event needs a string "
+                                f"args.dag, got {args.get('dag')!r}")
+            if args.get("mode") not in ("guest", "orchestrated"):
+                problems.append(
+                    f"{where}: chain event needs args.mode of 'guest' or "
+                    f"'orchestrated', got {args.get('mode')!r}")
+            stages = args.get("stages")
+            if not isinstance(stages, int) or stages < 0:
+                problems.append(f"{where}: chain event needs an integer "
+                                f"args.stages >= 0, got {stages!r}")
+            e2e = args.get("end_to_end_ms")
+            dur = event.get("dur")
+            if not isinstance(e2e, (int, float)) or not math.isfinite(e2e) \
+                    or e2e < 0:
+                problems.append(
+                    f"{where}: chain event needs a finite "
+                    f"args.end_to_end_ms >= 0, got {e2e!r}")
+            elif isinstance(dur, (int, float)) \
+                    and abs(e2e * 1000.0 - dur) > _NEST_EPS_US:
+                problems.append(
+                    f"{where}: chain end_to_end_ms {e2e} does not match "
+                    f"the event duration {dur}us — the chain root span "
+                    "must be exactly the end-to-end latency")
+        if event.get("cat") == "stage":
+            args = event.get("args")
+            if not isinstance(args, dict):
+                problems.append(f"{where}: stage event needs args")
+                continue
+            for key in ("stage", "function", "chain"):
+                if not isinstance(args.get(key), str) or not args.get(key):
+                    problems.append(
+                        f"{where}: stage event needs a non-empty string "
+                        f"args.{key}, got {args.get(key)!r}")
+            ts = event.get("ts")
+            dur = event.get("dur") if isinstance(event.get("dur"),
+                                                 (int, float)) else 0.0
+            chain_id = args.get("chain")
+            nested = isinstance(ts, (int, float)) and any(
+                start - _NEST_EPS_US <= ts
+                and ts + dur <= end + _NEST_EPS_US
+                and trace_id == chain_id
+                for start, end, trace_id in
+                chain_windows.get(event.get("tid"), ()))
+            if not nested:
+                problems.append(
+                    f"{where}: stage event is not nested inside chain "
+                    f"{chain_id!r} on its tid")
+        if event.get("cat") == "db-trigger":
+            args = event.get("args")
+            if not isinstance(args, dict):
+                problems.append(f"{where}: db-trigger event needs args")
+                continue
+            for key in ("database", "function"):
+                if not isinstance(args.get(key), str) or not args.get(key):
+                    problems.append(
+                        f"{where}: db-trigger event needs a non-empty "
+                        f"string args.{key}, got {args.get(key)!r}")
+            database = args.get("database")
+            ts = event.get("ts")
+            first_put = db_put_ends.get(database) \
+                if isinstance(database, str) else None
+            if first_put is None:
+                problems.append(
+                    f"{where}: db-trigger for {database!r} has no db-put "
+                    "event to that database anywhere in the trace")
+            elif isinstance(ts, (int, float)) \
+                    and ts + _NEST_EPS_US < first_put:
+                problems.append(
+                    f"{where}: db-trigger for {database!r} starts at {ts} "
+                    f"before the first db-put to it ends at {first_put} — "
+                    "a change feed cannot fire before any write")
         if event.get("cat") == "transfer-residual":
             args = event.get("args")
             if not isinstance(args, dict):
